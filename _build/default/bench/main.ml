@@ -1,0 +1,558 @@
+(* Benchmark & experiment harness.
+
+   Running `dune exec bench/main.exe` regenerates, in order:
+
+   - T1: the solvability matrix, validated by protocol execution on every
+     solvable setting and by the executable characterization elsewhere;
+   - T2: round complexity — closed-form schedule vs engine measurements;
+   - T3: communication complexity — Gale-Shapley proposal counts and
+     per-protocol message/byte costs as k grows;
+   - A1: ablation — Lemma 1 BB-pipeline vs Π_bSM in the bipartite
+     authenticated setting;
+   - A2: ablation — majority-proxy (Lemma 6) vs signature-proxy (Lemma 8)
+     channel simulation;
+   - microbenchmarks (Bechamel): wall-clock costs of the core algorithms
+     and full protocol executions.
+
+   EXPERIMENTS.md records paper-vs-measured for each table. *)
+
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Core = Bsm_core
+module H = Bsm_harness
+module Engine = Bsm_runtime.Engine
+module Topology = Bsm_topology.Topology
+module Crypto = Bsm_crypto.Crypto
+
+let setting ~k ~topology ~auth ~tl ~tr =
+  Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
+
+(* ------------------------------------------------------------------ T1 -- *)
+
+let table_t1 () =
+  let k = 3 in
+  let table =
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "T1: solvability matrix, k = %d (every solvable cell validated by a \
+            byzantine run at full corruption budget)"
+           k)
+      ~header:
+        [ "topology"; "auth"; "theorem"; "cells"; "solvable"; "validated"; "impossible" ]
+  in
+  List.iter
+    (fun topology ->
+      List.iter
+        (fun auth ->
+          let cells = ref 0 and solvable = ref 0 and validated = ref 0 in
+          let theorem = ref "" in
+          for tl = 0 to k do
+            for tr = 0 to k do
+              incr cells;
+              let s = setting ~k ~topology ~auth ~tl ~tr in
+              let verdict = Core.Solvability.decide s in
+              theorem := verdict.Core.Solvability.theorem;
+              if verdict.Core.Solvability.solvable then begin
+                incr solvable;
+                let rng = Rng.make ((tl * 100) + tr) in
+                let profile = SM.Profile.random rng k in
+                let byzantine =
+                  H.Adversaries.random_coalition rng ~setting:s ~seed:tl ~profile
+                in
+                let report =
+                  H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:tl s profile)
+                in
+                if H.Scenario.ok report then incr validated
+              end
+            done
+          done;
+          Table.add_row table
+            [
+              Topology.to_string topology;
+              Core.Setting.auth_to_string auth;
+              !theorem;
+              string_of_int !cells;
+              string_of_int !solvable;
+              string_of_int !validated;
+              string_of_int (!cells - !solvable);
+            ])
+        [ Core.Setting.Unauthenticated; Core.Setting.Authenticated ])
+    Topology.all;
+  Table.print table
+
+(* ------------------------------------------------------------------ T2 -- *)
+
+let honest_run s =
+  let rng = Rng.make (17 * s.Core.Setting.k) in
+  let profile = SM.Profile.random rng s.Core.Setting.k in
+  H.Scenario.run (H.Scenario.make_exn s profile)
+
+let table_t2 () =
+  let table =
+    Table.make
+      ~title:
+        "T2: round complexity — planned schedule (Delta_King = 3(t+1), Delta_BA = \
+         Delta_King+1, Delta_BB = Delta_BA+1, Dolev-Strong = t+1, channel stride \
+         1 or 2) vs measured"
+      ~header:[ "setting"; "planned rounds"; "measured rounds" ]
+  in
+  let cases k =
+    let third = max 0 ((k - 1) / 3) and half = max 0 ((k - 1) / 2) in
+    [
+      setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Unauthenticated
+        ~tl:third ~tr:k;
+      setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Unauthenticated
+        ~tl:third ~tr:half;
+      setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+        ~tl:k ~tr:k;
+      setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated ~tl:k
+        ~tr:(k - 1);
+      setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+        ~tl:third ~tr:k;
+    ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun s ->
+          let report = honest_run s in
+          Table.add_row table
+            [
+              Format.asprintf "%a" Core.Setting.pp s;
+              string_of_int report.H.Scenario.plan.Core.Select.engine_rounds;
+              string_of_int report.H.Scenario.metrics.Engine.rounds_used;
+            ])
+        (cases k))
+    [ 2; 4; 6 ];
+  Table.print table
+
+(* ------------------------------------------------------------------ T3 -- *)
+
+let table_t3_gs () =
+  let table =
+    Table.make
+      ~title:
+        "T3a: Gale-Shapley proposal counts — random profiles vs the Theta(k^2) \
+         worst case (identical preferences)"
+      ~header:[ "k"; "random (mean of 5)"; "worst case"; "k(k+1)/2" ]
+  in
+  List.iter
+    (fun k ->
+      let rng = Rng.make k in
+      let random_mean =
+        let total = ref 0 in
+        for _ = 1 to 5 do
+          let _, stats = SM.Gale_shapley.run_with_stats (SM.Profile.random rng k) in
+          total := !total + stats.SM.Gale_shapley.proposals
+        done;
+        !total / 5
+      in
+      let _, worst = SM.Gale_shapley.run_with_stats (SM.Profile.worst_case k) in
+      Table.add_row table
+        [
+          string_of_int k;
+          string_of_int random_mean;
+          string_of_int worst.SM.Gale_shapley.proposals;
+          string_of_int (k * (k + 1) / 2);
+        ])
+    [ 10; 20; 40; 80; 160 ];
+  Table.print table
+
+let table_t3_protocols () =
+  let table =
+    Table.make
+      ~title:
+        "T3b: protocol communication cost per honest execution (predicted = \
+         closed-form model in Bsm_core.Complexity)"
+      ~header:[ "setting"; "k"; "messages"; "predicted"; "bytes"; "bytes/party" ]
+  in
+  let cases k =
+    let third = max 0 ((k - 1) / 3) in
+    [
+      setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Unauthenticated
+        ~tl:third ~tr:k;
+      setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+        ~tl:k ~tr:k;
+      setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+        ~tl:third ~tr:k;
+    ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun s ->
+          let report = honest_run s in
+          let m = report.H.Scenario.metrics in
+          Table.add_row table
+            [
+              Format.asprintf "%a" Core.Setting.pp s;
+              string_of_int k;
+              string_of_int m.Engine.messages_sent;
+              string_of_int (Core.Complexity.predicted_messages s);
+              string_of_int m.Engine.bytes_sent;
+              string_of_int (m.Engine.bytes_sent / (2 * k));
+            ])
+        (cases k))
+    [ 2; 4; 6; 8 ];
+  Table.print table
+
+let table_t3_distributed_gs () =
+  let table =
+    Table.make
+      ~title:
+        "T3c: fault-free distributed Gale-Shapley (proposals = boolean-query \
+         proxy; Omega(n^2) lower bound context) — random vs correlated vs \
+         identical preferences"
+      ~header:[ "k"; "profile"; "proposals"; "messages"; "active rounds <= 2k^2+2" ]
+  in
+  List.iter
+    (fun k ->
+      let row name profile =
+        let _, metrics, proposals = Core.Distributed_gs.run profile in
+        Table.add_row table
+          [
+            string_of_int k;
+            name;
+            string_of_int proposals;
+            string_of_int metrics.Engine.messages_sent;
+            string_of_int metrics.Engine.rounds_used;
+          ]
+      in
+      row "random" (SM.Profile.random (Rng.make k) k);
+      row "correlated (5 swaps)" (SM.Profile.similar (Rng.make k) ~swaps:5 k);
+      row "identical (worst case)" (SM.Profile.worst_case k))
+    [ 8; 16; 32 ];
+  Table.print table
+
+(* ------------------------------------------------------------------ A1 -- *)
+
+(* Run a given program assignment honestly and return metrics. *)
+let run_programs ~k ~topology programs =
+  let cfg = Engine.config ~k ~link:(Engine.Of_topology topology) () in
+  let res = Engine.run cfg ~programs in
+  List.iter
+    (fun (r : Engine.party_result) ->
+      match r.Engine.status with
+      | Engine.Terminated -> ()
+      | Engine.Out_of_rounds | Engine.Crashed _ ->
+        failwith
+          (Printf.sprintf "bench: %s did not terminate" (Party_id.to_string r.Engine.id)))
+    res.Engine.parties;
+  res.Engine.metrics
+
+let table_a1 () =
+  let table =
+    Table.make
+      ~title:
+        "A1: ablation — Lemma 1 BB pipeline vs Pi_bSM (bipartite, authenticated, \
+         tL = floor((k-1)/3)); Pi_bSM pays rounds and bytes for surviving tR = k"
+      ~header:[ "k"; "mechanism"; "tolerates"; "rounds"; "messages"; "bytes" ]
+  in
+  List.iter
+    (fun k ->
+      let third = max 0 ((k - 1) / 3) in
+      let rng = Rng.make (k * 7) in
+      let profile = SM.Profile.random rng k in
+      let pki = Crypto.Pki.setup ~k ~seed:k in
+      let bb_setting =
+        setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+          ~tl:third ~tr:(k - 1)
+      in
+      let bb_metrics =
+        run_programs ~k ~topology:Topology.Bipartite (fun p ->
+            Core.Bb_based.program bb_setting ~pki ~input:(SM.Profile.prefs profile p)
+              ~self:p)
+      in
+      let pi_setting =
+        setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+          ~tl:third ~tr:k
+      in
+      let pi_metrics =
+        run_programs ~k ~topology:Topology.Bipartite (fun p ->
+            Core.Pi_bsm.program pi_setting ~pki ~computing_side:Side.Left
+              ~input:(SM.Profile.prefs profile p) ~self:p)
+      in
+      let row name tolerates (m : Engine.metrics) =
+        Table.add_row table
+          [
+            string_of_int k;
+            name;
+            tolerates;
+            string_of_int m.Engine.rounds_used;
+            string_of_int m.Engine.messages_sent;
+            string_of_int m.Engine.bytes_sent;
+          ]
+      in
+      row "BB pipeline (Lemma 1)" "tR < k" bb_metrics;
+      row "Pi_bSM (Sec 5.2)" "tR = k" pi_metrics)
+    [ 3; 4; 6 ];
+  Table.print table
+
+(* ------------------------------------------------------------------ A2 -- *)
+
+let table_a2 () =
+  let table =
+    Table.make
+      ~title:
+        "A2: ablation — majority proxy (Lemma 6) vs signature proxy (Lemma 8) on \
+         the one-sided topology (BB pipeline underneath)"
+      ~header:[ "k"; "channel simulation"; "needs"; "rounds"; "messages"; "bytes" ]
+  in
+  List.iter
+    (fun k ->
+      let third = max 0 ((k - 1) / 3) and half = max 0 ((k - 1) / 2) in
+      let majority =
+        honest_run
+          (setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Unauthenticated
+             ~tl:third ~tr:half)
+      in
+      let signed =
+        honest_run
+          (setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated
+             ~tl:k ~tr:(k - 1))
+      in
+      let row name needs (r : H.Scenario.report) =
+        let m = r.H.Scenario.metrics in
+        Table.add_row table
+          [
+            string_of_int k;
+            name;
+            needs;
+            string_of_int m.Engine.rounds_used;
+            string_of_int m.Engine.messages_sent;
+            string_of_int m.Engine.bytes_sent;
+          ]
+      in
+      row "majority proxy" "tR < k/2" majority;
+      row "signature proxy" "tR < k" signed)
+    [ 3; 5; 7 ];
+  Table.print table
+
+(* ------------------------------------------------------------------ A3 -- *)
+
+module Attacks = Bsm_attacks
+
+let table_a3 () =
+  let table =
+    Table.make
+      ~title:
+        "A3: byzantine tolerance pays — naive flood-and-compute vs the selected \
+         protocol under equivocating byzantine parties (fully-connected, \
+         unauthenticated, k = 4, tL = tR = 1, 30 seeds; sSM instances)"
+      ~header:[ "protocol"; "runs"; "violated runs"; "violation rate" ]
+  in
+  let k = 4 in
+  let topology = Topology.Fully_connected in
+  let runs = 30 in
+  let count protocol =
+    let bad = ref 0 in
+    for seed = 1 to runs do
+      let rng = Rng.make seed in
+      let favorites = Attacks.Evaluate.random_favorites rng ~k in
+      let byzantine =
+        [
+          Party_id.left 3, Attacks.Naive.equivocating_announcer ~topology ~k;
+          Party_id.right 2, Attacks.Naive.equivocating_announcer ~topology ~k;
+        ]
+      in
+      if Attacks.Evaluate.run ~topology ~k ~favorites ~byzantine protocol <> [] then
+        incr bad
+    done;
+    !bad
+  in
+  let row name protocol =
+    let bad = count protocol in
+    Table.add_row table
+      [
+        name;
+        string_of_int runs;
+        string_of_int bad;
+        Printf.sprintf "%.0f%%" (Stats.rate bad runs);
+      ]
+  in
+  row "naive flood-and-compute" Attacks.Protocol_under_test.naive;
+  row "BB pipeline (ours)"
+    (Attacks.Protocol_under_test.thresholded
+       ~setting:
+         (setting ~k ~topology ~auth:Core.Setting.Unauthenticated ~tl:1 ~tr:1));
+  Table.print table
+
+(* ------------------------------------------------------------------ A4 -- *)
+
+let table_a4 () =
+  let table =
+    Table.make
+      ~title:
+        "A4: ablation — Pi_bSM cost vs corruption budget tL (k = 7, bipartite \
+         authenticated, tR = k); rounds grow linearly in the king count tL+1, \
+         bytes over 5 random profiles"
+      ~header:[ "tL"; "kings"; "rounds"; "messages"; "bytes mean"; "bytes sd" ]
+  in
+  let k = 7 in
+  List.iter
+    (fun tl ->
+      let s =
+        setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl
+          ~tr:k
+      in
+      let runs =
+        List.map
+          (fun seed ->
+            let rng = Rng.make (seed * 37) in
+            let profile = SM.Profile.random rng k in
+            let report = H.Scenario.run (H.Scenario.make_exn ~seed s profile) in
+            report.H.Scenario.metrics)
+          (Util.range 1 6)
+      in
+      let first = List.hd runs in
+      let bytes = Stats.summarize (List.map (fun m -> float_of_int m.Engine.bytes_sent) runs) in
+      Table.add_row table
+        [
+          string_of_int tl;
+          string_of_int (tl + 1);
+          string_of_int first.Engine.rounds_used;
+          string_of_int first.Engine.messages_sent;
+          Printf.sprintf "%.0f" bytes.Stats.mean;
+          Printf.sprintf "%.0f" bytes.Stats.stddev;
+        ])
+    [ 0; 1; 2 ];
+  Table.print table
+
+(* ---------------------------------------------------- microbenchmarks -- *)
+
+open Bechamel
+open Toolkit
+
+let bench_tests () =
+  let gs_random =
+    Test.make_indexed ~name:"gale_shapley/random" ~args:[ 20; 100; 300 ] (fun k ->
+        let profile = SM.Profile.random (Rng.make k) k in
+        Staged.stage (fun () -> ignore (SM.Gale_shapley.run profile)))
+  in
+  let gs_worst =
+    Test.make_indexed ~name:"gale_shapley/worst" ~args:[ 100 ] (fun k ->
+        let profile = SM.Profile.worst_case k in
+        Staged.stage (fun () -> ignore (SM.Gale_shapley.run profile)))
+  in
+  let codec =
+    Test.make ~name:"wire/prefs-roundtrip-k100"
+      (let prefs = SM.Prefs.random (Rng.make 1) 100 in
+       Staged.stage (fun () ->
+           let bytes = Bsm_wire.Wire.encode SM.Prefs.codec prefs in
+           ignore (Bsm_wire.Wire.decode_exn SM.Prefs.codec bytes)))
+  in
+  let signing =
+    Test.make ~name:"crypto/sign+verify"
+      (let pki = Crypto.Pki.setup ~k:4 ~seed:0 in
+       let signer = Crypto.Pki.signer pki (Party_id.left 0) in
+       let verifier = Crypto.Pki.verifier pki in
+       Staged.stage (fun () ->
+           let s = Crypto.Signer.sign signer "benchmark-message" in
+           ignore
+             (Crypto.Verifier.verify verifier ~signer:(Party_id.left 0)
+                ~msg:"benchmark-message" s)))
+  in
+  let engine_rounds =
+    Test.make ~name:"engine/1000-rounds-2-parties"
+      (Staged.stage (fun () ->
+           let cfg =
+             Engine.config ~k:1 ~link:(Engine.Of_topology Topology.Fully_connected)
+               ~max_rounds:2000 ()
+           in
+           let program (env : Engine.env) =
+             for _ = 1 to 1000 do
+               env.Engine.send (Party_id.right 0) "x";
+               ignore (env.Engine.next_round ())
+             done
+           in
+           ignore
+             (Engine.run cfg ~programs:(fun p ->
+                  if Party_id.equal p (Party_id.left 0) then program else fun _ -> ()))))
+  in
+  let full_protocol name s =
+    Test.make ~name
+      (let profile = SM.Profile.random (Rng.make 5) s.Core.Setting.k in
+       Staged.stage (fun () -> ignore (H.Scenario.run (H.Scenario.make_exn s profile))))
+  in
+  let e2e_auth =
+    full_protocol "protocol/full-auth-k4"
+      (setting ~k:4 ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+         ~tl:4 ~tr:4)
+  in
+  let e2e_unauth =
+    full_protocol "protocol/full-unauth-k4"
+      (setting ~k:4 ~topology:Topology.Fully_connected
+         ~auth:Core.Setting.Unauthenticated ~tl:1 ~tr:4)
+  in
+  let e2e_pibsm =
+    full_protocol "protocol/pi_bsm-k4"
+      (setting ~k:4 ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:1
+         ~tr:4)
+  in
+  let lattice =
+    Test.make ~name:"lattice/all-stable-k7"
+      (let profile = SM.Profile.random (Rng.make 9) 7 in
+       Staged.stage (fun () -> ignore (SM.Lattice.all_stable profile)))
+  in
+  let roommates =
+    Test.make ~name:"roommates/solve-n100"
+      (let inst = SM.Roommates.random (Rng.make 11) 100 in
+       Staged.stage (fun () -> ignore (SM.Roommates.solve inst)))
+  in
+  Test.make_grouped ~name:"bsm"
+    [
+      gs_random;
+      gs_worst;
+      codec;
+      signing;
+      engine_rounds;
+      e2e_auth;
+      e2e_unauth;
+      e2e_pibsm;
+      lattice;
+      roommates;
+    ]
+
+let run_microbenchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg instances (bench_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.make ~title:"Microbenchmarks (Bechamel, monotonic clock)"
+      ~header:[ "benchmark"; "time/run" ]
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let humanize ns =
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> humanize ns
+        | Some _ | None -> "n/a"
+      in
+      Table.add_row table [ name; time ])
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  Table.print table
+
+let () =
+  print_endline "byzantine stable matching — experiment harness";
+  print_newline ();
+  table_t1 ();
+  table_t2 ();
+  table_t3_gs ();
+  table_t3_protocols ();
+  table_t3_distributed_gs ();
+  table_a1 ();
+  table_a2 ();
+  table_a3 ();
+  table_a4 ();
+  run_microbenchmarks ();
+  print_endline "done. See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -1,0 +1,494 @@
+(* bsm — command-line interface to the byzantine stable matching library.
+
+   Subcommands:
+     solvable    decide one setting (Theorems 2-7) and show the protocol plan
+     matrix      the full solvability matrix for a given k (Table T1)
+     run         execute a scenario with a random byzantine coalition
+     ssm         execute a simplified-stable-matching scenario
+     attack      run an impossibility construction (Figures 2-4)
+     topology    render the three communication models (Figure 1)
+     complexity  round/message/byte costs per setting as k grows  *)
+
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Core = Bsm_core
+module H = Bsm_harness
+module A = Bsm_attacks
+module Topology = Bsm_topology.Topology
+open Cmdliner
+
+(* --- shared argument parsers --------------------------------------------- *)
+
+let topology_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "full" | "fully-connected" | "fc" -> Ok Topology.Fully_connected
+    | "one-sided" | "onesided" | "os" -> Ok Topology.One_sided
+    | "bipartite" | "bp" -> Ok Topology.Bipartite
+    | _ -> Error (`Msg "expected full | one-sided | bipartite")
+  in
+  Arg.conv (parse, Topology.pp)
+
+let auth_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "auth" | "authenticated" | "signatures" -> Ok Core.Setting.Authenticated
+    | "unauth" | "unauthenticated" | "none" -> Ok Core.Setting.Unauthenticated
+    | _ -> Error (`Msg "expected auth | unauth")
+  in
+  let print ppf a = Format.pp_print_string ppf (Core.Setting.auth_to_string a) in
+  Arg.conv (parse, print)
+
+let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Parties per side.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Topology.Fully_connected
+    & info [ "t"; "topology" ] ~doc:"Topology: full | one-sided | bipartite.")
+
+let auth_arg =
+  Arg.(
+    value
+    & opt auth_conv Core.Setting.Unauthenticated
+    & info [ "a"; "auth" ] ~doc:"Cryptographic setup: auth | unauth.")
+
+let tl_arg = Arg.(value & opt int 0 & info [ "tl" ] ~doc:"Corruption budget in L.")
+let tr_arg = Arg.(value & opt int 0 & info [ "tr" ] ~doc:"Corruption budget in R.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let setting_of k topology auth tl tr =
+  match Core.Setting.make ~k ~topology ~auth ~t_left:tl ~t_right:tr with
+  | Ok s -> s
+  | Error msg ->
+    Printf.eprintf "invalid setting: %s\n" msg;
+    exit 2
+
+(* --- solvable -------------------------------------------------------------- *)
+
+let solvable_cmd =
+  let run k topology auth tl tr =
+    let s = setting_of k topology auth tl tr in
+    let verdict = Core.Solvability.decide s in
+    Format.printf "%a@.%a@." Core.Setting.pp s Core.Solvability.pp_verdict verdict;
+    match Core.Select.plan s with
+    | Ok plan -> Format.printf "plan: %s (%d rounds)@." plan.Core.Select.describe
+                   plan.Core.Select.engine_rounds
+    | Error _ -> Format.printf "plan: none (impossible setting)@."
+  in
+  Cmd.v
+    (Cmd.info "solvable" ~doc:"Decide solvability of one setting (Theorems 2-7).")
+    Term.(const run $ k_arg $ topology_arg $ auth_arg $ tl_arg $ tr_arg)
+
+(* --- matrix ----------------------------------------------------------------- *)
+
+let matrix_cmd =
+  let run k =
+    let table =
+      Table.make
+        ~title:(Printf.sprintf "T1: solvability matrix, k = %d" k)
+        ~header:[ "topology"; "auth"; "solvable iff"; "frontier examples" ]
+    in
+    let frontier s_of =
+      (* first impossible (tl, tr) in lexicographic scan, plus a maximal
+         solvable pair *)
+      let points =
+        List.concat_map
+          (fun tl -> List.map (fun tr -> tl, tr) (Util.range 0 (k + 1)))
+          (Util.range 0 (k + 1))
+      in
+      let solvable (tl, tr) = Core.Solvability.solvable (s_of tl tr) in
+      let impossible = List.filter (fun p -> not (solvable p)) points in
+      let max_solvable =
+        List.fold_left
+          (fun acc ((tl, tr) as p) ->
+            match acc with
+            | Some (tl', tr') when tl' + tr' >= tl + tr -> acc
+            | _ when solvable p -> Some (tl, tr)
+            | _ -> acc)
+          None points
+      in
+      let show = function
+        | Some (tl, tr) -> Printf.sprintf "(%d,%d)" tl tr
+        | None -> "-"
+      in
+      Printf.sprintf "max ok %s, first bad %s" (show max_solvable)
+        (show (List.nth_opt impossible 0))
+    in
+    List.iter
+      (fun topology ->
+        List.iter
+          (fun auth ->
+            let s_of tl tr =
+              Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
+            in
+            let condition =
+              (Core.Solvability.decide (s_of 0 0)).Core.Solvability.theorem
+            in
+            Table.add_row table
+              [
+                Topology.to_string topology;
+                Core.Setting.auth_to_string auth;
+                condition;
+                frontier s_of;
+              ])
+          [ Core.Setting.Unauthenticated; Core.Setting.Authenticated ])
+      Topology.all;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Print the solvability matrix (the paper's headline table).")
+    Term.(const run $ k_arg)
+
+(* --- run --------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run k topology auth tl tr seed verbose =
+    let s = setting_of k topology auth tl tr in
+    let rng = Rng.make seed in
+    let profile = SM.Profile.random rng k in
+    let byzantine = H.Adversaries.random_coalition rng ~setting:s ~seed ~profile in
+    Format.printf "%a — %d byzantine parties: %s@." Core.Setting.pp s
+      (List.length byzantine)
+      (String.concat ", " (List.map (fun (p, _) -> Party_id.to_string p) byzantine));
+    let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed s profile) in
+    if verbose then Format.printf "%a@." H.Scenario.pp_report report
+    else begin
+      Format.printf "plan: %s@." report.H.Scenario.plan.Core.Select.describe;
+      List.iter
+        (fun (p, d) ->
+          match (d : Core.Problem.decision) with
+          | Core.Problem.Matched q ->
+            Format.printf "  %a -> %a@." Party_id.pp p Party_id.pp q
+          | Core.Problem.Nobody -> Format.printf "  %a -> nobody@." Party_id.pp p
+          | Core.Problem.No_output -> Format.printf "  %a -> NO OUTPUT@." Party_id.pp p)
+        report.H.Scenario.outcome.Core.Problem.decisions
+    end;
+    let m = report.H.Scenario.metrics in
+    Format.printf "cost: %d rounds, %d messages, %d bytes@."
+      m.Bsm_runtime.Engine.rounds_used m.Bsm_runtime.Engine.messages_sent
+      m.Bsm_runtime.Engine.bytes_sent;
+    match report.H.Scenario.violations with
+    | [] -> Format.printf "result: bSM achieved@."
+    | vs ->
+      Format.printf "result: %d VIOLATIONS@." (List.length vs);
+      List.iter (fun v -> Format.printf "  %a@." Core.Problem.pp_violation v) vs;
+      exit 1
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full report.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one bSM execution with a random byzantine coalition at full budget.")
+    Term.(const run $ k_arg $ topology_arg $ auth_arg $ tl_arg $ tr_arg $ seed_arg $ verbose)
+
+(* --- attack ------------------------------------------------------------------ *)
+
+let attack_cmd =
+  let run which use_real =
+    let protocol =
+      if not use_real then A.Protocol_under_test.naive
+      else begin
+        let setting =
+          match which with
+          | "duplication" ->
+            Core.Setting.make_exn ~k:3 ~topology:Topology.Fully_connected
+              ~auth:Core.Setting.Unauthenticated ~t_left:1 ~t_right:1
+          | "cycle" ->
+            Core.Setting.make_exn ~k:2 ~topology:Topology.Bipartite
+              ~auth:Core.Setting.Unauthenticated ~t_left:0 ~t_right:1
+          | _ ->
+            Core.Setting.make_exn ~k:3 ~topology:Topology.One_sided
+              ~auth:Core.Setting.Unauthenticated ~t_left:1 ~t_right:3
+        in
+        A.Protocol_under_test.thresholded ~setting
+      end
+    in
+    let report =
+      match which with
+      | "duplication" -> A.Duplication.run protocol
+      | "cycle" -> A.Cycle.run protocol
+      | "split" -> A.Split.run protocol
+      | other ->
+        Printf.eprintf "unknown attack %S (expected duplication | cycle | split)\n" other;
+        exit 2
+    in
+    Format.printf "%a@." A.Report.pp report
+  in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ATTACK" ~doc:"duplication (Fig 2) | cycle (Fig 3) | split (Fig 4)")
+  in
+  let use_real =
+    Arg.(
+      value & flag
+      & info [ "real-protocol" ]
+          ~doc:
+            "Attack our actual protocol stack forced beyond its thresholds instead of \
+             the naive baseline.")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run an impossibility construction (Lemmas 5, 7, 13).")
+    Term.(const run $ which $ use_real)
+
+(* --- topology ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let run k =
+    List.iter (fun t -> print_endline (Topology.render t ~k)) Topology.all
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Render the three communication models (Figure 1).")
+    Term.(const run $ k_arg)
+
+(* --- ssm ------------------------------------------------------------------------ *)
+
+let ssm_cmd =
+  let run k topology auth tl tr seed =
+    let s = setting_of k topology auth tl tr in
+    let rng = Rng.make seed in
+    (* Random favorites. *)
+    let favs =
+      List.map
+        (fun p ->
+          ( p,
+            Party_id.make (Side.opposite (Party_id.side p)) (Rng.int rng k) ))
+        (Party_id.all ~k)
+    in
+    let favorites p = List.assoc p favs in
+    let profile = Core.Ssm.favorites_to_profile ~k favorites in
+    let byzantine = H.Adversaries.random_coalition rng ~setting:s ~seed ~profile in
+    let scenario = H.Scenario.make_exn ~byzantine ~seed s profile in
+    let report = H.Scenario.run_ssm ~favorites scenario in
+    List.iter
+      (fun (p, d) ->
+        let fav = favorites p in
+        match (d : Core.Problem.decision) with
+        | Core.Problem.Matched q ->
+          Format.printf "  %a (fav %a) -> %a@." Party_id.pp p Party_id.pp fav
+            Party_id.pp q
+        | Core.Problem.Nobody ->
+          Format.printf "  %a (fav %a) -> nobody@." Party_id.pp p Party_id.pp fav
+        | Core.Problem.No_output ->
+          Format.printf "  %a -> NO OUTPUT@." Party_id.pp p)
+      report.H.Scenario.outcome.Core.Problem.decisions;
+    match report.H.Scenario.violations with
+    | [] -> Format.printf "result: sSM achieved@."
+    | vs ->
+      Format.printf "result: %d VIOLATIONS@." (List.length vs);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "ssm" ~doc:"Run a simplified stable matching (favorites only) scenario.")
+    Term.(const run $ k_arg $ topology_arg $ auth_arg $ tl_arg $ tr_arg $ seed_arg)
+
+(* --- lattice ----------------------------------------------------------------- *)
+
+let lattice_cmd =
+  let run k seed =
+    let rng = Rng.make seed in
+    let profile = SM.Profile.random rng k in
+    Format.printf "%a@." SM.Profile.pp profile;
+    let all = SM.Lattice.all_stable profile in
+    Format.printf "%d stable matching(s):@." (List.length all);
+    let left_opt = SM.Gale_shapley.run ~proposers:Side.Left profile in
+    let right_opt = SM.Gale_shapley.run ~proposers:Side.Right profile in
+    let egal = SM.Lattice.egalitarian profile in
+    List.iter
+      (fun m ->
+        let tags =
+          List.filter_map Fun.id
+            [
+              (if SM.Matching.equal m left_opt then Some "left-optimal" else None);
+              (if SM.Matching.equal m right_opt then Some "right-optimal" else None);
+              (if SM.Matching.equal m egal then Some "egalitarian" else None);
+            ]
+        in
+        Format.printf "  %a  cost=%d regret=%d %s@." SM.Matching.pp m
+          (SM.Lattice.egalitarian_cost profile m)
+          (SM.Lattice.regret profile m)
+          (match tags with
+          | [] -> ""
+          | _ -> "[" ^ String.concat ", " tags ^ "]"))
+      all
+  in
+  Cmd.v
+    (Cmd.info "lattice"
+       ~doc:"Enumerate all stable matchings of a random instance (lattice structure).")
+    Term.(const run $ k_arg $ seed_arg)
+
+(* --- roommates --------------------------------------------------------------- *)
+
+let roommates_cmd =
+  let run n seed =
+    let rng = Rng.make seed in
+    let solvable = ref 0 in
+    let runs = 200 in
+    for _ = 1 to runs do
+      let inst = SM.Roommates.random rng n in
+      match SM.Roommates.solve inst with
+      | Some partner ->
+        incr solvable;
+        assert (SM.Roommates.is_stable inst partner)
+      | None -> ()
+    done;
+    Format.printf
+      "stable roommates, n = %d: %d/%d random instances solvable (%.0f%%)@." n
+      !solvable runs
+      (Stats.rate !solvable runs);
+    Format.printf
+      "(the paper's conclusion: unlike bipartite stable matching, existence can \
+       fail — the byzantine variant needs refined definitions)@."
+  in
+  let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of persons (even).") in
+  Cmd.v
+    (Cmd.info "roommates"
+       ~doc:
+         "Solve random stable-roommates instances (Irving's algorithm; the paper's \
+          future-work direction).")
+    Term.(const run $ n_arg $ seed_arg)
+
+(* --- bsr (byzantine stable roommates) ----------------------------------------- *)
+
+let bsr_cmd =
+  let run k t seed =
+    let rng = Rng.make seed in
+    let inputs = Core.Roommates_bsm.random_inputs rng ~k in
+    let pki = Bsm_crypto.Crypto.Pki.setup ~k ~seed in
+    let byzantine =
+      if t = 0 then []
+      else
+        List.mapi
+          (fun i p ->
+            p, if i mod 2 = 0 then H.Adversaries.silent else H.Adversaries.noise ~seed:i)
+          (Rng.sample rng (min t (2 * k)) (Party_id.all ~k))
+    in
+    let byz_set = Party_set.of_list (List.map fst byzantine) in
+    let programs p =
+      match List.assoc_opt p byzantine with
+      | Some program -> program
+      | None -> Core.Roommates_bsm.program ~k ~t ~pki ~input:(inputs p) ~self:p
+    in
+    let cfg =
+      Bsm_runtime.Engine.config ~k
+        ~link:(Bsm_runtime.Engine.Of_topology Topology.Fully_connected) ()
+    in
+    let res = Bsm_runtime.Engine.run cfg ~programs:(fun p -> programs p) in
+    Format.printf
+      "byzantine stable roommates: n = %d parties, %d byzantine (%s)@." (2 * k)
+      (List.length byzantine)
+      (String.concat ", " (List.map (fun (p, _) -> Party_id.to_string p) byzantine));
+    let decisions =
+      List.filter_map
+        (fun (r : Bsm_runtime.Engine.party_result) ->
+          if Party_set.mem r.Bsm_runtime.Engine.id byz_set then None
+          else
+            Some
+              ( r.Bsm_runtime.Engine.id,
+                match r.Bsm_runtime.Engine.status, r.Bsm_runtime.Engine.out with
+                | Bsm_runtime.Engine.Terminated, Some payload ->
+                  Some (Bsm_wire.Wire.decode_exn Core.Problem.decision_codec payload)
+                | _ -> None ))
+        res.Bsm_runtime.Engine.parties
+    in
+    List.iter
+      (fun (p, d) ->
+        match d with
+        | Some (Some q) -> Format.printf "  %a -> %a@." Party_id.pp p Party_id.pp q
+        | Some None -> Format.printf "  %a -> nobody@." Party_id.pp p
+        | None -> Format.printf "  %a -> NO OUTPUT@." Party_id.pp p)
+      decisions;
+    match Core.Roommates_bsm.check ~k ~inputs ~byzantine:byz_set ~decisions with
+    | [] -> Format.printf "result: byzantine stable roommates achieved@."
+    | vs ->
+      Format.printf "result: %d VIOLATIONS@." (List.length vs);
+      List.iter (fun v -> Format.printf "  %a@." Core.Roommates_bsm.pp_violation v) vs;
+      exit 1
+  in
+  let t_arg =
+    Arg.(value & opt int 1 & info [ "byzantine" ] ~doc:"Number of byzantine parties.")
+  in
+  Cmd.v
+    (Cmd.info "bsr"
+       ~doc:
+         "Run byzantine stable roommates (the paper's future-work direction) on a \
+          random instance.")
+    Term.(const run $ k_arg $ t_arg $ seed_arg)
+
+(* --- manipulate --------------------------------------------------------------- *)
+
+let manipulate_cmd =
+  let run () =
+    let profile, m = SM.Truthfulness.roth_instance () in
+    Format.printf "%a@." SM.Profile.pp profile;
+    Format.printf
+      "Roth (1982): stable matching is not truthful. Party %a misreports %a:@."
+      Party_id.pp m.SM.Truthfulness.manipulator SM.Prefs.pp m.SM.Truthfulness.fake;
+    Format.printf "  honest partner: index %d; lying partner: index %d (better)@."
+      m.SM.Truthfulness.honest_partner m.SM.Truthfulness.lying_partner;
+    Format.printf
+      "Dubins-Freedman/Roth: the proposing side never gains — checked exhaustively \
+       by the test suite.@."
+  in
+  Cmd.v
+    (Cmd.info "manipulate" ~doc:"Demonstrate Roth's manipulability result.")
+    Term.(const run $ const ())
+
+(* --- complexity ------------------------------------------------------------------ *)
+
+let complexity_cmd =
+  let run max_k =
+    let table =
+      Table.make ~title:"T2/T3: honest-run cost per setting"
+        ~header:[ "setting"; "k"; "rounds"; "messages"; "predicted"; "bytes" ]
+    in
+    let settings k =
+      let third = max 0 ((k - 1) / 3) and half = max 0 ((k - 1) / 2) in
+      [
+        Core.Setting.make_exn ~k ~topology:Topology.Fully_connected
+          ~auth:Core.Setting.Unauthenticated ~t_left:third ~t_right:k;
+        Core.Setting.make_exn ~k ~topology:Topology.Bipartite
+          ~auth:Core.Setting.Unauthenticated ~t_left:third ~t_right:half;
+        Core.Setting.make_exn ~k ~topology:Topology.Fully_connected
+          ~auth:Core.Setting.Authenticated ~t_left:k ~t_right:k;
+        Core.Setting.make_exn ~k ~topology:Topology.Bipartite
+          ~auth:Core.Setting.Authenticated ~t_left:third ~t_right:k;
+      ]
+    in
+    List.iter
+      (fun k ->
+        let rng = Rng.make (k * 31) in
+        List.iter
+          (fun s ->
+            let profile = SM.Profile.random rng k in
+            let report = H.Scenario.run (H.Scenario.make_exn s profile) in
+            let m = report.H.Scenario.metrics in
+            Table.add_row table
+              [
+                Format.asprintf "%a" Core.Setting.pp s;
+                string_of_int k;
+                string_of_int m.Bsm_runtime.Engine.rounds_used;
+                string_of_int m.Bsm_runtime.Engine.messages_sent;
+                string_of_int (Core.Complexity.predicted_messages s);
+                string_of_int m.Bsm_runtime.Engine.bytes_sent;
+              ])
+          (settings k))
+      (List.filter (fun k -> k >= 2) (Util.range 2 (max_k + 1)));
+    Table.print table
+  in
+  let max_k = Arg.(value & opt int 6 & info [ "max-k" ] ~doc:"Largest k to measure.") in
+  Cmd.v
+    (Cmd.info "complexity" ~doc:"Measure round/message/byte costs as k grows.")
+    Term.(const run $ max_k)
+
+let () =
+  let doc = "byzantine stable matching (PODC 2025) — protocols, attacks, experiments" in
+  let info = Cmd.info "bsm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [
+      solvable_cmd; matrix_cmd; run_cmd; ssm_cmd; attack_cmd; topology_cmd;
+      complexity_cmd; lattice_cmd; roommates_cmd; bsr_cmd; manipulate_cmd;
+    ]))

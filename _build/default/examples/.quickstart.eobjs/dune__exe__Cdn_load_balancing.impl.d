@@ -1,0 +1,1 @@
+examples/cdn_load_balancing.ml: Array Bsm_core Bsm_harness Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Format Fun List Party_id Printf Side

@@ -1,0 +1,1 @@
+examples/job_market.ml: Array Bsm_core Bsm_harness Bsm_prelude Bsm_stable_matching Bsm_topology Fun List Party_id Printf Side String

@@ -1,0 +1,1 @@
+examples/kidney_exchange.mli:

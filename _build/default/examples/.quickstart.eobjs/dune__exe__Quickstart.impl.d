@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bsm_core Bsm_harness Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Format List Party_id Printf Rng

@@ -1,0 +1,1 @@
+examples/trace_demo.ml: Bsm_broadcast Bsm_core Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Bsm_wire Int List Party_id Printf Rng Side Util

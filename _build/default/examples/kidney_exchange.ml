@@ -1,0 +1,115 @@
+(* Paired kidney donation with privacy constraints.
+
+   The paper motivates the one-sided topology with kidney donation:
+   "privacy constraints prevent recipients from directly interacting with
+   each other". Recipients (L) cannot talk to one another; transplant
+   centers (R) are fully connected and mediate everything. Some centers
+   may be byzantine — including, in the worst case this example
+   demonstrates, *all of them*: with signatures and t_L < k/3, Theorem 7
+   still guarantees a correct outcome via Π_bSM, where honest recipients
+   either agree on a matching or safely abstain.
+
+   Compatibility is synthesized from blood types and HLA mismatch scores.
+
+   Run with: dune exec examples/kidney_exchange.exe *)
+
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Core = Bsm_core
+module H = Bsm_harness
+module Topology = Bsm_topology.Topology
+
+let k = 7
+
+let blood_type i = [| "O"; "A"; "B"; "AB" |].((i * 5) mod 4)
+
+(* Lower is better: HLA mismatch between recipient i and center j's
+   available graft. *)
+let hla_mismatch i j = ((i * 11) + (j * 29)) mod 13
+
+let compat_score i j =
+  (* blood-type compatibility dominates, then HLA. *)
+  let bt_penalty =
+    match blood_type i, blood_type ((j * 3) mod k) with
+    | "O", "O" | "A", ("O" | "A") | "B", ("O" | "B") | "AB", _ -> 0
+    | _ -> 20
+  in
+  bt_penalty + hla_mismatch i j
+
+let ranked score = List.sort (fun a b -> compare (score a) (score b)) (List.init k Fun.id)
+
+let profile =
+  let left = Array.init k (fun i -> SM.Prefs.of_list_exn (ranked (compat_score i))) in
+  let right =
+    Array.init k (fun j ->
+        (* centers rank recipients by urgency (synthetic) then match quality *)
+        SM.Prefs.of_list_exn
+          (ranked (fun i -> (((i * 23) + j) mod 7 * 100) + compat_score i j)))
+  in
+  SM.Profile.make_exn ~left ~right
+
+let run_case ~title ~byzantine setting =
+  Printf.printf "--- %s ---\n" title;
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:8 setting profile) in
+  Printf.printf "Protocol: %s\n" report.H.Scenario.plan.Core.Select.describe;
+  List.iter
+    (fun (p, d) ->
+      if Side.equal (Party_id.side p) Side.Left then
+        match (d : Core.Problem.decision) with
+        | Core.Problem.Matched q ->
+          Printf.printf "  recipient%-2d (type %-2s) -> center%d (mismatch %d)\n"
+            (Party_id.index p)
+            (blood_type (Party_id.index p))
+            (Party_id.index q)
+            (hla_mismatch (Party_id.index p) (Party_id.index q))
+        | Core.Problem.Nobody ->
+          Printf.printf "  recipient%-2d -> abstains (no trusted quorum)\n"
+            (Party_id.index p)
+        | Core.Problem.No_output ->
+          Printf.printf "  recipient%-2d -> NO OUTPUT\n" (Party_id.index p))
+    report.H.Scenario.outcome.Core.Problem.decisions;
+  (match report.H.Scenario.violations with
+  | [] -> print_endline "  (all bSM properties verified)\n"
+  | vs ->
+    Printf.printf "  VIOLATIONS: %d\n" (List.length vs);
+    exit 1);
+  report
+
+let () =
+  Printf.printf
+    "Kidney exchange: %d recipients (mutually isolated), %d transplant centers\n\n" k k;
+
+  (* Case 1: one rogue center, everything else healthy. *)
+  let s1 =
+    Core.Setting.make_exn ~k ~topology:Topology.One_sided
+      ~auth:Core.Setting.Authenticated ~t_left:0 ~t_right:1
+  in
+  let _ =
+    run_case ~title:"one rogue center"
+      ~byzantine:[ Party_id.right 4, H.Adversaries.noise ~seed:5 ]
+      s1
+  in
+
+  (* Case 2: the catastrophic regime — every center byzantine. With
+     t_L < k/3 recipients still never collide on a donor (Lemma 11);
+     here the rogue centers go silent, so recipients safely abstain. *)
+  let s2 =
+    Core.Setting.make_exn ~k ~topology:Topology.One_sided
+      ~auth:Core.Setting.Authenticated ~t_left:2 ~t_right:k
+  in
+  let all_centers_silent =
+    List.map (fun c -> c, H.Adversaries.silent) (Party_id.side_members Side.Right ~k)
+  in
+  let report = run_case ~title:"every center byzantine (silent)" ~byzantine:all_centers_silent s2 in
+  let abstained =
+    List.for_all
+      (fun (_, d) ->
+        match (d : Core.Problem.decision) with
+        | Core.Problem.Nobody -> true
+        | Core.Problem.Matched _ | Core.Problem.No_output -> false)
+      report.H.Scenario.outcome.Core.Problem.decisions
+  in
+  if abstained then
+    print_endline
+      "With every center down, recipients abstain rather than risk competing \
+       for the same donor — exactly the guarantee of Theorem 7."

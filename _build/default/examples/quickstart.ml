@@ -1,0 +1,67 @@
+(* Quickstart: solve byzantine stable matching end to end.
+
+   Five agents per side in a fully-connected authenticated network; one
+   agent on each side is byzantine. We build random preferences, pick the
+   protocol for the setting, run it, and print the matching together with
+   the verified properties.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Core = Bsm_core
+module H = Bsm_harness
+module Topology = Bsm_topology.Topology
+
+let () =
+  let k = 5 in
+  let setting =
+    Core.Setting.make_exn ~k ~topology:Topology.Fully_connected
+      ~auth:Core.Setting.Authenticated ~t_left:1 ~t_right:1
+  in
+  Printf.printf "Setting: %s\n" (Format.asprintf "%a" Core.Setting.pp setting);
+  Printf.printf "Verdict: %s\n\n"
+    (Format.asprintf "%a" Core.Solvability.pp_verdict (Core.Solvability.decide setting));
+
+  (* Everyone's true preferences. *)
+  let rng = Rng.make 2026 in
+  let profile = SM.Profile.random rng k in
+
+  (* A byzantine coalition within budget: L4 floods garbage, R0 stays
+     silent. *)
+  let byzantine =
+    [
+      Party_id.left 4, H.Adversaries.noise ~seed:7;
+      Party_id.right 0, H.Adversaries.silent;
+    ]
+  in
+
+  let scenario = H.Scenario.make_exn ~byzantine ~seed:1 setting profile in
+  let report = H.Scenario.run scenario in
+
+  Printf.printf "Protocol: %s\n" report.H.Scenario.plan.Core.Select.describe;
+  Printf.printf "Rounds:   %d\n" report.H.Scenario.metrics.Bsm_runtime.Engine.rounds_used;
+  Printf.printf "Messages: %d (%d bytes)\n\n"
+    report.H.Scenario.metrics.Bsm_runtime.Engine.messages_sent
+    report.H.Scenario.metrics.Bsm_runtime.Engine.bytes_sent;
+
+  print_endline "Honest decisions:";
+  List.iter
+    (fun (p, d) ->
+      match (d : Core.Problem.decision) with
+      | Core.Problem.Matched q ->
+        Printf.printf "  %s -> %s\n" (Party_id.to_string p) (Party_id.to_string q)
+      | Core.Problem.Nobody -> Printf.printf "  %s -> (nobody)\n" (Party_id.to_string p)
+      | Core.Problem.No_output -> Printf.printf "  %s -> (no output!)\n" (Party_id.to_string p))
+    report.H.Scenario.outcome.Core.Problem.decisions;
+
+  print_newline ();
+  match report.H.Scenario.violations with
+  | [] ->
+    print_endline
+      "All four bSM properties hold: termination, symmetry, stability, \
+       non-competition."
+  | vs ->
+    Printf.printf "UNEXPECTED: %d violations\n" (List.length vs);
+    List.iter (fun v -> print_endline (Format.asprintf "  %a" Core.Problem.pp_violation v)) vs;
+    exit 1

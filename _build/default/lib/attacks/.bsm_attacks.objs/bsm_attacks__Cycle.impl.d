@@ -1,0 +1,1 @@
+lib/attacks/cycle.ml: Bsm_prelude Bsm_runtime Bsm_topology Hashtbl List Option Party_id Protocol_under_test Report Side Simulate

@@ -1,0 +1,1 @@
+lib/attacks/cycle.mli: Protocol_under_test Report

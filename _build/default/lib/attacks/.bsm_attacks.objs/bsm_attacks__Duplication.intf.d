@@ -1,0 +1,1 @@
+lib/attacks/duplication.mli: Protocol_under_test Report

@@ -1,0 +1,1 @@
+lib/attacks/evaluate.ml: Bsm_core Bsm_prelude Bsm_runtime List Party_id Party_set Protocol_under_test Rng Side

@@ -1,0 +1,1 @@
+lib/attacks/evaluate.mli: Bsm_core Bsm_prelude Bsm_runtime Bsm_topology Party_id Protocol_under_test Rng

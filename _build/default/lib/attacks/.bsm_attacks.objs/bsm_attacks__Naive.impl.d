@@ -1,0 +1,1 @@
+lib/attacks/naive.ml: Bsm_core Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Bsm_wire List Party_id Side Util

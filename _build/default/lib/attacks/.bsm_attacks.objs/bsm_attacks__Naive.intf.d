@@ -1,0 +1,1 @@
+lib/attacks/naive.mli: Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Party_id

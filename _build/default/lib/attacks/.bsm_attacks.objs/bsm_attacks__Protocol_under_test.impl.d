@@ -1,0 +1,1 @@
+lib/attacks/protocol_under_test.ml: Bsm_core Bsm_crypto Bsm_prelude Bsm_runtime Bsm_topology Bsm_wire Format Naive Party_id

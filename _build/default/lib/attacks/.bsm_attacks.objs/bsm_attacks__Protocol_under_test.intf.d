@@ -1,0 +1,1 @@
+lib/attacks/protocol_under_test.mli: Bsm_core Bsm_prelude Bsm_runtime Bsm_topology Party_id

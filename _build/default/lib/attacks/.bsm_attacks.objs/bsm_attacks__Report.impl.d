@@ -1,0 +1,1 @@
+lib/attacks/report.ml: Bsm_prelude Format List Party_id

@@ -1,0 +1,1 @@
+lib/attacks/report.mli: Bsm_prelude Format Party_id

@@ -1,0 +1,1 @@
+lib/attacks/scaling.ml: Bsm_core Bsm_prelude Bsm_runtime Bsm_topology Bsm_wire Fun Hashtbl List Party_id Printf Protocol_under_test Side Simulate Util

@@ -1,0 +1,1 @@
+lib/attacks/scaling.mli: Protocol_under_test

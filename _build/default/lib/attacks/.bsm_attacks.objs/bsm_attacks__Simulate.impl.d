@@ -1,0 +1,1 @@
+lib/attacks/simulate.ml: Bsm_prelude Bsm_runtime Effect Hashtbl List Party_id String

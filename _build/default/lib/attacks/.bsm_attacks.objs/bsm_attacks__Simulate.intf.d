@@ -1,0 +1,1 @@
+lib/attacks/simulate.mli: Bsm_prelude Bsm_runtime Party_id

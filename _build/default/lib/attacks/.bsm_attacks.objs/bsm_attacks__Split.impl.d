@@ -1,0 +1,1 @@
+lib/attacks/split.ml: Bsm_prelude Bsm_runtime Bsm_topology Bsm_wire Party_id Protocol_under_test Report Side Simulate

@@ -1,0 +1,1 @@
+lib/attacks/split.mli: Protocol_under_test Report

@@ -1,0 +1,16 @@
+(** The cycle attack of Lemma 7 / Figure 3.
+
+    Setting: bipartite (hence also one-sided), unauthenticated, n = 4
+    (k = 2), t_L = 0, t_R = 1 — the frontier where [t_R < k/2] fails. The
+    bipartite network on a, b (left) and c, d (right) is the 4-cycle
+    a–c–b–d–a; duplicating it yields the 8-cycle
+    a₁–c₁–b₁–d₁–a₂–c₂–b₂–d₂–a₁, every node of which sees a locally-correct
+    4-party bipartite network. Inputs make a₁/c₁ and b₂/c₂ mutual
+    favorites.
+
+    Projections: with d byzantine, a₁ and c₁ must match (simplified
+    stability); symmetrically b₂ and c₂ must match; with c byzantine, the
+    two honest parties a and b then both decide c — non-competition
+    violated. *)
+
+val run : Protocol_under_test.t -> Report.t

@@ -1,0 +1,19 @@
+(** The duplication attack of Lemma 5 / Figure 2.
+
+    Setting: fully-connected, unauthenticated, n = 6 (k = 3),
+    t_L = t_R = 1 — the frontier where both [t_L < k/3] and [t_R < k/3]
+    fail. The six parties a, b, c (left) and u, v, w (right) are
+    duplicated into a 12-node covering system in which every node sees a
+    locally-correct fully-connected 6-party network; the pairs
+    {a, u} × {c, w} are wired across the two copies, all other pairs stay
+    within their copy. Inputs make c₁/v₁ and a₂/v₂ mutual favorites.
+
+    Three projections of this single execution are each indistinguishable
+    from an admissible run of the protocol (Figs. 2 ii–iv); correctness in
+    the first two forces a₂ and c₁ to decide v, which the third projection
+    turns into a non-competition violation between two honest parties.
+
+    [run] executes the covering system with honest protocol code at every
+    node and reports whether the predicted violation materialized. *)
+
+val run : Protocol_under_test.t -> Report.t

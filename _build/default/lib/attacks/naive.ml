@@ -1,0 +1,109 @@
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Engine = Bsm_runtime.Engine
+module Topology = Bsm_topology.Topology
+module Wire = Bsm_wire.Wire
+module Core = Bsm_core
+
+(* Announce(favorite) and Gossip(owner, favorite). *)
+type msg =
+  | Announce of Party_id.t
+  | Gossip of Party_id.t * Party_id.t
+
+let codec =
+  let open Wire in
+  variant ~name:"naive_msg"
+    [
+      pack
+        (case 0 party_id
+           ~inject:(fun f -> Announce f)
+           ~match_:(function
+             | Announce f -> Some f
+             | Gossip _ -> None));
+      pack
+        (case 1 (pair party_id party_id)
+           ~inject:(fun (o, f) -> Gossip (o, f))
+           ~match_:(function
+             | Gossip (o, f) -> Some (o, f)
+             | Announce _ -> None));
+    ]
+
+let rounds = 2
+
+let equivocating_announcer ~topology ~k (env : Engine.env) =
+  let self = env.Engine.self in
+  let neighbors = Topology.neighbors topology ~k self in
+  let opposite_of p = Side.opposite (Party_id.side p) in
+  (* Announce to neighbor number i the favorite with index i mod k — all
+     different, all plausible. *)
+  List.iteri
+    (fun i p ->
+      let fake = Party_id.make (opposite_of self) (i mod k) in
+      env.Engine.send p (Wire.encode codec (Announce fake)))
+    neighbors;
+  ignore (env.Engine.next_round ());
+  (* Gossip contradictory claims about everyone. *)
+  List.iteri
+    (fun i p ->
+      List.iter
+        (fun owner ->
+          if not (Party_id.equal owner p) then begin
+            let fake = Party_id.make (opposite_of owner) ((i + Party_id.index owner) mod k) in
+            env.Engine.send p (Wire.encode codec (Gossip (owner, fake)))
+          end)
+        (Party_id.all ~k))
+    neighbors;
+  ignore (env.Engine.next_round ())
+
+let program ~topology ~k ~favorite ~self (env : Engine.env) =
+  let neighbors = Topology.neighbors topology ~k self in
+  let send_all msg =
+    List.iter (fun p -> env.Engine.send p (Wire.encode codec msg)) neighbors
+  in
+  send_all (Announce favorite);
+  let inbox1 = env.Engine.next_round () in
+  let direct =
+    List.filter_map
+      (fun (e : Engine.envelope) ->
+        match Wire.decode codec e.data with
+        | Ok (Announce f) -> Some (e.src, f)
+        | Ok (Gossip _) | Error _ -> None)
+      inbox1
+  in
+  List.iter (fun (owner, f) -> send_all (Gossip (owner, f))) direct;
+  let inbox2 = env.Engine.next_round () in
+  let gossip =
+    List.filter_map
+      (fun (e : Engine.envelope) ->
+        match Wire.decode codec e.data with
+        | Ok (Gossip (owner, f)) -> Some (owner, f)
+        | Ok (Announce _) | Error _ -> None)
+      inbox2
+  in
+  (* Favorite table: own input, then direct announcements, then the most
+     common gossip, then a deterministic default. *)
+  let favorite_of p =
+    if Party_id.equal p self then favorite
+    else
+      match List.find_opt (fun (src, _) -> Party_id.equal src p) direct with
+      | Some (_, f)
+        when (not (Side.equal (Party_id.side f) (Party_id.side p)))
+             && Party_id.index f < k ->
+        f
+      | Some _ | None -> (
+        let votes =
+          List.filter_map
+            (fun (owner, f) -> if Party_id.equal owner p then Some f else None)
+            gossip
+        in
+        match Util.most_common ~equal:Party_id.equal votes with
+        | Some (f, _)
+          when (not (Side.equal (Party_id.side f) (Party_id.side p)))
+               && Party_id.index f < k ->
+          f
+        | Some _ | None -> Party_id.make (Side.opposite (Party_id.side p)) 0)
+  in
+  let profile = Core.Ssm.favorites_to_profile ~k favorite_of in
+  let matching = SM.Gale_shapley.run profile in
+  env.Engine.output
+    (Wire.encode Core.Problem.decision_codec (Some (SM.Matching.partner matching self)))

@@ -1,0 +1,32 @@
+(** A natural but byzantine-oblivious sSM protocol — the baseline the
+    attack constructions defeat.
+
+    Flood-and-compute: every party announces its favorite to its
+    neighbors, gossips what it heard for one more round, assembles a full
+    favorite table (majority vote on gossip, deterministic default for
+    silence), and locally runs Gale–Shapley on the favorite-first profile.
+    With no byzantine parties this solves sSM in any of the three
+    topologies; Lemmas 5, 7 and 13 show — and {!Duplication}, {!Cycle},
+    {!Split} demonstrate executably — that nothing of this shape (nor any
+    other protocol) can survive byzantine parties beyond the thresholds. *)
+
+open Bsm_prelude
+module SM := Bsm_stable_matching
+
+(** Total rounds the protocol runs (announce + gossip + decide). *)
+val rounds : int
+
+val program :
+  topology:Bsm_topology.Topology.t ->
+  k:int ->
+  favorite:Party_id.t ->
+  self:Party_id.t ->
+  Bsm_runtime.Engine.program
+
+(** A byzantine strategy speaking this protocol's wire language: announces
+    a {e different} favorite to every neighbor (and gossips equally
+    contradictory claims). Splits the honest parties' views — fatal for
+    the naive protocol, routine equivocation for the byzantine-tolerant
+    ones. *)
+val equivocating_announcer :
+  topology:Bsm_topology.Topology.t -> k:int -> Bsm_runtime.Engine.program

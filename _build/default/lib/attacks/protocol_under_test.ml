@@ -1,0 +1,40 @@
+open Bsm_prelude
+module Core = Bsm_core
+module Crypto = Bsm_crypto.Crypto
+module Wire = Bsm_wire.Wire
+
+type t = {
+  name : string;
+  rounds : int;
+  program :
+    topology:Bsm_topology.Topology.t ->
+    k:int ->
+    favorite:Party_id.t ->
+    self:Party_id.t ->
+    Bsm_runtime.Engine.program;
+}
+
+let naive =
+  {
+    name = "naive flood-and-compute";
+    rounds = Naive.rounds;
+    program = (fun ~topology ~k ~favorite ~self -> Naive.program ~topology ~k ~favorite ~self);
+  }
+
+let thresholded ~setting =
+  {
+    name =
+      Format.asprintf "BB pipeline forced at %a (outside its guarantees)"
+        Core.Setting.pp setting;
+    rounds = Core.Bb_based.engine_rounds setting;
+    program =
+      (fun ~topology:_ ~k ~favorite ~self ->
+        let pki = Crypto.Pki.setup ~k ~seed:0 in
+        let input = Core.Ssm.prefs_of_favorite ~k favorite in
+        Core.Bb_based.program setting ~pki ~input ~self);
+  }
+
+let decode_decision payload =
+  match Wire.decode Core.Problem.decision_codec payload with
+  | Ok d -> d
+  | Error _ -> None

@@ -1,0 +1,29 @@
+(** The protocol interface the attack constructions exercise: an sSM
+    protocol for a small system, given each party's favorite. *)
+
+open Bsm_prelude
+
+type t = {
+  name : string;
+  rounds : int;  (** engine rounds an honest execution takes *)
+  program :
+    topology:Bsm_topology.Topology.t ->
+    k:int ->
+    favorite:Party_id.t ->
+    self:Party_id.t ->
+    Bsm_runtime.Engine.program;
+}
+
+(** The byzantine-oblivious baseline ({!Naive}). *)
+val naive : t
+
+(** Our actual protocol stack, run {e outside} its soundness conditions
+    (the setting's thresholds are taken at the attack's parameters, where
+    the paper proves no protocol can be correct). Useful to observe how a
+    real BFT protocol degrades; the impossibility argument guarantees that
+    {e some} admissible execution breaks it, not necessarily the covering
+    one. *)
+val thresholded : setting:Bsm_core.Setting.t -> t
+
+(** [decode_decision payload] — interpret a protocol output. *)
+val decode_decision : string -> Party_id.t option

@@ -1,0 +1,21 @@
+open Bsm_prelude
+
+type t = {
+  attack : string;
+  protocol : string;
+  outputs : (string * Party_id.t option) list;
+  violation : string option;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s against %s:@," t.attack t.protocol;
+  List.iter
+    (fun (node, out) ->
+      match out with
+      | Some p -> Format.fprintf ppf "  %s -> %a@," node Party_id.pp p
+      | None -> Format.fprintf ppf "  %s -> nobody@," node)
+    t.outputs;
+  (match t.violation with
+  | Some why -> Format.fprintf ppf "  VIOLATION: %s" why
+  | None -> Format.fprintf ppf "  no violation observed");
+  Format.fprintf ppf "@]"

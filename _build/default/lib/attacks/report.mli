@@ -1,0 +1,16 @@
+(** Result of running one impossibility construction. *)
+
+open Bsm_prelude
+
+type t = {
+  attack : string;  (** which construction (Fig. 2 / 3 / 4) *)
+  protocol : string;  (** protocol under test *)
+  outputs : (string * Party_id.t option) list;
+      (** observed decision per node of interest, labeled in the small
+          system's vocabulary ([None] = matched nobody / no output) *)
+  violation : string option;
+      (** [Some explanation] when the construction produced the
+          non-competition violation the lemma predicts *)
+}
+
+val pp : Format.formatter -> t -> unit

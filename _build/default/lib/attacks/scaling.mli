@@ -1,0 +1,23 @@
+(** The scaling reduction of Lemma 3, executably.
+
+    Given a protocol Π solving sSM on [2·big_k] parties tolerating
+    [(t_L, t_R)], [shrink] builds a protocol Π' on [2·small_k] parties
+    tolerating [(⌊t_L/⌈big_k/small_k⌉⌋, ⌊t_R/⌈big_k/small_k⌉⌋)]: each
+    small party simulates one group of big parties (indices congruent to
+    its own modulo [small_k], sides preserved), the group's representative
+    (the big party with the small party's index) carries the favorite, and
+    the small party outputs its representative's match when that match is
+    itself a representative.
+
+    The paper uses this lemma to lift small-system impossibilities to
+    arbitrary [k]; here it doubles as a stress test — the shrunken version
+    of a correct protocol must itself satisfy sSM, which the test suite
+    verifies against our real protocol stack. *)
+
+(** [shrink ~big_k ~small_k protocol] — requires [0 < small_k <= big_k].
+    The result's [rounds] equals the big protocol's. *)
+val shrink : big_k:int -> small_k:int -> Protocol_under_test.t -> Protocol_under_test.t
+
+(** [tolerated ~big_k ~small_k t] is [⌊t / ⌈big_k/small_k⌉⌋] — the
+    corruption budget Lemma 3 grants the shrunken protocol. *)
+val tolerated : big_k:int -> small_k:int -> int -> int

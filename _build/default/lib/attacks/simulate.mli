@@ -1,0 +1,61 @@
+(** Running simulated honest parties inside one physical fiber.
+
+    Every impossibility proof in the paper (Lemmas 5, 7, 13; the technique
+    of Fischer–Lynch–Merritt) has byzantine parties, or covering-system
+    nodes, internally execute instances of the {e honest} protocol code
+    with rewired identities. This module makes that literal: it runs one
+    or more honest programs as nested effect-handled coroutines inside a
+    single engine fiber, with caller-supplied routing between the
+    simulated world and the physical network.
+
+    The simulated instances advance one round per physical round, in
+    lockstep with the outer network. *)
+
+open Bsm_prelude
+module Engine := Bsm_runtime.Engine
+
+type instance = {
+  tag : string;  (** routing key, unique within one [run] *)
+  simulated_id : Party_id.t;  (** identity in the simulated (small) system *)
+  simulated_k : int;  (** [k] of the simulated system *)
+  program : Engine.program;  (** honest code *)
+}
+
+type outbound = {
+  out_tag : string;
+  out_dst : Party_id.t;  (** simulated destination *)
+  out_body : string;
+}
+
+type inbound = {
+  in_tag : string;
+  in_src : Party_id.t;  (** simulated source presented to the instance *)
+  in_body : string;
+}
+
+(** Where a simulated send goes: dropped, onto the physical network, or
+    delivered locally to a sibling instance in the same fiber (with the
+    same next-round latency as a real channel — Lemma 3's group simulation
+    needs intra-group channels). *)
+type routed =
+  | Drop
+  | Physical of Party_id.t * string
+  | Local of inbound
+
+(** [run env ~instances ~rounds ~route_out ~route_in ~on_output] drives all
+    instances for [rounds] physical rounds.
+
+    [route_out o] translates a simulated send into a physical one ([None]
+    drops it — e.g. messages across the cut of a split-brain attack).
+    [route_in e] translates a physical envelope into a simulated delivery.
+    [on_output tag payload] observes an instance's protocol output. An
+    instance that raises is considered stopped (its exception is
+    swallowed: simulated parties crashing is adversary-internal). *)
+val run :
+  Engine.env ->
+  instances:instance list ->
+  rounds:int ->
+  route_out:(outbound -> routed) ->
+  route_in:(Engine.envelope -> inbound option) ->
+  on_output:(string -> string -> unit) ->
+  unit

@@ -1,0 +1,93 @@
+open Bsm_prelude
+module Engine = Bsm_runtime.Engine
+module Topology = Bsm_topology.Topology
+module Wire = Bsm_wire.Wire
+
+let k = 3
+
+(* Roles: a = L0, b = L1, c = L2 (a, c honest); u,v,w = R0,R1,R2. *)
+let a = Party_id.left 0
+let b = Party_id.left 1
+let c = Party_id.left 2
+let v = Party_id.right 1
+
+let byzantine p = Party_id.equal p b || Side.equal (Party_id.side p) Side.Right
+
+(* Byzantine-to-byzantine traffic carries its group so the receiving
+   simulator can route it to the right instance. *)
+let wrapped = Wire.pair Wire.uint Wire.string
+
+let favorite_for p group =
+  if Party_id.equal p v then if group = 1 then a else c
+  else if Side.equal (Party_id.side p) Side.Right then b
+  else (* b's instances *) v
+
+let byz_program (protocol : Protocol_under_test.t) self (env : Engine.env) =
+  let instance group =
+    {
+      Simulate.tag = string_of_int group;
+      simulated_id = self;
+      simulated_k = k;
+      program =
+        protocol.Protocol_under_test.program ~topology:Topology.One_sided ~k
+          ~favorite:(favorite_for self group) ~self;
+    }
+  in
+  Simulate.run env
+    ~instances:[ instance 1; instance 2 ]
+    ~rounds:protocol.Protocol_under_test.rounds
+    ~route_out:(fun o ->
+      let group = int_of_string o.Simulate.out_tag in
+      let dst = o.Simulate.out_dst in
+      if Party_id.equal dst a then
+        if group = 1 then Simulate.Physical (a, o.Simulate.out_body) else Simulate.Drop
+      else if Party_id.equal dst c then
+        if group = 2 then Simulate.Physical (c, o.Simulate.out_body) else Simulate.Drop
+      else if Party_id.equal dst env.Engine.self then Simulate.Drop (* self-send *)
+      else if byzantine dst then
+        Simulate.Physical (dst, Wire.encode wrapped (group, o.Simulate.out_body))
+      else Simulate.Drop)
+    ~route_in:(fun e ->
+      if Party_id.equal e.Engine.src a then
+        Some { Simulate.in_tag = "1"; in_src = a; in_body = e.Engine.data }
+      else if Party_id.equal e.Engine.src c then
+        Some { Simulate.in_tag = "2"; in_src = c; in_body = e.Engine.data }
+      else
+        match Wire.decode wrapped e.Engine.data with
+        | Ok (group, body) when group = 1 || group = 2 ->
+          Some
+            { Simulate.in_tag = string_of_int group; in_src = e.Engine.src; in_body = body }
+        | Ok _ | Error _ -> None)
+    ~on_output:(fun _ _ -> ())
+
+let run (protocol : Protocol_under_test.t) =
+  let programs p (env : Engine.env) =
+    if byzantine p then byz_program protocol p env
+    else
+      protocol.Protocol_under_test.program ~topology:Topology.One_sided ~k ~favorite:v
+        ~self:p env
+  in
+  let cfg =
+    Engine.config ~k ~link:(Engine.Of_topology Topology.One_sided) ~max_rounds:200 ()
+  in
+  let res = Engine.run cfg ~programs:(fun p env -> programs p env) in
+  let out_of p =
+    match (Engine.find_result res p).Engine.out with
+    | Some payload -> Protocol_under_test.decode_decision payload
+    | None -> None
+  in
+  let a_out = out_of a and c_out = out_of c in
+  let violation =
+    match a_out, c_out with
+    | Some x, Some y when Party_id.equal x v && Party_id.equal y v ->
+      Some
+        "honest a and c both decide to match byzantine v \
+         (non-competition violated; Lemma 13)"
+    | _ -> None
+  in
+  {
+    Report.attack = "split-brain attack (Lemma 13, Fig. 4)";
+    protocol = protocol.Protocol_under_test.name;
+    outputs = [ "a", a_out; "c", c_out ];
+    violation;
+  }

@@ -1,0 +1,19 @@
+(** The split-brain attack of Lemma 13 / Figure 4.
+
+    Setting: one-sided, authenticated or not, k = 3, t_L = 1, t_R = 3 —
+    the frontier of Theorem 7 where [t_R = k] and [t_L ≥ k/3]. Parties
+    a, c (left) are honest with favorite v; b and the whole right side
+    u, v, w are byzantine. Because every channel touching the left side
+    goes through a byzantine endpoint, the coalition can split the world
+    in two: each byzantine party simulates two instances of itself, group
+    1 conversing only with a (v₁'s favorite is a), group 2 only with c
+    (v₂'s favorite is c). To a, the run is indistinguishable from an
+    all-honest run where c crashed — simplified stability forces a to
+    match v; symmetrically c matches v. Non-competition is violated
+    between the two honest parties.
+
+    Unlike Figs. 2–3 this is not a covering system: it runs on the {e
+    real} 6-party one-sided network, with the byzantine fibers using
+    {!Simulate} to host their two instances. *)
+
+val run : Protocol_under_test.t -> Report.t

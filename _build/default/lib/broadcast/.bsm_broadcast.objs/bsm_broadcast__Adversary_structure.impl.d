@@ -1,0 +1,1 @@
+lib/broadcast/adversary_structure.ml: Bsm_prelude Format Int List Party_id Party_set Side Util

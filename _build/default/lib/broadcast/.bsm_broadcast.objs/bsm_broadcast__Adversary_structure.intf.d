@@ -1,0 +1,1 @@
+lib/broadcast/adversary_structure.mli: Bsm_prelude Format Party_id Party_set

@@ -1,0 +1,1 @@
+lib/broadcast/dolev_strong.ml: Bsm_crypto Bsm_prelude Bsm_wire List Machine Party_id

@@ -1,0 +1,1 @@
+lib/broadcast/dolev_strong.mli: Bsm_crypto Bsm_prelude Bsm_wire Machine Party_id

@@ -1,0 +1,1 @@
+lib/broadcast/gradecast.ml: Adversary_structure Bsm_prelude Bsm_wire Int List Machine Option Party_id Party_set String Util

@@ -1,0 +1,1 @@
+lib/broadcast/gradecast.mli: Adversary_structure Bsm_prelude Machine Party_id

@@ -1,0 +1,1 @@
+lib/broadcast/machine.ml: Bsm_prelude Bsm_runtime Hashtbl List Party_id

@@ -1,0 +1,1 @@
+lib/broadcast/phase_king.ml: Adversary_structure Bsm_prelude Bsm_wire Int List Machine Option Party_id Party_set String Util

@@ -1,0 +1,1 @@
+lib/broadcast/phase_king.mli: Adversary_structure Bsm_prelude Bsm_wire Machine Party_id

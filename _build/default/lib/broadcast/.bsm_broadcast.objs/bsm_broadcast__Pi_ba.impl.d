@@ -1,0 +1,1 @@
+lib/broadcast/pi_ba.ml: Adversary_structure Bsm_prelude Bsm_wire List Machine Party_id Party_set Phase_king String Util

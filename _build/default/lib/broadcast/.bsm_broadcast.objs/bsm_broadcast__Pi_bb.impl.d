@@ -1,0 +1,1 @@
+lib/broadcast/pi_bb.ml: Bsm_prelude Bsm_wire List Machine Option Party_id Phase_king Pi_ba

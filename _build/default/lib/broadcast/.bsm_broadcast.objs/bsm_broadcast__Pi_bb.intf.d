@@ -1,0 +1,1 @@
+lib/broadcast/pi_bb.mli: Bsm_prelude Machine Party_id Phase_king

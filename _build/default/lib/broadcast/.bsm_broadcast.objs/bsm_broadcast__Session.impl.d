@@ -1,0 +1,1 @@
+lib/broadcast/session.ml: Bsm_runtime Bsm_wire Hashtbl List Machine String

@@ -1,0 +1,1 @@
+lib/broadcast/session.mli: Bsm_runtime Machine

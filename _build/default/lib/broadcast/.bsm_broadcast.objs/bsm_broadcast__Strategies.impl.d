@@ -1,0 +1,1 @@
+lib/broadcast/strategies.ml: Bsm_prelude Bsm_runtime Char List Party_id Rng String

@@ -1,0 +1,1 @@
+lib/broadcast/strategies.mli: Bsm_prelude Bsm_runtime Party_id

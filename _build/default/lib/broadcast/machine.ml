@@ -1,0 +1,34 @@
+open Bsm_prelude
+module Net = Bsm_runtime.Net
+
+type 'out t = {
+  initial : (Party_id.t * string) list;
+  rounds : int;
+  step : round:int -> inbox:(Party_id.t * string) list -> (Party_id.t * string) list;
+  finish : unit -> 'out;
+}
+
+let map f m = { m with finish = (fun () -> f (m.finish ())) }
+
+let run (net : Net.t) m =
+  List.iter (fun (dst, msg) -> net.send dst msg) m.initial;
+  for round = 1 to m.rounds do
+    let inbox = net.sync () in
+    let outbox = m.step ~round ~inbox in
+    List.iter (fun (dst, msg) -> net.send dst msg) outbox
+  done;
+  m.finish ()
+
+let silent ~rounds out =
+  { initial = []; rounds; step = (fun ~round:_ ~inbox:_ -> []); finish = (fun () -> out) }
+
+let first_per_sender inbox =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (src, _) ->
+      if Hashtbl.mem seen (Party_id.to_string src) then false
+      else begin
+        Hashtbl.add seen (Party_id.to_string src) ();
+        true
+      end)
+    inbox

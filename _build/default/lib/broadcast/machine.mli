@@ -1,0 +1,39 @@
+(** Round machines: synchronous protocols as explicit step functions.
+
+    A machine describes one party's role in one protocol instance. Its
+    lifecycle over virtual rounds (see {!Bsm_runtime.Net}):
+
+    - virtual round 0: the [initial] messages are sent;
+    - virtual rounds [1 .. rounds]: the previous round's inbox is passed to
+      [step], which returns the messages to send;
+    - after the final step, [finish] yields the output.
+
+    Machines are written once and composed freely: {!run} drives a single
+    machine over a net; {!Session.run_parallel} multiplexes many machines
+    over one net (the paper's "join an invocation of Π_BA for every party"
+    pattern). Machines are stateful one-shot values: create a fresh one per
+    execution. *)
+
+open Bsm_prelude
+
+type 'out t = {
+  initial : (Party_id.t * string) list;
+  rounds : int;
+  step : round:int -> inbox:(Party_id.t * string) list -> (Party_id.t * string) list;
+  finish : unit -> 'out;
+}
+
+(** [map f m] post-processes the output. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [run net m] drives [m] over [net] — [m.rounds + ...] no extra rounds:
+    exactly [m.rounds] calls to [Net.sync]. *)
+val run : Bsm_runtime.Net.t -> 'out t -> 'out
+
+(** [silent ~rounds out] participates without ever sending; used for
+    default/placeholder roles. *)
+val silent : rounds:int -> 'out -> 'out t
+
+(** Keep at most the first message of each sender (protocol steps must
+    count each sender once, or byzantine floods would inflate quorums). *)
+val first_per_sender : (Party_id.t * 'a) list -> (Party_id.t * 'a) list

@@ -1,0 +1,58 @@
+(** The phase-king byzantine agreement protocol (Π_King, Appendix A.6),
+    generalized from the threshold adversary of Berman–Garay–Perry to
+    arbitrary adversary structures in the style of Fitzi–Maurer (Lemma 4 /
+    Theorem 10).
+
+    The generalization replaces the counting conditions of the classic
+    protocol by structure predicates:
+
+    - "received [(value, v)] from at least [k − t] parties" becomes "the
+      participants that did {e not} send [v] form a possibly-corrupt set";
+    - "received [(propose, v)] from more than [t] parties" becomes "the
+      senders of [(propose, v)] are {e not} a possibly-corrupt set" (such a
+      set must contain an honest party);
+    - the [t+1] kings become any participant sequence that is not possibly
+      corrupt ({!Adversary_structure.king_sequence}).
+
+    Under the Q3 condition the classical proof goes through unchanged (see
+    DESIGN.md §4). With [Threshold t] and [3t < n] this {e is} the paper's
+    Π_King, round-for-round, with [Δ_King = 3 · #kings] virtual rounds.
+
+    Values are opaque byte strings compared for equality. *)
+
+open Bsm_prelude
+
+(** Wire messages shared by the phase-king family ({!Pi_ba}'s echo round
+    and {!Pi_bb}'s sender round reuse the same variant so that composed
+    protocols never collide on the wire). *)
+module Msg : sig
+  type t =
+    | Value of string
+    | Propose of string
+    | King of string
+    | Echo of string
+    | Sender of string
+
+  val codec : t Bsm_wire.Wire.t
+end
+
+type params = {
+  structure : Adversary_structure.t;
+  participants : Party_id.t list;  (** the parties running this instance *)
+  kings : Party_id.t list;  (** king schedule; see {!rounds} *)
+}
+
+(** [params ~structure ~participants] with the default king sequence. *)
+val params :
+  structure:Adversary_structure.t -> participants:Party_id.t list -> params
+
+(** Virtual rounds consumed: [3 · #kings]. *)
+val rounds : params -> int
+
+(** [make p ~self ~input] is one party's machine; output is the agreed
+    value. [peek] (second component) reads the party's current value — used
+    by {!Pi_ba} to bolt on the echo round. *)
+val make_with_peek :
+  params -> self:Party_id.t -> input:string -> string Machine.t * (unit -> string)
+
+val make : params -> self:Party_id.t -> input:string -> string Machine.t

@@ -1,0 +1,51 @@
+open Bsm_prelude
+module Wire = Bsm_wire.Wire
+
+let rounds p = 1 + Pi_ba.rounds p
+
+let make (p : Phase_king.params) ~self ~sender ~input ~default =
+  let ba = ref None in
+  let initial =
+    if Party_id.equal self sender then begin
+      let payload = Wire.encode Phase_king.Msg.codec (Phase_king.Msg.Sender input) in
+      List.filter_map
+        (fun dst -> if Party_id.equal dst self then None else Some (dst, payload))
+        p.participants
+    end
+    else []
+  in
+  let step ~round ~inbox =
+    if round = 1 then begin
+      let received =
+        List.find_map
+          (fun (src, payload) ->
+            if not (Party_id.equal src sender) then None
+            else
+              match Wire.decode Phase_king.Msg.codec payload with
+              | Ok (Phase_king.Msg.Sender v) -> Some v
+              | Ok
+                  ( Phase_king.Msg.Value _ | Phase_king.Msg.Propose _
+                  | Phase_king.Msg.King _ | Phase_king.Msg.Echo _ )
+              | Error _ -> None)
+          inbox
+      in
+      let ba_input =
+        if Party_id.equal self sender then input
+        else Option.value received ~default
+      in
+      let machine = Pi_ba.make p ~self ~input:ba_input in
+      ba := Some machine;
+      machine.Machine.initial
+    end
+    else begin
+      match !ba with
+      | Some machine -> machine.Machine.step ~round:(round - 1) ~inbox
+      | None -> []
+    end
+  in
+  let finish () =
+    match !ba with
+    | Some machine -> machine.Machine.finish ()
+    | None -> None
+  in
+  { Machine.initial; rounds = rounds p; step; finish }

@@ -1,0 +1,46 @@
+module Wire = Bsm_wire.Wire
+module Net = Bsm_runtime.Net
+
+let tagged = Wire.pair Wire.string Wire.string
+
+let wrap tag payload = Wire.encode tagged (tag, payload)
+
+let unwrap payload =
+  match Wire.decode tagged payload with
+  | Ok pair -> Some pair
+  | Error _ -> None
+
+let rounds_needed machines =
+  List.fold_left (fun acc (_, m) -> max acc m.Machine.rounds) 0 machines
+
+let run_parallel (net : Net.t) machines =
+  let tags = List.map fst machines in
+  if List.length (List.sort_uniq String.compare tags) <> List.length tags then
+    invalid_arg "Session.run_parallel: duplicate tags";
+  let total_rounds = rounds_needed machines in
+  let send_tagged tag (dst, payload) = net.send dst (wrap tag payload) in
+  List.iter
+    (fun (tag, m) -> List.iter (send_tagged tag) m.Machine.initial)
+    machines;
+  for round = 1 to total_rounds do
+    let inbox = net.sync () in
+    (* Route each message to its machine's inbox, preserving order. *)
+    let routed = Hashtbl.create 16 in
+    List.iter
+      (fun (src, payload) ->
+        match unwrap payload with
+        | Some (tag, inner) ->
+          let existing = try Hashtbl.find routed tag with Not_found -> [] in
+          Hashtbl.replace routed tag ((src, inner) :: existing)
+        | None -> ())
+      inbox;
+    List.iter
+      (fun (tag, m) ->
+        if round <= m.Machine.rounds then begin
+          let mine = List.rev (try Hashtbl.find routed tag with Not_found -> []) in
+          let outbox = m.Machine.step ~round ~inbox:mine in
+          List.iter (send_tagged tag) outbox
+        end)
+      machines
+  done;
+  List.map (fun (tag, m) -> tag, m.Machine.finish ()) machines

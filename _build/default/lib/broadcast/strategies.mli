@@ -1,0 +1,33 @@
+(** Reusable byzantine strategies.
+
+    Byzantine parties in this repository are ordinary fibers running
+    arbitrary programs; these are the generic ones shared by tests,
+    benchmarks and the harness. Protocol-specific attacks (equivocating
+    Dolev–Strong senders, the covering-system adversaries of Figures 2–4)
+    live next to the protocols they target. *)
+
+open Bsm_prelude
+module Engine := Bsm_runtime.Engine
+
+(** Sends nothing, ever — the paper's "byzantine parties may choose not to
+    participate". *)
+val silent : Engine.program
+
+(** Behaves exactly like [honest] until the start of round [round], then
+    stops sending and producing output (a crash fault). *)
+val crash_at : round:int -> honest:Engine.program -> Engine.program
+
+(** Sends random byte strings to random targets every round, [burst]
+    messages per round, for [rounds] rounds. Exercises every decoder's
+    malformed-input paths. *)
+val noise :
+  seed:int -> rounds:int -> burst:int -> targets:Party_id.t list -> Engine.program
+
+(** Runs [honest] but with every outgoing payload replaced by a fresh
+    random byte string of the same length (shape-preserving garbling). *)
+val garble : seed:int -> honest:Engine.program -> Engine.program
+
+(** [equivocate_value ~codec ~per_dest] sends, in round 0 only, a
+    personalized value to each destination (classic equivocation). *)
+val equivocate :
+  per_dest:(Party_id.t * string) list -> Engine.program

@@ -1,0 +1,1 @@
+lib/core/bb_based.ml: Array Bsm_broadcast Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_wire Channels List Option Party_id Problem Setting

@@ -1,0 +1,1 @@
+lib/core/channels.ml: Bsm_crypto Bsm_prelude Bsm_runtime Bsm_topology Bsm_wire Hashtbl List Party_id Side String Util

@@ -1,0 +1,1 @@
+lib/core/channels.mli: Bsm_crypto Bsm_runtime Bsm_topology

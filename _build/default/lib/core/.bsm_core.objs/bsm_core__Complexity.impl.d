@@ -1,0 +1,1 @@
+lib/core/complexity.ml: Bsm_broadcast Bsm_prelude Bsm_topology List Party_id Select Setting Side Util

@@ -1,0 +1,1 @@
+lib/core/distributed_gs.ml: Array Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Bsm_wire List Option Party_id Problem Side

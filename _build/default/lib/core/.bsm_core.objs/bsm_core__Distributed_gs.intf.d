@@ -1,0 +1,1 @@
+lib/core/distributed_gs.mli: Bsm_prelude Bsm_runtime Bsm_stable_matching Party_id

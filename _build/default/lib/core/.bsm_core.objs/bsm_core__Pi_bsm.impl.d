@@ -1,0 +1,1 @@
+lib/core/pi_bsm.ml: Array Bsm_broadcast Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_wire Channels List Option Party_id Problem Setting Side Util

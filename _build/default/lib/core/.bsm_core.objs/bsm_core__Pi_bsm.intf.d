@@ -1,0 +1,1 @@
+lib/core/pi_bsm.mli: Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_wire Party_id Setting Side

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Bsm_prelude Bsm_stable_matching Bsm_wire Format List Party_id Party_set Side Util

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Bsm_prelude Bsm_stable_matching Bsm_wire Format Party_id Party_set

@@ -1,0 +1,1 @@
+lib/core/roommates_bsm.ml: Array Bsm_broadcast Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_wire Format Fun Int List Party_id Party_set Problem Rng Util

@@ -1,0 +1,1 @@
+lib/core/roommates_bsm.mli: Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Format Party_id Party_set Rng

@@ -1,0 +1,1 @@
+lib/core/select.ml: Bb_based Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Format Party_id Pi_bsm Printf Setting Side Solvability

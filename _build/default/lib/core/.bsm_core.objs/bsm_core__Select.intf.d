@@ -1,0 +1,1 @@
+lib/core/select.mli: Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Party_id Setting Side Solvability

@@ -1,0 +1,1 @@
+lib/core/setting.ml: Bsm_broadcast Bsm_topology Format

@@ -1,0 +1,1 @@
+lib/core/setting.mli: Bsm_broadcast Bsm_topology Format

@@ -1,0 +1,1 @@
+lib/core/solvability.ml: Bsm_topology Format List Setting Topology

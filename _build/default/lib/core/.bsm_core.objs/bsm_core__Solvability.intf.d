@@ -1,0 +1,1 @@
+lib/core/solvability.mli: Format Setting

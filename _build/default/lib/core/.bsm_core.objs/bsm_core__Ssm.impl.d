@@ -1,0 +1,1 @@
+lib/core/ssm.ml: Array Bsm_prelude Bsm_stable_matching Fun List Party_id Select Setting

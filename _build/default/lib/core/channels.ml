@@ -1,0 +1,173 @@
+open Bsm_prelude
+module Engine = Bsm_runtime.Engine
+module Net = Bsm_runtime.Net
+module Topology = Bsm_topology.Topology
+module Wire = Bsm_wire.Wire
+module Crypto = Bsm_crypto.Crypto
+
+type auth_mode =
+  | Majority
+  | Signed of {
+      signer : Crypto.Signer.t;
+      verifier : Crypto.Verifier.t;
+    }
+
+let stride = function
+  | Topology.Fully_connected -> 1
+  | Topology.One_sided | Topology.Bipartite -> 2
+
+(* --- wire format ------------------------------------------------------- *)
+
+type payload = {
+  src : Party_id.t;
+  dst : Party_id.t;
+  vround : int;
+  id : int;
+  body : string;
+  signature : Crypto.Signature.t option;
+}
+
+let payload_codec =
+  Wire.map
+    ~inject:(fun ((src, dst), (vround, id), (body, signature)) ->
+      { src; dst; vround; id; body; signature })
+    ~project:(fun p -> (p.src, p.dst), (p.vround, p.id), (p.body, p.signature))
+    (Wire.triple
+       (Wire.pair Wire.party_id Wire.party_id)
+       (Wire.pair Wire.uint Wire.uint)
+       (Wire.pair Wire.string (Wire.option Crypto.Signature.codec)))
+
+type relay =
+  | Direct of string
+  | Request of payload
+  | Forward of payload
+
+let relay_codec =
+  let open Wire in
+  variant ~name:"relay"
+    [
+      pack
+        (case 0 string
+           ~inject:(fun b -> Direct b)
+           ~match_:(function
+             | Direct b -> Some b
+             | Request _ | Forward _ -> None));
+      pack
+        (case 1 payload_codec
+           ~inject:(fun p -> Request p)
+           ~match_:(function
+             | Request p -> Some p
+             | Direct _ | Forward _ -> None));
+      pack
+        (case 2 payload_codec
+           ~inject:(fun p -> Forward p)
+           ~match_:(function
+             | Forward p -> Some p
+             | Direct _ | Request _ -> None));
+    ]
+
+(* The signature covers the payload with the signature field blanked. *)
+let signing_bytes p = Wire.encode payload_codec { p with signature = None }
+
+(* --- forwarding duty ---------------------------------------------------- *)
+
+let forward_payload (env : Engine.env) ~topology ~from p =
+  if
+    Party_id.equal from p.src
+    && Topology.connected topology env.self p.dst
+    && not (Party_id.equal p.dst env.self)
+  then env.send p.dst (Wire.encode relay_codec (Forward p))
+
+let forward_duty (env : Engine.env) ~topology (e : Engine.envelope) =
+  match Wire.decode relay_codec e.data with
+  | Ok (Request p) -> forward_payload env ~topology ~from:e.src p
+  | Ok (Direct _ | Forward _) | Error _ -> ()
+
+(* --- the virtual net ----------------------------------------------------- *)
+
+let virtual_net (env : Engine.env) ~topology ~auth =
+  let self = env.self in
+  let k = env.k in
+  let stride = stride topology in
+  let opposite = Party_id.side_members (Side.opposite (Party_id.side self)) ~k in
+  let vround = ref 0 in
+  let next_id = ref 0 in
+  (* (src, id) pairs already delivered, for replay suppression in signed
+     mode; majority mode is replay-proof by the honest-majority argument
+     but deduplicates identically for cheap idempotence. *)
+  let delivered = Hashtbl.create 64 in
+  let send dst body =
+    if Party_id.equal dst self then ()
+    else if Topology.connected topology self dst then
+      env.send dst (Wire.encode relay_codec (Direct body))
+    else begin
+      let p =
+        { src = self; dst; vround = !vround; id = !next_id; body; signature = None }
+      in
+      incr next_id;
+      let p =
+        match auth with
+        | Majority -> p
+        | Signed { signer; _ } ->
+          { p with signature = Some (Crypto.Signer.sign signer (signing_bytes p)) }
+      in
+      let msg = Wire.encode relay_codec (Request p) in
+      List.iter (fun r -> env.send r msg) opposite
+    end
+  in
+  let sync () =
+    let direct = ref [] in
+    let forwards = ref [] in
+    for _ = 1 to stride do
+      let inbox = env.next_round () in
+      List.iter
+        (fun (e : Engine.envelope) ->
+          match Wire.decode relay_codec e.data with
+          | Ok (Direct body) -> direct := (e.src, body) :: !direct
+          | Ok (Request p) -> forward_payload env ~topology ~from:e.src p
+          | Ok (Forward p) -> forwards := (e.src, p) :: !forwards
+          | Error _ -> ())
+        inbox
+    done;
+    let fresh p =
+      Party_id.equal p.dst self && p.vround = !vround
+      && not (Hashtbl.mem delivered (Party_id.to_string p.src, p.id))
+    in
+    let deliver p =
+      Hashtbl.replace delivered (Party_id.to_string p.src, p.id) ();
+      p.src, p.body
+    in
+    let relayed =
+      match auth with
+      | Signed { verifier; _ } ->
+        List.filter_map
+          (fun (_, p) ->
+            match p.signature with
+            | Some signature
+              when fresh p
+                   && Crypto.Verifier.verify verifier ~signer:p.src
+                        ~msg:(signing_bytes p) signature ->
+              Some (deliver p)
+            | Some _ | None -> None)
+          !forwards
+      | Majority ->
+        (* Group identical payloads; accept those vouched for by a strict
+           majority of distinct forwarders on the opposite side. *)
+        let key (_, p) = Wire.encode payload_codec p in
+        Util.group_by ~key ~equal_key:String.equal !forwards
+        |> List.filter_map (fun (_, items) ->
+               let p = snd (List.hd items) in
+               let forwarders =
+                 List.sort_uniq Party_id.compare (List.map fst items)
+                 |> List.filter (fun f ->
+                        Side.equal (Party_id.side f)
+                          (Side.opposite (Party_id.side p.src)))
+               in
+               if fresh p && 2 * List.length forwarders > k then Some (deliver p)
+               else None)
+    in
+    incr vround;
+    let all = List.rev_append !direct relayed in
+    List.stable_sort (fun (a, _) (b, _) -> Party_id.compare a b) all
+  in
+  { Net.self; stride; send; sync }

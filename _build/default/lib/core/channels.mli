@@ -1,0 +1,54 @@
+(** Virtual channel simulation — Lemmas 6, 8 and 10.
+
+    When a topology leaves two parties [u], [v] of the same side without a
+    channel, [u] reaches [v] through the opposite side: [u] sends a relay
+    {e request} to every opposite party, which {e forwards} it to [v].
+    Acceptance at [v] depends on the setting:
+
+    - {b Majority} (Lemma 6, unauthenticated): [v] accepts a message
+      received identically from strictly more than [k/2] distinct
+      forwarders — sound while the forwarding side has an honest majority.
+    - {b Signed} (Lemmas 8/10, authenticated): requests carry the sender's
+      signature over [(src, dst, vround, id, body)]; [v] accepts any
+      correctly-signed forward. The virtual-round stamp [vround] is the
+      paper's timestamp τ: a forward arriving outside the immediately
+      following virtual round is discarded (an {e omission}), and the [id]
+      makes replays detectable — exactly Lemma 10's guarantee that the
+      simulated network is reliable up to omissions, and omission-free as
+      soon as one forwarder is honest.
+
+    One virtual round costs [stride topology] engine rounds (2 when any
+    relaying is needed, 1 on a fully-connected network); direct channels
+    are slowed down to the same cadence so that all parties stay in
+    lockstep — this is why the paper's Lemma 6/8 reductions state a
+    uniform [2Δ] delay.
+
+    Forwarders relay without verifying signatures (the receiver verifies);
+    a request is only forwarded when it arrives directly from its claimed
+    source, which the majority mode needs for soundness. *)
+
+module Engine := Bsm_runtime.Engine
+module Net := Bsm_runtime.Net
+
+type auth_mode =
+  | Majority
+  | Signed of {
+      signer : Bsm_crypto.Crypto.Signer.t;
+      verifier : Bsm_crypto.Crypto.Verifier.t;
+    }
+
+(** Engine rounds per virtual round: 1 on fully-connected, 2 otherwise. *)
+val stride : Bsm_topology.Topology.t -> int
+
+(** [virtual_net env ~topology ~auth] — a {!Net.t} giving [env.self] a
+    (simulated) channel to every other party. Calling [sync] also serves
+    this party's own forwarding duty for the opposite side. *)
+val virtual_net :
+  Engine.env -> topology:Bsm_topology.Topology.t -> auth:auth_mode -> Net.t
+
+(** [forward_duty env ~topology envelope] — the forwarding role in
+    isolation: if [envelope] is a relay request from its true source whose
+    destination [env.self] can reach, forward it. Used by parties (the [R]
+    side of Π_bSM) that relay without running machines themselves. *)
+val forward_duty :
+  Engine.env -> topology:Bsm_topology.Topology.t -> Engine.envelope -> unit

@@ -1,0 +1,83 @@
+open Bsm_prelude
+module B = Bsm_broadcast
+module Topology = Bsm_topology.Topology
+
+(* Engine messages for one virtual point-to-point send from [u] to [v]. *)
+let link_cost (setting : Setting.t) u v =
+  if Topology.connected setting.topology u v then 1 else 2 * setting.k
+
+(* Engine messages for [u] broadcasting one virtual message to every other
+   member of [participants]. *)
+let broadcast_cost setting participants u =
+  List.fold_left
+    (fun acc v -> if Party_id.equal u v then acc else acc + link_cost setting u v)
+    0 participants
+
+(* Dolev-Strong instance with honest sender: the sender broadcasts its
+   1-link chain; every other participant accepts in round 1 and relays
+   once (provided t >= 1, i.e. relaying rounds remain). *)
+let dolev_strong_instance setting participants ~t ~sender =
+  let b p = broadcast_cost setting participants p in
+  let relays =
+    if t >= 1 then
+      List.fold_left
+        (fun acc p -> if Party_id.equal p sender then acc else acc + b p)
+        0 participants
+    else 0
+  in
+  b sender + relays
+
+(* Π_BA over [participants] with [kings]: per iteration every participant
+   broadcasts Value and Propose and the king broadcasts King; then one
+   Echo broadcast each. (All-honest, identical-decision path: proposals
+   always reach quorum.) *)
+let pi_ba_instance setting participants ~kings =
+  let b p = broadcast_cost setting participants p in
+  let sum_b = List.fold_left (fun acc p -> acc + b p) 0 participants in
+  let per_iteration king = (2 * sum_b) + b king in
+  List.fold_left (fun acc king -> acc + per_iteration king) sum_b kings
+
+(* Π_BB adds the sender's initial broadcast. *)
+let pi_bb_instance setting participants ~kings ~sender =
+  broadcast_cost setting participants sender + pi_ba_instance setting participants ~kings
+
+let bb_pipeline_messages (setting : Setting.t) =
+  let participants = Party_id.all ~k:setting.k in
+  match setting.auth with
+  | Setting.Authenticated ->
+    let t = setting.t_left + setting.t_right in
+    List.fold_left
+      (fun acc sender -> acc + dolev_strong_instance setting participants ~t ~sender)
+      0 participants
+  | Setting.Unauthenticated ->
+    let kings =
+      B.Adversary_structure.king_sequence (Setting.structure setting) ~participants
+    in
+    List.fold_left
+      (fun acc sender -> acc + pi_bb_instance setting participants ~kings ~sender)
+      0 participants
+
+let pi_bsm_messages (setting : Setting.t) computing_side =
+  let k = setting.k in
+  let c_members = Party_id.side_members computing_side ~k in
+  let t_c =
+    match computing_side with
+    | Side.Left -> setting.t_left
+    | Side.Right -> setting.t_right
+  in
+  let kings = Util.take (t_c + 1) c_members in
+  (* The session runs over the relay channels: every C-C send costs 2k. *)
+  let session =
+    List.fold_left
+      (fun acc sender -> acc + pi_bb_instance setting c_members ~kings ~sender)
+      0 c_members
+    + (k * pi_ba_instance setting c_members ~kings)
+  in
+  (* Preference dissemination (O -> C) and suggestions (C -> O), direct. *)
+  session + (2 * k * k)
+
+let predicted_messages setting =
+  let plan = Select.plan_exn setting in
+  match plan.Select.mechanism with
+  | Select.Bb_pipeline -> bb_pipeline_messages setting
+  | Select.Pi_bsm side -> pi_bsm_messages setting side

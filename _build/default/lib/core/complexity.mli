@@ -1,0 +1,27 @@
+(** Closed-form communication costs.
+
+    [predicted_messages] computes the {e exact} number of engine messages
+    an all-honest execution of the selected protocol sends — the analytic
+    counterpart of the T3 measurements, useful for capacity planning and
+    asserted equal to the engine's counter by the test suite across the
+    whole settings grid.
+
+    The model behind the formulas:
+
+    - a point-to-point virtual send costs 1 engine message on an existing
+      channel and [2k] on a simulated one (k relay requests + k forwards,
+      Lemmas 6/8/10);
+    - Dolev–Strong (honest sender, t ≥ 1): the sender broadcasts once and
+      every other participant relays exactly once, in the next round;
+    - generalized phase king: per iteration, every participant broadcasts
+      a value and a proposal and the king broadcasts its value; Π_BA adds
+      one echo broadcast per participant, Π_BB one initial sender
+      broadcast;
+    - Π_bSM: preference dissemination and suggestions are direct ([k²]
+      each); the BB/BA session runs entirely over simulated channels.
+
+    Rounds are covered by {!Select.plan} ([engine_rounds]). *)
+
+(** [predicted_messages s] for a solvable setting; raises
+    [Invalid_argument] (via {!Select.plan_exn}) otherwise. *)
+val predicted_messages : Setting.t -> int

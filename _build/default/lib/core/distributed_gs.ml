@@ -1,0 +1,172 @@
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Engine = Bsm_runtime.Engine
+module Wire = Bsm_wire.Wire
+module Topology = Bsm_topology.Topology
+
+type msg =
+  | Propose
+  | Accept
+  | Reject
+
+let msg_codec =
+  let open Wire in
+  variant ~name:"dgs_msg"
+    [
+      pack
+        (case 0 unit
+           ~inject:(fun () -> Propose)
+           ~match_:(function
+             | Propose -> Some ()
+             | Accept | Reject -> None));
+      pack
+        (case 1 unit
+           ~inject:(fun () -> Accept)
+           ~match_:(function
+             | Accept -> Some ()
+             | Propose | Reject -> None));
+      pack
+        (case 2 unit
+           ~inject:(fun () -> Reject)
+           ~match_:(function
+             | Reject -> Some ()
+             | Propose | Accept -> None));
+    ]
+
+let left_output_codec = Wire.pair (Wire.option Wire.party_id) Wire.uint
+
+let rounds_bound ~k = 2 * ((k * k) + 1)
+
+let decode_inbox inbox =
+  List.filter_map
+    (fun (e : Engine.envelope) ->
+      match Wire.decode msg_codec e.data with
+      | Ok m -> Some (e.src, m)
+      | Error _ -> None)
+    inbox
+
+(* Proposers act in even rounds, acceptors respond in odd rounds: one
+   proposal cycle spans two rounds. *)
+let left_program ~input (env : Engine.env) =
+  let k = env.k in
+  let bound = rounds_bound ~k in
+  let engaged = ref None in
+  let next_rank = ref 0 in
+  let proposals = ref 0 in
+  let propose_if_free () =
+    if !engaged = None && !next_rank < k then begin
+      let target = Party_id.right (SM.Prefs.at input !next_rank) in
+      incr next_rank;
+      incr proposals;
+      env.send target (Wire.encode msg_codec Propose)
+    end
+  in
+  propose_if_free ();
+  while env.round () < bound do
+    let inbox = decode_inbox (env.next_round ()) in
+    if env.round () mod 2 = 0 then begin
+      List.iter
+        (fun (src, m) ->
+          match m with
+          | Accept -> engaged := Some src
+          | Reject -> if !engaged = Some src || !engaged = None then engaged := None
+          | Propose -> ())
+        inbox;
+      propose_if_free ()
+    end
+  done;
+  env.output (Wire.encode left_output_codec (!engaged, !proposals))
+
+let right_program ~input (env : Engine.env) =
+  let bound = rounds_bound ~k:env.k in
+  let current = ref None in
+  while env.round () < bound do
+    let inbox = decode_inbox (env.next_round ()) in
+    if env.round () mod 2 = 1 then begin
+      let proposers =
+        List.filter_map
+          (fun (src, m) ->
+            match m with
+            | Propose -> Some src
+            | Accept | Reject -> None)
+          inbox
+      in
+      match proposers with
+      | [] -> ()
+      | _ :: _ ->
+        let rank p = SM.Prefs.rank input (Party_id.index p) in
+        let best =
+          List.fold_left
+            (fun acc p ->
+              match acc with
+              | Some b when rank b <= rank p -> acc
+              | Some _ | None -> Some p)
+            None proposers
+        in
+        let best = Option.get best in
+        let keep_current =
+          match !current with
+          | Some c -> rank c < rank best
+          | None -> false
+        in
+        let reject p = env.send p (Wire.encode msg_codec Reject) in
+        if keep_current then List.iter reject proposers
+        else begin
+          (match !current with
+          | Some c -> reject c (* divorce declaration *)
+          | None -> ());
+          current := Some best;
+          env.send best (Wire.encode msg_codec Accept);
+          List.iter (fun p -> if not (Party_id.equal p best) then reject p) proposers
+        end
+    end
+  done;
+  env.output (Wire.encode Problem.decision_codec !current)
+
+let program ~input ~self =
+  match Party_id.side self with
+  | Side.Left -> left_program ~input
+  | Side.Right -> right_program ~input
+
+let run profile =
+  let k = SM.Profile.k profile in
+  let cfg =
+    Engine.config ~k ~max_rounds:(rounds_bound ~k + 2)
+      ~link:(Engine.Of_topology Topology.Bipartite) ()
+  in
+  let res =
+    Engine.run cfg ~programs:(fun p ->
+        program ~input:(SM.Profile.prefs profile p) ~self:p)
+  in
+  let proposals = ref 0 in
+  let l2r = Array.make k (-1) in
+  List.iter
+    (fun (r : Engine.party_result) ->
+      match r.Engine.status, r.Engine.out with
+      | Engine.Terminated, Some payload ->
+        if Side.equal (Party_id.side r.Engine.id) Side.Left then begin
+          match Wire.decode_exn left_output_codec payload with
+          | Some partner, count ->
+            l2r.(Party_id.index r.Engine.id) <- Party_id.index partner;
+            proposals := !proposals + count
+          | None, _ -> failwith "distributed GS: unmatched left party"
+        end
+      | _ -> failwith "distributed GS: party did not terminate")
+    res.Engine.parties;
+  let matching = SM.Matching.of_l2r_exn l2r in
+  (* Cross-check the right side's view (symmetry of the outcome). *)
+  List.iter
+    (fun (r : Engine.party_result) ->
+      if Side.equal (Party_id.side r.Engine.id) Side.Right then
+        match r.Engine.out with
+        | Some payload -> (
+          match Wire.decode_exn Problem.decision_codec payload with
+          | Some partner
+            when Party_id.equal
+                   (SM.Matching.partner matching r.Engine.id)
+                   partner ->
+            ()
+          | Some _ | None -> failwith "distributed GS: asymmetric outcome")
+        | None -> failwith "distributed GS: missing right output")
+    res.Engine.parties;
+  matching, res.Engine.metrics, !proposals

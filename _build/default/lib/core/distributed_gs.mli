@@ -1,0 +1,42 @@
+(** Fault-free distributed Gale–Shapley.
+
+    "The Gale–Shapley algorithm inherently functions as a distributed
+    algorithm, as it consists solely of marriage proposals and divorce
+    declarations, both of which can be processed in parallel."
+    (Introduction.) This module is that algorithm as a message-passing
+    protocol over the engine's bipartite channels: left parties send
+    [Propose], right parties answer [Accept] / [Reject] (a displaced
+    fiancé receives a [Reject] divorce notice and resumes proposing).
+
+    The parallel dynamics are exactly those of
+    {!Bsm_stable_matching.Gale_shapley.run}: the distributed run produces
+    the same left-optimal matching, and its [Propose] count equals the
+    centralized proposal count — both asserted by the test suite.
+
+    The protocol is {e fault-free} (the paper's related-work baseline, not
+    a byzantine protocol): it quantifies the Ω(n²) communication
+    discussion (Gonczarowski et al.) and the similar-preference-lists
+    regime of Khanchandani–Wattenhofer, reproduced in the T3c experiment.
+
+    Termination uses the a-priori round budget [rounds_bound] (proposal
+    cycles take two rounds; at most k proposals per left party, chained
+    through displacements); quiet tail rounds send no messages, so message
+    metrics are unaffected. *)
+
+open Bsm_prelude
+module SM := Bsm_stable_matching
+
+(** Engine rounds the protocol runs: [2·(k² + 1)]. *)
+val rounds_bound : k:int -> int
+
+(** [program ~profile ~self] — [profile] supplies only [self]'s list. *)
+val program :
+  input:SM.Prefs.t -> self:Party_id.t -> Bsm_runtime.Engine.program
+
+(** [run profile] — execute on the engine and return the matching (decoded
+    from the parties' outputs) together with the engine metrics and the
+    number of [Propose] messages. Raises on any disagreement between the
+    two sides' outputs (cannot happen). *)
+val run :
+  SM.Profile.t ->
+  SM.Matching.t * Bsm_runtime.Engine.metrics * int

@@ -1,0 +1,53 @@
+(** Π_bSM (Section 5.2): byzantine stable matching in a bipartite
+    authenticated network when one side may be {e entirely} byzantine.
+
+    With [t_C < k/3] corruptions on the computing side [C] (the paper's
+    [L]) and up to [k] on the other side [O] (the paper's [R]):
+
+    - [O]-parties send their preference lists to all of [C], then serve
+      forwarding duty for the timestamped relay channels of Lemma 10, and
+      finally adopt the most common match suggestion received from [C].
+    - [C]-parties run, over the relay channels, one omission-tolerant Π_BB
+      per member of [C] (disseminating preference lists within [C]) and
+      join one omission-tolerant Π_BA per member of [O] (agreeing on what
+      each [O]-party sent). If any instance returns ⊥ — possible only when
+      every forwarder is byzantine — the party matches nobody; otherwise it
+      runs [A_G-S] locally, informs each [O]-party of its match, and
+      outputs its own.
+
+    Guarantees (Lemma 9): bSM, including the regime where [O] is fully
+    byzantine (Lemma 11, via weak agreement) and the regime with at least
+    one honest [O]-party (Lemma 12, via full BA/BB plus the
+    [k − t_C > t_C] majority at the suggestion step).
+
+    Timing note: the paper starts Π_BB immediately and has parties join
+    Π_BA after waiting Δ; we delay both to the same round so that all
+    instances share one virtual-round cadence. This adds one engine round
+    and changes no guarantee (DESIGN.md §4). *)
+
+open Bsm_prelude
+module SM := Bsm_stable_matching
+
+(** The protocol's direct (non-relay) messages, exposed so that tests and
+    adversarial strategies can speak the wire language. *)
+module Msg : sig
+  type t =
+    | Prefs of string  (** O → C, round 0: raw encoded preference list *)
+    | Suggest of Party_id.t option  (** C → O, final round: your match *)
+
+  val codec : t Bsm_wire.Wire.t
+end
+
+(** Engine rounds an honest run takes. *)
+val engine_rounds : Setting.t -> computing_side:Side.t -> int
+
+(** [program setting ~pki ~computing_side ~input ~self] — the honest
+    program for [self] (either side; the role is chosen from
+    [Party_id.side self]). *)
+val program :
+  Setting.t ->
+  pki:Bsm_crypto.Crypto.Pki.t ->
+  computing_side:Side.t ->
+  input:SM.Prefs.t ->
+  self:Party_id.t ->
+  Bsm_runtime.Engine.program

@@ -1,0 +1,83 @@
+open Bsm_prelude
+module Topology = Bsm_topology.Topology
+
+type mechanism =
+  | Bb_pipeline
+  | Pi_bsm of Side.t
+
+type plan = {
+  setting : Setting.t;
+  mechanism : mechanism;
+  describe : string;
+  engine_rounds : int;
+  program :
+    pki:Bsm_crypto.Crypto.Pki.t ->
+    input:Bsm_stable_matching.Prefs.t ->
+    self:Party_id.t ->
+    Bsm_runtime.Engine.program;
+}
+
+let bb_plan (setting : Setting.t) describe =
+  {
+    setting;
+    mechanism = Bb_pipeline;
+    describe;
+    engine_rounds = Bb_based.engine_rounds setting;
+    program =
+      (fun ~pki ~input ~self -> Bb_based.program setting ~pki ~input ~self);
+  }
+
+let pi_bsm_plan (setting : Setting.t) computing_side =
+  {
+    setting;
+    mechanism = Pi_bsm computing_side;
+    describe =
+      Printf.sprintf "Pi_bSM with computing side %s (Lemma 9)"
+        (Side.to_string computing_side);
+    engine_rounds = Pi_bsm.engine_rounds setting ~computing_side;
+    program =
+      (fun ~pki ~input ~self ->
+        Pi_bsm.program setting ~pki ~computing_side ~input ~self);
+  }
+
+let plan (setting : Setting.t) =
+  let verdict = Solvability.decide setting in
+  if not verdict.Solvability.solvable then Error verdict
+  else begin
+    let k = setting.k in
+    let tl = setting.t_left and tr = setting.t_right in
+    match setting.topology, setting.auth with
+    | Topology.Fully_connected, Setting.Unauthenticated ->
+      Ok (bb_plan setting "BB pipeline over general phase king (Thm 2)")
+    | Topology.One_sided, Setting.Unauthenticated ->
+      Ok
+        (bb_plan setting
+           "BB pipeline over general phase king + majority proxy for L (Thm 4)")
+    | Topology.Bipartite, Setting.Unauthenticated ->
+      Ok
+        (bb_plan setting
+           "BB pipeline over general phase king + majority proxies (Thm 3)")
+    | Topology.Fully_connected, Setting.Authenticated ->
+      Ok (bb_plan setting "BB pipeline over Dolev-Strong (Thm 5)")
+    | Topology.One_sided, Setting.Authenticated ->
+      if tr < k then
+        Ok
+          (bb_plan setting
+             "BB pipeline over Dolev-Strong + signature proxy for L (Thm 7)")
+      else Ok (pi_bsm_plan setting Side.Left)
+    | Topology.Bipartite, Setting.Authenticated ->
+      if tl < k && tr < k then
+        Ok
+          (bb_plan setting
+             "BB pipeline over Dolev-Strong + signature proxies (Thm 6)")
+      else if 3 * tl < k then Ok (pi_bsm_plan setting Side.Left)
+      else Ok (pi_bsm_plan setting Side.Right)
+  end
+
+let plan_exn setting =
+  match plan setting with
+  | Ok p -> p
+  | Error verdict ->
+    invalid_arg
+      (Format.asprintf "Select.plan_exn: %a is impossible (%a)" Setting.pp setting
+         Solvability.pp_verdict verdict)

@@ -1,0 +1,31 @@
+(** Protocol selection: the constructive side of Theorems 2–7.
+
+    Given a setting, [plan] picks the protocol whose sufficiency proof
+    covers it, or reports impossibility (with the failing conditions).
+    This is the library's main entry point: hand every party the program
+    from [Plan.program] and run them on the engine. *)
+
+open Bsm_prelude
+module SM := Bsm_stable_matching
+
+type mechanism =
+  | Bb_pipeline  (** Lemma 1 pipeline; see {!Bb_based} *)
+  | Pi_bsm of Side.t  (** Π_bSM with the given computing side *)
+
+type plan = {
+  setting : Setting.t;
+  mechanism : mechanism;
+  describe : string;
+  engine_rounds : int;  (** rounds an honest execution takes *)
+  program :
+    pki:Bsm_crypto.Crypto.Pki.t ->
+    input:SM.Prefs.t ->
+    self:Party_id.t ->
+    Bsm_runtime.Engine.program;
+}
+
+val plan : Setting.t -> (plan, Solvability.verdict) result
+
+(** Convenience: raises [Invalid_argument] with the verdict when the
+    setting is impossible. *)
+val plan_exn : Setting.t -> plan

@@ -1,0 +1,37 @@
+(** A problem setting: the five parameters the paper's characterization is
+    stated over. *)
+
+type auth =
+  | Unauthenticated
+  | Authenticated
+
+type t = {
+  k : int;  (** parties per side *)
+  topology : Bsm_topology.Topology.t;
+  auth : auth;
+  t_left : int;  (** corruption budget in L *)
+  t_right : int;  (** corruption budget in R *)
+}
+
+(** Validates [k >= 1] and [0 <= t_side <= k]. *)
+val make :
+  k:int ->
+  topology:Bsm_topology.Topology.t ->
+  auth:auth ->
+  t_left:int ->
+  t_right:int ->
+  (t, string) result
+
+val make_exn :
+  k:int ->
+  topology:Bsm_topology.Topology.t ->
+  auth:auth ->
+  t_left:int ->
+  t_right:int ->
+  t
+
+(** The paper's adversary structure [Z*] for this setting. *)
+val structure : t -> Bsm_broadcast.Adversary_structure.t
+
+val auth_to_string : auth -> string
+val pp : Format.formatter -> t -> unit

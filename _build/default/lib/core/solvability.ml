@@ -1,0 +1,62 @@
+open Bsm_topology
+
+type verdict = {
+  solvable : bool;
+  conditions : (string * bool) list;
+  theorem : string;
+}
+
+let decide (s : Setting.t) =
+  let k = s.k in
+  let tl = s.t_left and tr = s.t_right in
+  (* Strict fractional thresholds via integer arithmetic: t < k/3 is
+     3t < k, t < k/2 is 2t < k. *)
+  let third = ("tL < k/3", 3 * tl < k), ("tR < k/3", 3 * tr < k) in
+  let (c_tl3, c_tr3) = third in
+  let one_third = "tL < k/3 or tR < k/3", snd c_tl3 || snd c_tr3 in
+  match s.topology, s.auth with
+  | Topology.Fully_connected, Setting.Unauthenticated ->
+    {
+      solvable = snd one_third;
+      conditions = [ one_third ];
+      theorem = "Theorem 2";
+    }
+  | Topology.Bipartite, Setting.Unauthenticated ->
+    let halves = "tL < k/2 and tR < k/2", (2 * tl < k) && (2 * tr < k) in
+    {
+      solvable = snd halves && snd one_third;
+      conditions = [ halves; one_third ];
+      theorem = "Theorem 3";
+    }
+  | Topology.One_sided, Setting.Unauthenticated ->
+    let half_r = "tR < k/2", 2 * tr < k in
+    {
+      solvable = snd half_r && snd one_third;
+      conditions = [ half_r; one_third ];
+      theorem = "Theorem 4";
+    }
+  | Topology.Fully_connected, Setting.Authenticated ->
+    { solvable = true; conditions = []; theorem = "Theorem 5" }
+  | Topology.Bipartite, Setting.Authenticated ->
+    let both = "tL < k and tR < k", tl < k && tr < k in
+    {
+      solvable = snd both || snd c_tl3 || snd c_tr3;
+      conditions = [ both; c_tl3; c_tr3 ];
+      theorem = "Theorem 6";
+    }
+  | Topology.One_sided, Setting.Authenticated ->
+    let r_any = "tR < k", tr < k in
+    {
+      solvable = snd r_any || snd c_tl3;
+      conditions = [ r_any; c_tl3 ];
+      theorem = "Theorem 7";
+    }
+
+let solvable s = (decide s).solvable
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%s (%s):" (if v.solvable then "solvable" else "impossible") v.theorem;
+  List.iter
+    (fun (name, holds) ->
+      Format.fprintf ppf " [%s: %s]" name (if holds then "yes" else "no"))
+    v.conditions

@@ -1,0 +1,32 @@
+(** The paper's solvability characterization as an executable predicate
+    (Theorems 2–7).
+
+    Conditions are exactly those of the theorems:
+
+    - fully-connected, unauthenticated: [t_L < k/3 ∨ t_R < k/3] (Thm 2)
+    - bipartite, unauthenticated:
+      [t_L < k/2 ∧ t_R < k/2] and [t_L < k/3 ∨ t_R < k/3] (Thm 3)
+    - one-sided, unauthenticated:
+      [t_R < k/2] and [t_L < k/3 ∨ t_R < k/3] (Thm 4)
+    - fully-connected, authenticated: always (Thm 5)
+    - bipartite, authenticated:
+      [(t_L < k ∧ t_R < k) ∨ t_L < k/3 ∨ t_R < k/3] (Thm 6)
+    - one-sided, authenticated: [t_R < k ∨ t_L < k/3] (Thm 7)
+
+    The test suite checks this predicate against the q3-style primitive
+    conditions exhaustively and against protocol executions / attack
+    constructions on small instances. *)
+
+type verdict = {
+  solvable : bool;
+  conditions : (string * bool) list;
+      (** the theorem's side conditions, individually evaluated *)
+  theorem : string;  (** which theorem decides this setting *)
+}
+
+val decide : Setting.t -> verdict
+
+(** [solvable s] is [(decide s).solvable]. *)
+val solvable : Setting.t -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

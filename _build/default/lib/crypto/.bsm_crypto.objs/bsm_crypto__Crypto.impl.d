@@ -1,0 +1,1 @@
+lib/crypto/crypto.ml: Array Bsm_prelude Bsm_wire Char Digest Format Party_id Rng String

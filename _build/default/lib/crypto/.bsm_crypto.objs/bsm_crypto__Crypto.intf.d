@@ -1,0 +1,1 @@
+lib/crypto/crypto.mli: Bsm_prelude Bsm_wire Format

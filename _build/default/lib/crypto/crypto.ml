@@ -1,0 +1,83 @@
+open Bsm_prelude
+module Wire = Bsm_wire.Wire
+
+module Signature = struct
+  type t = string (* 16-byte MD5 digest *)
+
+  let equal = String.equal
+  let codec = Wire.string
+  let pp ppf t = Format.pp_print_string ppf (Digest.to_hex t)
+  let byte_length = 16
+end
+
+(* A signature binds (secret, signer id, message). Including the id in the
+   digest input means two parties with (impossibly) colliding secrets still
+   produce distinct signatures. *)
+let compute ~secret ~signer ~msg =
+  Digest.string (secret ^ "\x00" ^ Party_id.to_string signer ^ "\x00" ^ msg)
+
+module Signer = struct
+  type t = {
+    id : Party_id.t;
+    secret : string;
+  }
+
+  let id t = t.id
+  let sign t msg = compute ~secret:t.secret ~signer:t.id ~msg
+end
+
+module Verifier = struct
+  type t = { check : Party_id.t -> string -> Signature.t -> bool }
+
+  let verify t ~signer ~msg signature = t.check signer msg signature
+end
+
+module Pki = struct
+  type t = {
+    k : int;
+    secrets : string array; (* dense-indexed *)
+  }
+
+  let setup ~k ~seed =
+    let rng = Rng.make (seed lxor 0x51674) in
+    let secret _ = String.init 16 (fun _ -> Char.chr (Rng.int rng 256)) in
+    { k; secrets = Array.init (2 * k) secret }
+
+  let secret t p =
+    let i = Party_id.to_dense ~k:t.k p in
+    if i < 0 || i >= Array.length t.secrets then
+      invalid_arg "Pki.signer: party outside setup";
+    t.secrets.(i)
+
+  let signer t p = { Signer.id = p; secret = secret t p }
+
+  let verifier t =
+    let check signer msg signature =
+      match secret t signer with
+      | s -> Signature.equal signature (compute ~secret:s ~signer ~msg)
+      | exception Invalid_argument _ -> false
+    in
+    { Verifier.check }
+end
+
+module Signed = struct
+  type 'a t = {
+    value : 'a;
+    signer : Party_id.t;
+    signature : Signature.t;
+  }
+
+  let make signer codec value =
+    let msg = Wire.encode codec value in
+    { value; signer = Signer.id signer; signature = Signer.sign signer msg }
+
+  let valid verifier codec t =
+    let msg = Wire.encode codec t.value in
+    Verifier.verify verifier ~signer:t.signer ~msg t.signature
+
+  let codec payload =
+    Wire.map
+      ~inject:(fun ((value, signer), signature) -> { value; signer; signature })
+      ~project:(fun t -> (t.value, t.signer), t.signature)
+      (Wire.pair (Wire.pair payload Wire.party_id) Signature.codec)
+end

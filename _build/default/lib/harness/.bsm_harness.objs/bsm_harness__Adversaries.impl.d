@@ -1,0 +1,1 @@
+lib/harness/adversaries.ml: Bsm_broadcast Bsm_core Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Char List Party_id Rng Side String

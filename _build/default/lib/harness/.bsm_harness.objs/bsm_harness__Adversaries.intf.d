@@ -1,0 +1,1 @@
+lib/harness/adversaries.mli: Bsm_core Bsm_prelude Bsm_runtime Bsm_stable_matching Party_id Rng

@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Bsm_core Bsm_crypto Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_wire Format List Party_id Party_set Side

@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Bsm_core Bsm_prelude Bsm_runtime Bsm_stable_matching Format Party_id

@@ -1,0 +1,1 @@
+lib/prelude/party_id.ml: Format Int List Side String

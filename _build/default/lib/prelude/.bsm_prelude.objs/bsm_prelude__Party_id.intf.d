@@ -1,0 +1,1 @@
+lib/prelude/party_id.mli: Format Side

@@ -1,0 +1,1 @@
+lib/prelude/party_set.ml: Format List Party_id Set Side

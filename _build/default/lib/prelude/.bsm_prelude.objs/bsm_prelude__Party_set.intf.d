@@ -1,0 +1,1 @@
+lib/prelude/party_set.mli: Format Party_id Side

@@ -1,0 +1,1 @@
+lib/prelude/side.mli: Format

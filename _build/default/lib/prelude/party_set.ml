@@ -1,0 +1,44 @@
+module S = Set.Make (Party_id)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let cardinal = S.cardinal
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let equal = S.equal
+let of_list = S.of_list
+let to_list = S.elements
+let elements = S.elements
+let fold = S.fold
+let iter = S.iter
+let filter = S.filter
+let for_all = S.for_all
+let exists = S.exists
+
+let count_side side t =
+  S.fold (fun p acc -> if Side.equal (Party_id.side p) side then acc + 1 else acc) t 0
+
+let restrict_side side t = S.filter (fun p -> Side.equal (Party_id.side p) side) t
+
+let full ~k = S.of_list (Party_id.all ~k)
+
+let complement ~k t = S.diff (full ~k) t
+
+let power_set parties =
+  let add_party subsets p = subsets @ List.map (S.add p) subsets in
+  List.fold_left add_party [ S.empty ] parties
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Party_id.pp)
+    (S.elements t)

@@ -1,0 +1,46 @@
+(** Finite sets of parties.
+
+    Thin wrapper over [Set.Make (Party_id)] with the side-counting
+    operations that adversary structures need: the paper's two-sided
+    threshold adversary is characterized entirely by [count_side]. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : Party_id.t -> t
+val add : Party_id.t -> t -> t
+val remove : Party_id.t -> t -> t
+val mem : Party_id.t -> t -> bool
+val cardinal : t -> int
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val of_list : Party_id.t list -> t
+val to_list : t -> Party_id.t list
+val elements : t -> Party_id.t list
+val fold : (Party_id.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Party_id.t -> unit) -> t -> unit
+val filter : (Party_id.t -> bool) -> t -> t
+val for_all : (Party_id.t -> bool) -> t -> bool
+val exists : (Party_id.t -> bool) -> t -> bool
+
+(** [count_side side t] is the number of members of [t] on [side]. *)
+val count_side : Side.t -> t -> int
+
+(** [restrict_side side t] keeps only the members of [t] on [side]. *)
+val restrict_side : Side.t -> t -> t
+
+(** [full ~k] is the set of all [2k] parties of an instance. *)
+val full : k:int -> t
+
+(** [complement ~k t] is [full ~k] minus [t]. *)
+val complement : k:int -> t -> t
+
+(** All subsets of [parties]; exponential, intended for small test
+    instances only. *)
+val power_set : Party_id.t list -> t list
+
+val pp : Format.formatter -> t -> unit

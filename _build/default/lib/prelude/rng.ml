@@ -1,0 +1,31 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x5eed; 0xbeef |]
+
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Random.State.int t bound
+
+let bool t = Random.State.bool t
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let permutation t n = shuffle t (List.init n Fun.id)
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let sample t m xs =
+  if m > List.length xs then invalid_arg "Rng.sample: not enough elements";
+  Util.take m (shuffle t xs)

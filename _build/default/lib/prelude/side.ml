@@ -1,0 +1,26 @@
+type t =
+  | Left
+  | Right
+
+let opposite = function
+  | Left -> Right
+  | Right -> Left
+
+let equal a b =
+  match a, b with
+  | Left, Left | Right, Right -> true
+  | Left, Right | Right, Left -> false
+
+let to_int = function
+  | Left -> 0
+  | Right -> 1
+
+let compare a b = Int.compare (to_int a) (to_int b)
+
+let to_string = function
+  | Left -> "L"
+  | Right -> "R"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let all = [ Left; Right ]

@@ -1,0 +1,23 @@
+(** The two sides of a stable matching instance.
+
+    The paper calls them [L] (men / students / producers) and [R]
+    (women / universities / consumers). Every party belongs to exactly one
+    side and is matched with a party of the opposite side. *)
+
+type t =
+  | Left
+  | Right
+
+(** [opposite s] is the other side. *)
+val opposite : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** One-letter tag used in identifiers and wire encodings: ["L"] or ["R"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Both sides, in order [Left; Right]. *)
+val all : t list

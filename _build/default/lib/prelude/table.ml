@@ -1,0 +1,38 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let make ~title ~header = { title; header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    "| " ^ String.concat " | " (List.map2 pad widths row) ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,17 @@
+(** ASCII tables for the experiment reports printed by [bin/] and [bench/]. *)
+
+type t
+
+(** [make ~title ~header] starts a table. Every row added later must have
+    [List.length header] cells. *)
+val make : title:string -> header:string list -> t
+
+(** [add_row t cells] appends a row. Raises [Invalid_argument] on cell-count
+    mismatch. *)
+val add_row : t -> string list -> unit
+
+(** [render t] lays the table out with padded, pipe-separated columns. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a blank line. *)
+val print : t -> unit

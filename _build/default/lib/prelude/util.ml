@@ -1,0 +1,57 @@
+let count ~equal x xs =
+  List.fold_left (fun acc y -> if equal x y then acc + 1 else acc) 0 xs
+
+let most_common ~equal xs =
+  let better best x =
+    let c = count ~equal x xs in
+    match best with
+    | Some (_, c') when c' >= c -> best
+    | Some _ | None -> Some (x, c)
+  in
+  List.fold_left better None xs
+
+let strict_majority ~equal ~total xs =
+  match most_common ~equal xs with
+  | Some (x, c) when 2 * c > total -> Some x
+  | Some _ | None -> None
+
+let dedup ~equal xs =
+  let keep seen x = if List.exists (equal x) seen then seen else x :: seen in
+  List.rev (List.fold_left keep [] xs)
+
+let group_by ~key ~equal_key xs =
+  let keys = dedup ~equal:equal_key (List.map key xs) in
+  List.map (fun k -> k, List.filter (fun x -> equal_key (key x) k) xs) keys
+
+let range a b = if a >= b then [] else List.init (b - a) (fun i -> a + i)
+
+let is_permutation xs ~n =
+  List.length xs = n
+  &&
+  let seen = Array.make n false in
+  List.for_all
+    (fun x ->
+      x >= 0 && x < n
+      &&
+      if seen.(x) then false
+      else begin
+        seen.(x) <- true;
+        true
+      end)
+    xs
+
+let cdiv a b = (a + b - 1) / b
+
+let rec take n = function
+  | [] -> []
+  | x :: xs -> if n <= 0 then [] else x :: take (n - 1) xs
+
+let find_index p xs =
+  let rec go i = function
+    | [] -> None
+    | x :: xs -> if p x then Some i else go (i + 1) xs
+  in
+  go 0 xs
+
+let pp_comma_list pp ppf xs =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp ppf xs

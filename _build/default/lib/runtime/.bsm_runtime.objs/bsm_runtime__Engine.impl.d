@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Bsm_prelude Bsm_topology Effect Format List Logs Party_id Printexc String

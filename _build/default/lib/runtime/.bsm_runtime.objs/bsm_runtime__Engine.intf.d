@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Bsm_prelude Bsm_topology Format Party_id

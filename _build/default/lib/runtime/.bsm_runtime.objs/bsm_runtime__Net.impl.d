@@ -1,0 +1,1 @@
+lib/runtime/net.ml: Bsm_prelude Engine List Party_id

@@ -1,0 +1,1 @@
+lib/runtime/net.mli: Bsm_prelude Engine Party_id

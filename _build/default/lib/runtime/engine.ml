@@ -1,0 +1,294 @@
+open Bsm_prelude
+module Topology = Bsm_topology.Topology
+
+let src = Logs.Src.create "bsm.engine" ~doc:"synchronous round engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type payload = string
+
+type envelope = {
+  src : Party_id.t;
+  data : payload;
+}
+
+type env = {
+  self : Party_id.t;
+  k : int;
+  round : unit -> int;
+  send : Party_id.t -> payload -> unit;
+  next_round : unit -> envelope list;
+  output : payload -> unit;
+  log : string -> unit;
+}
+
+let broadcast env targets msg =
+  let send_unless_self p = if not (Party_id.equal p env.self) then env.send p msg in
+  List.iter send_unless_self targets
+
+type program = env -> unit
+
+type link =
+  | Of_topology of Topology.t
+  | Custom of (Party_id.t -> Party_id.t -> bool)
+
+type fault_model = { drop : round:int -> src:Party_id.t -> dst:Party_id.t -> bool }
+
+let no_faults = { drop = (fun ~round:_ ~src:_ ~dst:_ -> false) }
+
+type event = {
+  event_round : int;
+  event_src : Party_id.t;
+  event_dst : Party_id.t;
+  event_bytes : int;
+  event_fate : [ `Delivered | `No_channel | `Omitted ];
+}
+
+let pp_event ppf e =
+  let fate =
+    match e.event_fate with
+    | `Delivered -> "delivered"
+    | `No_channel -> "no-channel"
+    | `Omitted -> "omitted"
+  in
+  Format.fprintf ppf "r%d %a -> %a (%dB, %s)" e.event_round Party_id.pp e.event_src
+    Party_id.pp e.event_dst e.event_bytes fate
+
+type config = {
+  k : int;
+  link : link;
+  max_rounds : int;
+  faults : fault_model;
+  trace_limit : int;
+}
+
+let config ?(max_rounds = 10_000) ?(faults = no_faults) ?(trace_limit = 0) ~k ~link () =
+  if k <= 0 then invalid_arg "Engine.config: k must be positive";
+  { k; link; max_rounds; faults; trace_limit }
+
+type status =
+  | Terminated
+  | Out_of_rounds
+  | Crashed of string
+
+type party_result = {
+  id : Party_id.t;
+  status : status;
+  out : payload option;
+}
+
+type metrics = {
+  rounds_used : int;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped_topology : int;
+  messages_dropped_fault : int;
+  bytes_sent : int;
+}
+
+type result = {
+  parties : party_result list;
+  metrics : metrics;
+  trace : event list;
+}
+
+(* --- Fiber machinery ------------------------------------------------- *)
+
+type _ Effect.t +=
+  | Send : Party_id.t * payload -> unit Effect.t
+  | Next_round : envelope list Effect.t
+  | Get_round : int Effect.t
+  | Output : payload -> unit Effect.t
+  | Log_line : string -> unit Effect.t
+
+type fiber_state =
+  | Waiting of (envelope list, unit) Effect.Deep.continuation
+  | Finished
+  | Failed of string
+
+type cell = {
+  id : Party_id.t;
+  mutable state : fiber_state;
+  mutable outbox : (Party_id.t * payload) list; (* reversed send order *)
+  mutable inbox : envelope list; (* reversed arrival order *)
+  mutable out : payload option;
+}
+
+let run cfg ~programs =
+  let k = cfg.k in
+  let roster = Party_id.all ~k in
+  let connected =
+    match cfg.link with
+    | Of_topology t -> Topology.connected t
+    | Custom f -> fun u v -> (not (Party_id.equal u v)) && f u v
+  in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun id -> { id; state = Finished; outbox = []; inbox = []; out = None })
+         roster)
+  in
+  let cell_of id = cells.(Party_id.to_dense ~k id) in
+  let iter_cells f = Array.iter f cells in
+  let round = ref 0 in
+  let trace = ref [] in
+  let trace_count = ref 0 in
+  let record event_src event_dst event_bytes event_fate =
+    if !trace_count < cfg.trace_limit then begin
+      incr trace_count;
+      trace :=
+        { event_round = !round; event_src; event_dst; event_bytes; event_fate }
+        :: !trace
+    end
+  in
+  let messages_sent = ref 0 in
+  let messages_delivered = ref 0 in
+  let dropped_topology = ref 0 in
+  let dropped_fault = ref 0 in
+  let bytes_sent = ref 0 in
+
+  (* Runs [f ()] as [cell]'s fiber until it blocks on [Next_round],
+     returns, or raises. *)
+  let drive cell f =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> cell.state <- Finished);
+        exnc =
+          (fun exn ->
+            Log.debug (fun m ->
+                m "%a crashed: %s" Party_id.pp cell.id (Printexc.to_string exn));
+            cell.state <- Failed (Printexc.to_string exn));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Send (dst, data) ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  incr messages_sent;
+                  cell.outbox <- (dst, data) :: cell.outbox;
+                  continue cont ())
+            | Next_round ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  cell.state <- Waiting cont)
+            | Get_round -> Some (fun cont -> continue cont !round)
+            | Output p ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  cell.out <- Some p;
+                  continue cont ())
+            | Log_line s ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  Log.debug (fun m -> m "r%d %a: %s" !round Party_id.pp cell.id s);
+                  continue cont ())
+            | _ -> None);
+      }
+  in
+
+  let env_of id =
+    {
+      self = id;
+      k;
+      round = (fun () -> Effect.perform Get_round);
+      send = (fun dst data -> Effect.perform (Send (dst, data)));
+      next_round = (fun () -> Effect.perform Next_round);
+      output = (fun p -> Effect.perform (Output p));
+      log = (fun s -> Effect.perform (Log_line s));
+    }
+  in
+
+  (* Round 0: start every fiber. *)
+  iter_cells (fun cell ->
+      let program = programs cell.id in
+      drive cell (fun () -> program (env_of cell.id)));
+
+  (* Deliver this round's traffic, then resume waiting fibers. *)
+  let deliver () =
+    let deliver_message src (dst, data) =
+      if Party_id.index dst >= k || not (connected src dst) then begin
+        incr dropped_topology;
+        record src dst (String.length data) `No_channel;
+        Log.debug (fun m ->
+            m "r%d: dropped %a -> %a (no channel)" !round Party_id.pp src Party_id.pp
+              dst)
+      end
+      else begin
+        bytes_sent := !bytes_sent + String.length data;
+        if cfg.faults.drop ~round:!round ~src ~dst then begin
+          incr dropped_fault;
+          record src dst (String.length data) `Omitted
+        end
+        else begin
+          incr messages_delivered;
+          record src dst (String.length data) `Delivered;
+          (cell_of dst).inbox <- { src; data } :: (cell_of dst).inbox
+        end
+      end
+    in
+    iter_cells (fun cell ->
+        List.iter (deliver_message cell.id) (List.rev cell.outbox);
+        cell.outbox <- [])
+  in
+
+  let some_waiting () =
+    Array.exists
+      (fun c ->
+        match c.state with
+        | Waiting _ -> true
+        | Finished | Failed _ -> false)
+      cells
+  in
+
+  while some_waiting () && !round < cfg.max_rounds do
+    deliver ();
+    incr round;
+    iter_cells
+      (fun cell ->
+        match cell.state with
+        | Waiting cont ->
+          (* Stable inbox order: sort by sender, preserving per-sender send
+             order (the list was built reversed, so re-reverse first). *)
+          let inbox =
+            List.stable_sort
+              (fun a b -> Party_id.compare a.src b.src)
+              (List.rev cell.inbox)
+          in
+          cell.inbox <- [];
+          (* Resuming re-enters the deep handler installed by [drive], which
+             updates [cell.state] on park / return / raise; pre-set Finished
+             for the plain-return path before any effect fires. *)
+          cell.state <- Finished;
+          Effect.Deep.continue cont inbox
+        | Finished | Failed _ -> ())
+  done;
+  (* Flush messages sent in the final round so accounting covers them even
+     though no fiber is left to read them. *)
+  deliver ();
+
+  let party_result cell =
+    let status =
+      match cell.state with
+      | Finished -> Terminated
+      | Waiting _ -> Out_of_rounds
+      | Failed msg -> Crashed msg
+    in
+    { id = cell.id; status; out = cell.out }
+  in
+  {
+    parties = List.map party_result (Array.to_list cells);
+    trace = List.rev !trace;
+    metrics =
+      {
+        rounds_used = !round;
+        messages_sent = !messages_sent;
+        messages_delivered = !messages_delivered;
+        messages_dropped_topology = !dropped_topology;
+        messages_dropped_fault = !dropped_fault;
+        bytes_sent = !bytes_sent;
+      };
+  }
+
+let find_result res p =
+  List.find (fun (r : party_result) -> Party_id.equal r.id p) res.parties

@@ -1,0 +1,132 @@
+(** Synchronous round-based execution engine.
+
+    This is the executable instantiation of the paper's network model: a
+    synchronous network of [n = 2k] parties with pairwise authenticated
+    channels, operating in lockstep rounds (Δ = 1 round). A message sent in
+    round [r] is delivered at the start of round [r+1] — or never, when the
+    configured fault model drops it (the omission semantics of Lemma 10 and
+    Theorems 8–9) or when it is sent along a channel that does not exist in
+    the topology (byzantine parties cannot violate the communication
+    graph; channels are authenticated, so the receiver always learns the
+    true sender).
+
+    Each party runs as a cooperative fiber built on OCaml 5 effects, so
+    protocol code is written in direct style, mirroring the paper's
+    pseudocode: [send] queues messages for the current round and
+    [next_round] ends the round, returning the new round's inbox. Byzantine
+    parties are simply fibers running arbitrary programs. Execution is
+    deterministic. *)
+
+open Bsm_prelude
+
+(** Raw message bytes; protocols serialize with {!Bsm_wire.Wire}. *)
+type payload = string
+
+type envelope = {
+  src : Party_id.t;
+  data : payload;
+}
+
+(** The capabilities handed to a party's fiber. Attack constructions wrap
+    these closures to build covering systems, so keep protocols programming
+    against [env] rather than against the engine directly. *)
+type env = {
+  self : Party_id.t;
+  k : int;
+  round : unit -> int;  (** current round, starting at 0 *)
+  send : Party_id.t -> payload -> unit;
+      (** queue a message for delivery at the start of the next round;
+          silently dropped if no channel exists *)
+  next_round : unit -> envelope list;
+      (** finish the current round; returns the next round's inbox, sorted
+          by sender (send order preserved per sender) *)
+  output : payload -> unit;  (** record this party's protocol output *)
+  log : string -> unit;
+}
+
+(** [broadcast env targets msg] sends [msg] to every party in [targets]
+    (not to [env.self] even if listed). *)
+val broadcast : env -> Party_id.t list -> payload -> unit
+
+(** A party's program. Returning terminates the party; a party that never
+    returns within the round budget is reported as not terminated. *)
+type program = env -> unit
+
+(** Communication graph: one of the paper's topologies, or an arbitrary
+    symmetric edge relation (used by the covering-system attacks, which run
+    protocols on non-standard networks). *)
+type link =
+  | Of_topology of Bsm_topology.Topology.t
+  | Custom of (Party_id.t -> Party_id.t -> bool)
+
+type fault_model = {
+  drop : round:int -> src:Party_id.t -> dst:Party_id.t -> bool;
+      (** [drop] is consulted for every message on an existing channel;
+          [true] omits it. Models the omission failures of Section 5.2. *)
+}
+
+val no_faults : fault_model
+
+(** One message-level event, for execution traces. *)
+type event = {
+  event_round : int;
+  event_src : Party_id.t;
+  event_dst : Party_id.t;
+  event_bytes : int;
+  event_fate : [ `Delivered | `No_channel | `Omitted ];
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+type config = {
+  k : int;  (** parties per side; [n = 2k] *)
+  link : link;
+  max_rounds : int;  (** hard stop; protocols must finish before this *)
+  faults : fault_model;
+  trace_limit : int;
+      (** record up to this many message events (0 = tracing off) *)
+}
+
+val config :
+  ?max_rounds:int ->
+  ?faults:fault_model ->
+  ?trace_limit:int ->
+  k:int ->
+  link:link ->
+  unit ->
+  config
+
+type status =
+  | Terminated  (** fiber returned *)
+  | Out_of_rounds  (** still waiting on [next_round] at [max_rounds] *)
+  | Crashed of string  (** fiber raised; the exception text *)
+
+type party_result = {
+  id : Party_id.t;
+  status : status;
+  out : payload option;  (** last value passed to [output], if any *)
+}
+
+type metrics = {
+  rounds_used : int;
+  messages_sent : int;  (** send calls *)
+  messages_delivered : int;
+  messages_dropped_topology : int;  (** sent along non-existent channels *)
+  messages_dropped_fault : int;  (** omitted by the fault model *)
+  bytes_sent : int;  (** payload bytes over existing channels *)
+}
+
+type result = {
+  parties : party_result list;  (** roster order: L0..Lk-1, R0..Rk-1 *)
+  metrics : metrics;
+  trace : event list;
+      (** chronological, at most [trace_limit] events; empty when tracing
+          is off *)
+}
+
+(** [run cfg ~programs] executes one synchronous protocol. [programs] is
+    consulted once per roster party. *)
+val run : config -> programs:(Party_id.t -> program) -> result
+
+(** [find_result res p] looks up one party's result. Raises [Not_found]. *)
+val find_result : result -> Party_id.t -> party_result

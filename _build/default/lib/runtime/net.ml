@@ -1,0 +1,21 @@
+open Bsm_prelude
+
+type t = {
+  self : Party_id.t;
+  stride : int;
+  send : Party_id.t -> string -> unit;
+  sync : unit -> (Party_id.t * string) list;
+}
+
+let direct (env : Engine.env) =
+  {
+    self = env.self;
+    stride = 1;
+    send = env.send;
+    sync =
+      (fun () ->
+        List.map (fun (e : Engine.envelope) -> e.src, e.data) (env.next_round ()));
+  }
+
+let send_all t parties msg =
+  List.iter (fun p -> if not (Party_id.equal p t.self) then t.send p msg) parties

@@ -1,0 +1,27 @@
+(** Virtual point-to-point channels.
+
+    Protocol machines are written against this interface rather than
+    against {!Engine.env} directly, so the same protocol code runs over a
+    physical fully-connected network (stride 1) or over the paper's
+    simulated channels — majority proxy (Lemma 6), signature proxy
+    (Lemma 8), or the timestamped relay of Lemma 10 — where one virtual
+    round spans [stride] engine rounds. The channel implementations live in
+    [Bsm_core.Channels]. *)
+
+open Bsm_prelude
+
+type t = {
+  self : Party_id.t;
+  stride : int;  (** engine rounds consumed per [sync] *)
+  send : Party_id.t -> string -> unit;
+      (** queue a virtual message for the current virtual round *)
+  sync : unit -> (Party_id.t * string) list;
+      (** advance one virtual round; returns messages sent to [self] in the
+          previous virtual round, sorted by sender *)
+}
+
+(** Physical channels of the engine: one engine round per virtual round. *)
+val direct : Engine.env -> t
+
+(** [send_all t parties msg] sends to every listed party except [self]. *)
+val send_all : t -> Party_id.t list -> string -> unit

@@ -1,0 +1,1 @@
+lib/stable_matching/gale_shapley.ml: Array Bsm_prelude List Matching Prefs Profile Side

@@ -1,0 +1,1 @@
+lib/stable_matching/gale_shapley.mli: Bsm_prelude Matching Profile Side

@@ -1,0 +1,1 @@
+lib/stable_matching/incomplete.ml: Array Bsm_prelude Fun List Rng

@@ -1,0 +1,1 @@
+lib/stable_matching/incomplete.mli: Bsm_prelude

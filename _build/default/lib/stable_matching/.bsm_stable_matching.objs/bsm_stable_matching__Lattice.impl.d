@@ -1,0 +1,1 @@
+lib/stable_matching/lattice.ml: Array Bool Bsm_prelude Fun Gale_shapley Int List Matching Prefs Profile Set Verify

@@ -1,0 +1,1 @@
+lib/stable_matching/lattice.mli: Matching Profile

@@ -1,0 +1,1 @@
+lib/stable_matching/matching.ml: Array Bsm_prelude Bsm_wire Format Fun List Party_id Side Stdlib Util

@@ -1,0 +1,1 @@
+lib/stable_matching/matching.mli: Bsm_prelude Bsm_wire Format Party_id

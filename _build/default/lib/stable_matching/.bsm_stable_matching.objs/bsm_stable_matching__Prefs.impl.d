@@ -1,0 +1,1 @@
+lib/stable_matching/prefs.ml: Array Bsm_prelude Bsm_wire Format Fun List Rng Stdlib Util

@@ -1,0 +1,1 @@
+lib/stable_matching/prefs.mli: Bsm_prelude Bsm_wire Format

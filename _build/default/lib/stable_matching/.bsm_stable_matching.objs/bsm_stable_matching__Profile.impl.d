@@ -1,0 +1,1 @@
+lib/stable_matching/profile.ml: Array Bsm_prelude Bsm_wire Format Party_id Prefs Side

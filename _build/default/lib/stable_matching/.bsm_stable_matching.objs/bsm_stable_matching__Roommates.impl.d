@@ -1,0 +1,1 @@
+lib/stable_matching/roommates.ml: Array Bsm_prelude Fun Int List Rng Util

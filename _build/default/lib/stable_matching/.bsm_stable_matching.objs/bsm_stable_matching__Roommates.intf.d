@@ -1,0 +1,1 @@
+lib/stable_matching/roommates.mli: Bsm_prelude

@@ -1,0 +1,1 @@
+lib/stable_matching/truthfulness.ml: Bsm_prelude Fun Gale_shapley List Matching Party_id Prefs Profile Side

@@ -1,0 +1,1 @@
+lib/stable_matching/truthfulness.mli: Bsm_prelude Party_id Prefs Profile Side

@@ -1,0 +1,1 @@
+lib/stable_matching/verify.ml: Array Format Int List Matching Prefs Profile

@@ -1,0 +1,1 @@
+lib/stable_matching/verify.mli: Format Matching Profile

@@ -1,0 +1,72 @@
+open Bsm_prelude
+
+type stats = {
+  proposals : int;
+  rounds : int;
+}
+
+(* Swap the two sides of a profile so the proposing side is always "left"
+   internally. *)
+let oriented proposers profile =
+  match proposers with
+  | Side.Left -> Profile.left profile, Profile.right profile
+  | Side.Right -> Profile.right profile, Profile.left profile
+
+(* Parallel deferred acceptance: in each round every unmatched proposer
+   proposes to the best candidate that has not yet rejected it; every
+   candidate tentatively keeps the best proposal seen so far. *)
+let run_oriented proposer_prefs acceptor_prefs =
+  let k = Array.length proposer_prefs in
+  let next_rank = Array.make k 0 in
+  let held = Array.make k (-1) (* acceptor -> proposer currently held *) in
+  let matched = Array.make k false (* proposer -> currently held by someone *) in
+  let proposals = ref 0 in
+  let rounds = ref 0 in
+  let someone_free () = Array.exists not matched in
+  while someone_free () do
+    incr rounds;
+    (* Collect this round's proposals before updating any acceptor, so the
+       outcome is independent of proposer iteration order. *)
+    let proposals_now = ref [] in
+    for p = 0 to k - 1 do
+      if not matched.(p) then begin
+        let a = Prefs.at proposer_prefs.(p) next_rank.(p) in
+        next_rank.(p) <- next_rank.(p) + 1;
+        incr proposals;
+        proposals_now := (p, a) :: !proposals_now
+      end
+    done;
+    let consider (p, a) =
+      let current = held.(a) in
+      if current = -1 then begin
+        held.(a) <- p;
+        matched.(p) <- true
+      end
+      else if Prefs.prefers acceptor_prefs.(a) p current then begin
+        matched.(current) <- false;
+        held.(a) <- p;
+        matched.(p) <- true
+      end
+    in
+    List.iter consider (List.rev !proposals_now)
+  done;
+  let proposer_to_acceptor = Array.make k (-1) in
+  Array.iteri (fun a p -> proposer_to_acceptor.(p) <- a) held;
+  proposer_to_acceptor, { proposals = !proposals; rounds = !rounds }
+
+let run_with_stats ?(proposers = Side.Left) profile =
+  let proposer_prefs, acceptor_prefs = oriented proposers profile in
+  let p2a, stats = run_oriented proposer_prefs acceptor_prefs in
+  let l2r =
+    match proposers with
+    | Side.Left -> p2a
+    | Side.Right ->
+      (* p2a maps right -> left; invert to get left -> right. *)
+      let k = Array.length p2a in
+      let l2r = Array.make k (-1) in
+      Array.iteri (fun r l -> l2r.(l) <- r) p2a;
+      l2r
+  in
+  Matching.of_l2r_exn l2r, stats
+
+let run ?proposers profile = fst (run_with_stats ?proposers profile)

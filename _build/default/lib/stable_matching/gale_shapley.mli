@@ -1,0 +1,21 @@
+(** The Gale–Shapley deferred-acceptance algorithm ([A_G-S], Theorem 1).
+
+    Deterministic: given the same profile (and proposer side), every party
+    computes the same matching — the property the paper's Lemma 1 relies on
+    when parties run [A_G-S] locally after broadcasting preferences. *)
+
+open Bsm_prelude
+
+type stats = {
+  proposals : int;  (** total proposals made — Θ(k²) worst case *)
+  rounds : int;  (** parallel proposal rounds (McVitie–Wilson style) *)
+}
+
+(** [run ?proposers profile] computes the stable matching that is optimal
+    for the [proposers] side (default [Side.Left]) and pessimal for the
+    other side. *)
+val run : ?proposers:Side.t -> Profile.t -> Matching.t
+
+(** Like [run], also returning execution statistics for the
+    communication-complexity experiments. *)
+val run_with_stats : ?proposers:Side.t -> Profile.t -> Matching.t * stats

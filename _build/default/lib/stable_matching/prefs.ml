@@ -1,0 +1,76 @@
+open Bsm_prelude
+module Wire = Bsm_wire.Wire
+
+type t = {
+  order : int array; (* order.(rank) = candidate *)
+  ranks : int array; (* ranks.(candidate) = rank *)
+}
+
+let of_array order =
+  let k = Array.length order in
+  if not (Util.is_permutation (Array.to_list order) ~n:k) then
+    Error "preference list is not a permutation"
+  else begin
+    let ranks = Array.make k 0 in
+    Array.iteri (fun r c -> ranks.(c) <- r) order;
+    Ok { order; ranks }
+  end
+
+let of_list xs = of_array (Array.of_list xs)
+
+let of_list_exn xs =
+  match of_list xs with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Prefs.of_list_exn: " ^ msg)
+
+let to_list t = Array.to_list t.order
+let length t = Array.length t.order
+
+let at t r =
+  if r < 0 || r >= length t then invalid_arg "Prefs.at: rank out of range";
+  t.order.(r)
+
+let rank t c =
+  if c < 0 || c >= length t then invalid_arg "Prefs.rank: unknown candidate";
+  t.ranks.(c)
+
+let favorite t = at t 0
+let prefers t a b = rank t a < rank t b
+
+let identity k =
+  if k <= 0 then invalid_arg "Prefs.identity: k must be positive";
+  of_list_exn (List.init k Fun.id)
+
+let random rng k =
+  if k <= 0 then invalid_arg "Prefs.random: k must be positive";
+  of_list_exn (Rng.permutation rng k)
+
+let similar rng ~swaps base =
+  let a = Array.copy base.order in
+  let k = Array.length a in
+  for _ = 1 to swaps do
+    if k >= 2 then begin
+      let i = Rng.int rng (k - 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(i + 1);
+      a.(i + 1) <- tmp
+    end
+  done;
+  match of_array a with
+  | Ok t -> t
+  | Error _ -> assert false (* transpositions preserve permutation-ness *)
+
+let equal a b = a.order = b.order
+let compare a b = Stdlib.compare a.order b.order
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]" (Util.pp_comma_list Format.pp_print_int) (to_list t)
+
+let codec =
+  Wire.map
+    ~inject:(fun xs ->
+      match of_list xs with
+      | Ok t -> t
+      | Error msg -> raise (Wire.Malformed msg))
+    ~project:to_list
+    (Wire.list Wire.uint)

@@ -1,0 +1,55 @@
+(** A single party's preference list.
+
+    A preference list over [k] candidates is a permutation of
+    [0 .. k-1]: the party prefers candidate [at t 0] most, then [at t 1],
+    and so on. Per the paper's model, a party always prefers any candidate
+    on its list to being alone. Rank lookup is O(1). *)
+
+type t
+
+(** [of_list xs] validates that [xs] is a permutation of
+    [0 .. length xs - 1]. *)
+val of_list : int list -> (t, string) result
+
+(** [of_list_exn xs] raises [Invalid_argument] instead. *)
+val of_list_exn : int list -> t
+
+val to_list : t -> int list
+
+(** Number of candidates. *)
+val length : t -> int
+
+(** [at t r] is the candidate at rank [r] (0 = most preferred). Raises
+    [Invalid_argument] out of range. *)
+val at : t -> int -> int
+
+(** [rank t c] is the rank of candidate [c] (0 = most preferred). Raises
+    [Invalid_argument] for unknown candidates. *)
+val rank : t -> int -> int
+
+(** [favorite t] is [at t 0]. *)
+val favorite : t -> int
+
+(** [prefers t a b] — does the party rank [a] strictly before [b]? *)
+val prefers : t -> int -> int -> bool
+
+(** [identity k] is the list [0; 1; ...; k-1] — the paper's "default
+    preference list" assigned on behalf of byzantine parties that fail to
+    provide one. *)
+val identity : int -> t
+
+(** [random rng k] is a uniformly random list. *)
+val random : Bsm_prelude.Rng.t -> int -> t
+
+(** [similar rng ~swaps base] perturbs [base] with [swaps] random adjacent
+    transpositions: the "similar preference lists" regime of
+    Khanchandani–Wattenhofer (OPODIS 2016) used in workload generators. *)
+val similar : Bsm_prelude.Rng.t -> swaps:int -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Wire codec; decoding validates permutation-ness, so a byzantine party
+    cannot smuggle a malformed list past honest decoders. *)
+val codec : t Bsm_wire.Wire.t

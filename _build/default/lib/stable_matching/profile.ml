@@ -1,0 +1,100 @@
+open Bsm_prelude
+module Wire = Bsm_wire.Wire
+
+type t = {
+  k : int;
+  left : Prefs.t array;
+  right : Prefs.t array;
+}
+
+let make ~left ~right =
+  let k = Array.length left in
+  if Array.length right <> k then Error "sides have different cardinalities"
+  else if k = 0 then Error "empty instance"
+  else if
+    Array.exists (fun p -> Prefs.length p <> k) left
+    || Array.exists (fun p -> Prefs.length p <> k) right
+  then Error "preference list length differs from k"
+  else Ok { k; left; right }
+
+let make_exn ~left ~right =
+  match make ~left ~right with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Profile.make_exn: " ^ msg)
+
+let k t = t.k
+
+let prefs t p =
+  let i = Party_id.index p in
+  if i >= t.k then invalid_arg "Profile.prefs: party out of range";
+  match Party_id.side p with
+  | Side.Left -> t.left.(i)
+  | Side.Right -> t.right.(i)
+
+let left t = t.left
+let right t = t.right
+
+let with_prefs t p l =
+  if Prefs.length l <> t.k then invalid_arg "Profile.with_prefs: wrong length";
+  let i = Party_id.index p in
+  if i >= t.k then invalid_arg "Profile.with_prefs: party out of range";
+  match Party_id.side p with
+  | Side.Left ->
+    let left = Array.copy t.left in
+    left.(i) <- l;
+    { t with left }
+  | Side.Right ->
+    let right = Array.copy t.right in
+    right.(i) <- l;
+    { t with right }
+
+let random rng k =
+  {
+    k;
+    left = Array.init k (fun _ -> Prefs.random rng k);
+    right = Array.init k (fun _ -> Prefs.random rng k);
+  }
+
+let similar rng ~swaps k =
+  let base_left = Prefs.random rng k in
+  let base_right = Prefs.random rng k in
+  {
+    k;
+    left = Array.init k (fun _ -> Prefs.similar rng ~swaps base_left);
+    right = Array.init k (fun _ -> Prefs.similar rng ~swaps base_right);
+  }
+
+(* With fully identical preferences on both sides, proposer i is rejected by
+   candidates 0..i-1 before candidate i accepts, so Gale–Shapley performs
+   exactly k(k+1)/2 proposals — the classic Θ(k²) workload. *)
+let worst_case k =
+  {
+    k;
+    left = Array.init k (fun _ -> Prefs.identity k);
+    right = Array.init k (fun _ -> Prefs.identity k);
+  }
+
+let equal a b =
+  a.k = b.k
+  && Array.for_all2 Prefs.equal a.left b.left
+  && Array.for_all2 Prefs.equal a.right b.right
+
+let pp ppf t =
+  let side name arr =
+    Array.iteri
+      (fun i p -> Format.fprintf ppf "  %s%d: %a@\n" name i Prefs.pp p)
+      arr
+  in
+  Format.fprintf ppf "profile k=%d@\n" t.k;
+  side "L" t.left;
+  side "R" t.right
+
+let codec =
+  let array_codec = Wire.map ~inject:Array.of_list ~project:Array.to_list (Wire.list Prefs.codec) in
+  Wire.map
+    ~inject:(fun (left, right) ->
+      match make ~left ~right with
+      | Ok t -> t
+      | Error msg -> raise (Wire.Malformed msg))
+    ~project:(fun t -> t.left, t.right)
+    (Wire.pair array_codec array_codec)

@@ -1,0 +1,46 @@
+(** A complete stable-matching instance: one preference list per party.
+
+    [left.(i)] ranks the right-side candidates as seen by left party [i];
+    [right.(j)] ranks the left-side candidates as seen by right party
+    [j]. *)
+
+open Bsm_prelude
+
+type t
+
+(** [make ~left ~right] validates that both arrays have the same length [k]
+    and every list has length [k]. *)
+val make : left:Prefs.t array -> right:Prefs.t array -> (t, string) result
+
+val make_exn : left:Prefs.t array -> right:Prefs.t array -> t
+
+(** Parties per side. *)
+val k : t -> int
+
+(** [prefs t p] is the preference list party [p] holds (over the opposite
+    side). Raises [Invalid_argument] for out-of-range parties. *)
+val prefs : t -> Party_id.t -> Prefs.t
+
+val left : t -> Prefs.t array
+val right : t -> Prefs.t array
+
+(** [with_prefs t p l] replaces one party's list (used by the lying /
+    manipulation experiments). *)
+val with_prefs : t -> Party_id.t -> Prefs.t -> t
+
+(** [random rng k] draws all [2k] lists uniformly and independently. *)
+val random : Rng.t -> int -> t
+
+(** [similar rng ~swaps k] draws a base list per side and perturbs it per
+    party with [swaps] adjacent transpositions (correlated-preferences
+    workload). *)
+val similar : Rng.t -> swaps:int -> int -> t
+
+(** [worst_case k] — all left parties hold the identical list
+    [0,1,...,k-1], right parties hold "reversed" lists that force the
+    proposing side through Θ(k²) proposals in Gale–Shapley. *)
+val worst_case : int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val codec : t Bsm_wire.Wire.t

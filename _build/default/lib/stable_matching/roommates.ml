@@ -1,0 +1,223 @@
+open Bsm_prelude
+
+type instance = {
+  n : int;
+  rank : int array array; (* rank.(i).(j) = position of j in i's list *)
+  order : int array array; (* order.(i).(r) = person at rank r *)
+}
+
+let n t = t.n
+
+let make prefs =
+  let n = Array.length prefs in
+  if n < 2 || n mod 2 <> 0 then Error "n must be even and >= 2"
+  else begin
+    let ok_list i xs =
+      List.length xs = n - 1
+      && List.sort_uniq compare xs = List.filter (( <> ) i) (List.init n Fun.id)
+    in
+    let valid = ref true in
+    Array.iteri (fun i xs -> if not (ok_list i xs) then valid := false) prefs;
+    if not !valid then Error "each list must rank all other persons exactly once"
+    else begin
+      let order = Array.map Array.of_list prefs in
+      let rank = Array.make_matrix n n (-1) in
+      Array.iteri (fun i ord -> Array.iteri (fun r j -> rank.(i).(j) <- r) ord) order;
+      Ok { n; rank; order }
+    end
+  end
+
+let make_exn prefs =
+  match make prefs with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Roommates.make_exn: " ^ msg)
+
+let random rng n =
+  let list_for i = Rng.shuffle rng (List.filter (( <> ) i) (List.init n Fun.id)) in
+  make_exn (Array.init n list_for)
+
+(* Mutable reduced-table state for Irving's algorithm. [active.(i).(j)]
+   tracks whether j still appears in i's list (always symmetric). *)
+type state = {
+  inst : instance;
+  active : bool array array;
+}
+
+let state_of inst =
+  {
+    inst;
+    active =
+      Array.init inst.n (fun i -> Array.init inst.n (fun j -> i <> j));
+  }
+
+let delete st i j =
+  st.active.(i).(j) <- false;
+  st.active.(j).(i) <- false
+
+let first st i =
+  let ord = st.inst.order.(i) in
+  let rec go r = if r >= Array.length ord then None
+    else if st.active.(i).(ord.(r)) then Some ord.(r) else go (r + 1)
+  in
+  go 0
+
+let second st i =
+  let ord = st.inst.order.(i) in
+  let rec go r seen =
+    if r >= Array.length ord then None
+    else if st.active.(i).(ord.(r)) then
+      if seen then Some ord.(r) else go (r + 1) true
+    else go (r + 1) seen
+  in
+  go 0 false
+
+let last st i =
+  let ord = st.inst.order.(i) in
+  let rec go r = if r < 0 then None
+    else if st.active.(i).(ord.(r)) then Some ord.(r) else go (r - 1)
+  in
+  go (Array.length ord - 1)
+
+let list_length st i =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 st.active.(i)
+
+(* Truncate y's list strictly below [keep] (symmetric deletions). *)
+let truncate_below st y keep =
+  let ord = st.inst.order.(y) in
+  let cutoff = st.inst.rank.(y).(keep) in
+  Array.iteri (fun r z -> if r > cutoff && st.active.(y).(z) then delete st y z) ord
+
+(* Phase 1 (Irving / Gusfield–Irving §4.2): while some free person x has a
+   nonempty list, x proposes to first(x) =: y; y accepts (its list was
+   already truncated below its current holder, so any remaining proposer is
+   preferred), frees its previous holder, and truncates its list strictly
+   below x. Fails — no stable matching — when a free person's list runs
+   empty. *)
+let phase1 st =
+  let n = st.inst.n in
+  let held = Array.make n (-1) in
+  let rec go = function
+    | [] -> true
+    | x :: free -> begin
+      match first st x with
+      | None -> false
+      | Some y ->
+        let displaced = held.(y) in
+        held.(y) <- x;
+        truncate_below st y x;
+        go (if displaced >= 0 then displaced :: free else free)
+    end
+  in
+  go (List.init n Fun.id)
+
+(* Phase 2: repeatedly find and eliminate an all-or-nothing rotation. *)
+let find_rotation st start =
+  (* x_{i+1} = last(second(x_i)); stop at the first repeated x. *)
+  let rec walk path x =
+    match Util.find_index (Int.equal x) path with
+    | Some pos ->
+      (* path is reversed: the cycle is the prefix up to [pos]. *)
+      List.rev (Util.take (pos + 1) path)
+    | None -> begin
+      match second st x with
+      | None -> invalid_arg "Roommates: rotation walk hit a singleton list"
+      | Some y -> begin
+        match last st y with
+        | None -> invalid_arg "Roommates: rotation walk hit an empty list"
+        | Some x' -> walk (x :: path) x'
+      end
+    end
+  in
+  walk [] start
+
+let eliminate_rotation st cycle =
+  (* For each x in the cycle, second(x) ends up holding x: truncate
+     second(x)'s list strictly below x. Collect the seconds first — the
+     truncations themselves change the lists. *)
+  let seconds =
+    List.map
+      (fun x ->
+        match second st x with
+        | Some y -> x, y
+        | None -> invalid_arg "Roommates: rotation lost its second")
+      cycle
+  in
+  List.iter (fun (x, y) -> truncate_below st y x) seconds
+
+let solve inst =
+  let st = state_of inst in
+  if not (phase1 st) then None
+  else begin
+    let n = inst.n in
+    let rec loop () =
+      let lengths = List.init n (fun i -> list_length st i) in
+      if List.exists (Int.equal 0) lengths then None
+      else if List.for_all (Int.equal 1) lengths then begin
+        let partner = Array.make n (-1) in
+        let fill i =
+          match first st i with
+          | Some j -> partner.(i) <- j
+          | None -> assert false
+        in
+        List.iter fill (List.init n Fun.id);
+        (* The theory guarantees mutuality; guard against implementation
+           bugs rather than returning a corrupt matching. *)
+        let mutual = Array.for_all (fun j -> j >= 0 && partner.(j) >= 0) partner in
+        if mutual && Array.for_all Fun.id (Array.mapi (fun i j -> partner.(j) = i) partner)
+        then Some partner
+        else None
+      end
+      else begin
+        let start =
+          match Util.find_index (fun i -> list_length st i >= 2) (List.init n Fun.id) with
+          | Some i -> i
+          | None -> assert false
+        in
+        let cycle = find_rotation st start in
+        eliminate_rotation st cycle;
+        loop ()
+      end
+    in
+    loop ()
+  end
+
+let is_stable inst partner =
+  let n = inst.n in
+  Array.length partner = n
+  && Array.for_all (fun j -> j >= 0 && j < n) partner
+  && Array.for_all Fun.id (Array.mapi (fun i j -> partner.(j) = i && j <> i) partner)
+  &&
+  let blocks i j =
+    i <> j
+    && partner.(i) <> j
+    && inst.rank.(i).(j) < inst.rank.(i).(partner.(i))
+    && inst.rank.(j).(i) < inst.rank.(j).(partner.(j))
+  in
+  not
+    (List.exists
+       (fun i -> List.exists (blocks i) (List.init n Fun.id))
+       (List.init n Fun.id))
+
+let all_stable_brute inst =
+  let n = inst.n in
+  (* Enumerate perfect matchings: repeatedly pair the smallest free person. *)
+  let rec pairings free =
+    match free with
+    | [] -> [ [] ]
+    | i :: rest ->
+      List.concat_map
+        (fun j ->
+          let rest' = List.filter (( <> ) j) rest in
+          List.map (fun m -> (i, j) :: m) (pairings rest'))
+        rest
+  in
+  let to_array pairs =
+    let partner = Array.make n (-1) in
+    List.iter
+      (fun (i, j) ->
+        partner.(i) <- j;
+        partner.(j) <- i)
+      pairs;
+    partner
+  in
+  List.filter (is_stable inst) (List.map to_array (pairings (List.init n Fun.id)))

@@ -1,0 +1,37 @@
+(** The stable roommates problem (Irving's algorithm).
+
+    The paper's conclusion names the byzantine stable roommates problem as
+    the first open direction, noting the key difference from bipartite
+    stable matching: a stable roommates instance may have {e no} solution.
+    This module provides the classical (fault-free) algorithmic substrate
+    for that direction: Irving's O(n²) two-phase algorithm deciding
+    existence and producing a stable matching when one exists.
+
+    An instance has [n] persons (n even); person [i]'s preference list is a
+    permutation of the other [n-1] persons. A perfect matching is stable
+    iff no two unmatched persons prefer each other to their partners. *)
+
+type instance
+
+(** [make prefs] — [prefs.(i)] lists the other persons in [i]'s preference
+    order. Validates: [n] even and ≥ 2, each list a permutation of the
+    others. *)
+val make : int list array -> (instance, string) result
+
+val make_exn : int list array -> instance
+
+val n : instance -> int
+
+(** [random rng n] draws an instance uniformly. *)
+val random : Bsm_prelude.Rng.t -> int -> instance
+
+(** [solve inst] is [Some partner] with [partner.(i)] the partner of [i]
+    in a stable matching, or [None] when the instance admits none. *)
+val solve : instance -> int array option
+
+(** [is_stable inst partner] checks symmetry, perfection and absence of
+    blocking pairs. *)
+val is_stable : instance -> int array -> bool
+
+(** Factorial-time oracle for tests: all stable perfect matchings. *)
+val all_stable_brute : instance -> int array list

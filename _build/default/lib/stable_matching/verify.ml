@@ -1,0 +1,43 @@
+type blocking_pair = {
+  left : int;
+  right : int;
+}
+
+let pp_blocking_pair ppf { left; right } = Format.fprintf ppf "(L%d, R%d)" left right
+
+let blocking_pairs_partial profile ~left_partner ~right_partner ~consider_left
+    ~consider_right =
+  let k = Profile.k profile in
+  let lp = Profile.left profile in
+  let rp = Profile.right profile in
+  (* [l] prefers [r] to its current situation: true when single (parties
+     prefer any match to being alone) or when [r] ranks before the current
+     partner. *)
+  let left_wants l r =
+    match left_partner l with
+    | None -> true
+    | Some r' -> (not (Int.equal r r')) && Prefs.prefers lp.(l) r r'
+  in
+  let right_wants r l =
+    match right_partner r with
+    | None -> true
+    | Some l' -> (not (Int.equal l l')) && Prefs.prefers rp.(r) l l'
+  in
+  let pairs = ref [] in
+  for l = k - 1 downto 0 do
+    for r = k - 1 downto 0 do
+      if consider_left l && consider_right r && left_wants l r && right_wants r l
+      then pairs := { left = l; right = r } :: !pairs
+    done
+  done;
+  !pairs
+
+let blocking_pairs profile m =
+  blocking_pairs_partial profile
+    ~left_partner:(fun l -> Some (Matching.partner_of_left m l))
+    ~right_partner:(fun r -> Some (Matching.partner_of_right m r))
+    ~consider_left:(fun _ -> true)
+    ~consider_right:(fun _ -> true)
+
+let is_stable profile m = blocking_pairs profile m = []
+let instability profile m = List.length (blocking_pairs profile m)

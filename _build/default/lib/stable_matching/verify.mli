@@ -1,0 +1,35 @@
+(** Stability checking and blocking-pair analysis.
+
+    A pair [(l, r)] not matched together is {e blocking} when [l] prefers
+    [r] to its partner and [r] prefers [l] to its partner. A matching is
+    stable iff no blocking pair exists. For partial matchings an unmatched
+    party prefers anyone to being alone (the paper's convention), so a
+    mutually-acceptable unmatched pair always blocks. *)
+
+type blocking_pair = {
+  left : int;
+  right : int;
+}
+
+(** On perfect matchings. *)
+
+val blocking_pairs : Profile.t -> Matching.t -> blocking_pair list
+val is_stable : Profile.t -> Matching.t -> bool
+
+(** [instability profile m] is the number of blocking pairs — the
+    approximate-stability metric of Ostrovsky–Rosenbaum (PODC 2015) that we
+    use to quantify how badly naive protocols fail under attack. *)
+val instability : Profile.t -> Matching.t -> int
+
+(** On partial matchings, given as [partner_of : int -> int option] maps
+    for both sides (the distributed layer's view of honest outputs). *)
+
+val blocking_pairs_partial :
+  Profile.t ->
+  left_partner:(int -> int option) ->
+  right_partner:(int -> int option) ->
+  consider_left:(int -> bool) ->
+  consider_right:(int -> bool) ->
+  blocking_pair list
+
+val pp_blocking_pair : Format.formatter -> blocking_pair -> unit

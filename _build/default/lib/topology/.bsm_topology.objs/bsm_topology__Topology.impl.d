@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Bsm_prelude Buffer Format List Party_id Side String

@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Bsm_prelude Format Party_id Side

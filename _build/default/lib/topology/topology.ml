@@ -1,0 +1,63 @@
+open Bsm_prelude
+
+type t =
+  | Fully_connected
+  | One_sided
+  | Bipartite
+
+let equal a b =
+  match a, b with
+  | Fully_connected, Fully_connected | One_sided, One_sided | Bipartite, Bipartite ->
+    true
+  | (Fully_connected | One_sided | Bipartite), _ -> false
+
+let to_string = function
+  | Fully_connected -> "fully-connected"
+  | One_sided -> "one-sided"
+  | Bipartite -> "bipartite"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all = [ Bipartite; One_sided; Fully_connected ]
+
+let connected t u v =
+  (not (Party_id.equal u v))
+  &&
+  let su = Party_id.side u and sv = Party_id.side v in
+  match t with
+  | Fully_connected -> true
+  | One_sided -> not (Side.equal su Side.Left && Side.equal sv Side.Left)
+  | Bipartite -> not (Side.equal su sv)
+
+let neighbors t ~k p = List.filter (connected t p) (Party_id.all ~k)
+
+let rank = function
+  | Bipartite -> 0
+  | One_sided -> 1
+  | Fully_connected -> 2
+
+let weaker_or_equal a b = rank a <= rank b
+
+let disconnected_sides = function
+  | Fully_connected -> []
+  | One_sided -> [ Side.Left ]
+  | Bipartite -> [ Side.Left; Side.Right ]
+
+let render t ~k =
+  let buf = Buffer.create 128 in
+  let side_line side =
+    String.concat "  "
+      (List.map Party_id.to_string (Party_id.side_members side ~k))
+  in
+  Buffer.add_string buf (to_string t ^ " (k = " ^ string_of_int k ^ ")\n");
+  Buffer.add_string buf ("  L: " ^ side_line Side.Left ^ "\n");
+  Buffer.add_string buf ("  R: " ^ side_line Side.Right ^ "\n");
+  let intra side =
+    match t, side with
+    | Fully_connected, _ | One_sided, Side.Right -> "complete"
+    | One_sided, Side.Left | Bipartite, _ -> "none"
+  in
+  Buffer.add_string buf "  L-R channels: complete\n";
+  Buffer.add_string buf ("  L-L channels: " ^ intra Side.Left ^ "\n");
+  Buffer.add_string buf ("  R-R channels: " ^ intra Side.Right ^ "\n");
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** The three communication topologies of the paper (Fig. 1).
+
+    - {b Fully-connected}: every pair of distinct parties shares a channel.
+    - {b One-sided}: as fully-connected, except parties within [L] cannot
+      communicate directly ([R] keeps complete communication).
+    - {b Bipartite}: only pairs in [L × R] share a channel.
+
+    Each model is strictly stronger than the previous one; [weaker_or_equal]
+    captures that order. The network engine consults [connected] to drop any
+    message sent along a non-existent channel — byzantine parties cannot
+    violate the topology. *)
+
+open Bsm_prelude
+
+type t =
+  | Fully_connected
+  | One_sided
+  | Bipartite
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list
+
+(** [connected t u v] — do [u] and [v] share a channel? A party is never
+    connected to itself. *)
+val connected : t -> Party_id.t -> Party_id.t -> bool
+
+(** [neighbors t ~k p] lists the parties [p] can exchange messages with. *)
+val neighbors : t -> k:int -> Party_id.t -> Party_id.t list
+
+(** [weaker_or_equal a b] — every channel of [a] exists in [b]
+    (bipartite ⊑ one-sided ⊑ fully-connected). *)
+val weaker_or_equal : t -> t -> bool
+
+(** [disconnected_sides t] lists the sides whose members lack intra-side
+    channels: both for bipartite, [Left] for one-sided, none for
+    fully-connected. *)
+val disconnected_sides : t -> Side.t list
+
+(** ASCII sketch of the topology for [k] parties per side (used by the CLI
+    to reproduce Fig. 1). *)
+val render : t -> k:int -> string

@@ -1,0 +1,1 @@
+lib/wire/wire.ml: Bsm_prelude Buffer Char Format List Party_id Side String Sys

@@ -1,0 +1,227 @@
+open Bsm_prelude
+
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let to_string = Buffer.contents
+
+  (* LEB128 over the full word, treating it as unsigned ([lsr], no sign
+     check) so that zigzagged extreme values survive. *)
+  let raw t n =
+    let rec go n =
+      if n land lnot 0x7f = 0 then Buffer.add_char t (Char.chr n)
+      else begin
+        Buffer.add_char t (Char.chr (0x80 lor (n land 0x7f)));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let uint t n =
+    if n < 0 then invalid_arg "Wire.Enc.uint: negative";
+    raw t n
+
+  (* Zigzag: maps 0,-1,1,-2,... to 0,1,2,3,... *)
+  let int t n = raw t ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+  let bool t b = Buffer.add_char t (if b then '\001' else '\000')
+
+  let string t s =
+    uint t (String.length s);
+    Buffer.add_string t s
+
+  let tag t n =
+    if n < 0 || n > 255 then invalid_arg "Wire.Enc.tag: out of range";
+    Buffer.add_char t (Char.chr n)
+end
+
+module Dec = struct
+  type t = {
+    data : string;
+    mutable pos : int;
+  }
+
+  let of_string data = { data; pos = 0 }
+
+  let byte t =
+    if t.pos >= String.length t.data then malformed "unexpected end of input";
+    let c = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let raw t =
+    let rec go shift acc =
+      if shift > Sys.int_size then malformed "varint too long";
+      let b = byte t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let uint t =
+    let n = raw t in
+    if n < 0 then malformed "varint overflow";
+    n
+
+  let int t =
+    let n = raw t in
+    (n lsr 1) lxor (- (n land 1))
+
+  let bool t =
+    match byte t with
+    | 0 -> false
+    | 1 -> true
+    | b -> malformed "invalid bool byte %d" b
+
+  let string t =
+    let len = uint t in
+    if t.pos + len > String.length t.data then malformed "string length out of range";
+    let s = String.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let tag = byte
+
+  let expect_end t =
+    if t.pos <> String.length t.data then
+      malformed "trailing bytes: %d remaining" (String.length t.data - t.pos)
+end
+
+type 'a t = {
+  write : Enc.t -> 'a -> unit;
+  read : Dec.t -> 'a;
+}
+
+let encode c v =
+  let e = Enc.create () in
+  c.write e v;
+  Enc.to_string e
+
+let decode_exn c s =
+  let d = Dec.of_string s in
+  let v = c.read d in
+  Dec.expect_end d;
+  v
+
+let decode c s =
+  match decode_exn c s with
+  | v -> Ok v
+  | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let uint = { write = Enc.uint; read = Dec.uint }
+let int = { write = Enc.int; read = Dec.int }
+let bool = { write = Enc.bool; read = Dec.bool }
+let string = { write = Enc.string; read = Dec.string }
+let unit = { write = (fun _ () -> ()); read = (fun _ -> ()) }
+
+let list c =
+  let write e xs =
+    Enc.uint e (List.length xs);
+    List.iter (c.write e) xs
+  in
+  let read d =
+    let n = Dec.uint d in
+    List.init n (fun _ -> c.read d)
+  in
+  { write; read }
+
+let option c =
+  let write e = function
+    | None -> Enc.bool e false
+    | Some v ->
+      Enc.bool e true;
+      c.write e v
+  in
+  let read d = if Dec.bool d then Some (c.read d) else None in
+  { write; read }
+
+let pair ca cb =
+  let write e (a, b) =
+    ca.write e a;
+    cb.write e b
+  in
+  let read d =
+    let a = ca.read d in
+    let b = cb.read d in
+    a, b
+  in
+  { write; read }
+
+let triple ca cb cc =
+  let write e (a, b, c) =
+    ca.write e a;
+    cb.write e b;
+    cc.write e c
+  in
+  let read d =
+    let a = ca.read d in
+    let b = cb.read d in
+    let c = cc.read d in
+    a, b, c
+  in
+  { write; read }
+
+let map ~inject ~project c =
+  { write = (fun e v -> c.write e (project v)); read = (fun d -> inject (c.read d)) }
+
+type ('v, 'a) case_ = {
+  case_tag : int;
+  codec : 'a t;
+  inject : 'a -> 'v;
+  match_ : 'v -> 'a option;
+}
+
+let case case_tag codec ~inject ~match_ = { case_tag; codec; inject; match_ }
+
+type 'v packed_case = Packed : ('v, 'a) case_ -> 'v packed_case
+
+let pack c = Packed c
+
+let variant ~name cases =
+  let write e v =
+    let rec go = function
+      | [] -> invalid_arg (name ^ ": no matching variant case")
+      | Packed c :: rest -> begin
+        match c.match_ v with
+        | Some payload ->
+          Enc.tag e c.case_tag;
+          c.codec.write e payload
+        | None -> go rest
+      end
+    in
+    go cases
+  in
+  let read d =
+    let t = Dec.tag d in
+    let rec go = function
+      | [] -> malformed "%s: unknown tag %d" name t
+      | Packed c :: rest ->
+        if c.case_tag = t then c.inject (c.codec.read d) else go rest
+    in
+    go cases
+  in
+  { write; read }
+
+let side =
+  let inject = function
+    | 0 -> Side.Left
+    | 1 -> Side.Right
+    | n -> malformed "invalid side %d" n
+  in
+  let project = function
+    | Side.Left -> 0
+    | Side.Right -> 1
+  in
+  map ~inject ~project uint
+
+let party_id =
+  map
+    ~inject:(fun (s, i) -> Party_id.make s i)
+    ~project:(fun p -> Party_id.side p, Party_id.index p)
+    (pair side uint)

@@ -1,0 +1,105 @@
+(** Deterministic binary wire format.
+
+    Every protocol message in the repository is serialized with these
+    combinators before it enters the network engine, for three reasons:
+    byzantine parties can then send arbitrary byte strings (malformed input
+    is a first-class case every decoder handles), message sizes can be
+    accounted exactly in the communication-complexity experiments, and
+    signatures sign concrete bytes rather than OCaml values.
+
+    Integers use LEB128 varints (signed values are zigzag-encoded); strings
+    and lists are length-prefixed. Encoding is canonical: equal values
+    produce equal bytes. *)
+
+(** Raised by decoders on malformed input. [decode] catches it. *)
+exception Malformed of string
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+
+  (** Encoded bytes so far. *)
+  val to_string : t -> string
+
+  (** Unsigned varint; raises [Invalid_argument] on negative input. *)
+  val uint : t -> int -> unit
+
+  (** Signed varint (zigzag). *)
+  val int : t -> int -> unit
+
+  val bool : t -> bool -> unit
+  val string : t -> string -> unit
+
+  (** Tag byte for variant constructors, [0 .. 255]. *)
+  val tag : t -> int -> unit
+end
+
+module Dec : sig
+  type t
+
+  val of_string : string -> t
+
+  val uint : t -> int
+  val int : t -> int
+  val bool : t -> bool
+  val string : t -> string
+  val tag : t -> int
+
+  (** [expect_end d] raises [Malformed] if bytes remain: decoding a whole
+      message must consume it entirely. *)
+  val expect_end : t -> unit
+end
+
+(** A two-way codec for ['a]. *)
+type 'a t = {
+  write : Enc.t -> 'a -> unit;
+  read : Dec.t -> 'a;
+}
+
+(** [encode c v] is the canonical byte string for [v]. *)
+val encode : 'a t -> 'a -> string
+
+(** [decode c s] decodes a full message; any leftover bytes or malformed
+    content yields [Error]. *)
+val decode : 'a t -> string -> ('a, string) result
+
+(** [decode_exn c s] raises [Malformed] instead of returning [Error]. *)
+val decode_exn : 'a t -> string -> 'a
+
+(* Primitive codecs. *)
+
+val uint : int t
+val int : int t
+val bool : bool t
+val string : string t
+val unit : unit t
+
+(* Combinators. *)
+
+val list : 'a t -> 'a list t
+val option : 'a t -> 'a option t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+(** [map ~inject ~project c] transports a codec along an isomorphism-ish
+    pair; [inject] may raise [Malformed] to reject invalid decoded
+    values. *)
+val map : inject:('a -> 'b) -> project:('b -> 'a) -> 'a t -> 'b t
+
+(** Variant codec: [variant ~name cases] where each case is a
+    [case] built by [case tag codec ~inject ~match_]. Decoding an unknown
+    tag raises [Malformed]. *)
+type ('v, 'a) case_
+
+val case : int -> 'a t -> inject:('a -> 'v) -> match_:('v -> 'a option) -> ('v, 'a) case_
+
+type 'v packed_case
+
+val pack : ('v, 'a) case_ -> 'v packed_case
+val variant : name:string -> 'v packed_case list -> 'v t
+
+(* Domain codecs for the prelude types. *)
+
+val side : Bsm_prelude.Side.t t
+val party_id : Bsm_prelude.Party_id.t t

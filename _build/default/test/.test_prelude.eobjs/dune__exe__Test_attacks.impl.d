@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Bsm_attacks Bsm_broadcast Bsm_core Bsm_harness Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Format List Party_id Rng Side String

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Bsm_broadcast Bsm_crypto Bsm_prelude Bsm_runtime Bsm_topology Bsm_wire Fun Int List Option Party_id Party_set Printf QCheck QCheck_alcotest Rng Side String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bsm_crypto Bsm_prelude Bsm_wire Party_id String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bsm_core Bsm_harness Bsm_prelude Bsm_runtime Bsm_stable_matching Bsm_topology Format List Party_id Party_set Rng Side String

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Bsm_prelude Fun Int List Party_id Party_set Rng Side Stats String Table Util

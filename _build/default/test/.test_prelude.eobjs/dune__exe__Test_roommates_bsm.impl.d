@@ -1,0 +1,1 @@
+test/test_roommates_bsm.ml: Alcotest Array Bsm_broadcast Bsm_core Bsm_crypto Bsm_prelude Bsm_runtime Bsm_topology Bsm_wire Format List Party_id Party_set Printf Rng String

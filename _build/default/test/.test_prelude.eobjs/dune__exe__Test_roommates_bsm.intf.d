@@ -1,0 +1,1 @@
+test/test_roommates_bsm.mli:

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bsm_prelude Bsm_runtime Bsm_topology Format List Party_id Side String

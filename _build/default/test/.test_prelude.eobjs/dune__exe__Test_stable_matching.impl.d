@@ -1,0 +1,1 @@
+test/test_stable_matching.ml: Alcotest Array Bsm_prelude Bsm_stable_matching Bsm_wire List Party_id Printf QCheck QCheck_alcotest Result Rng Side Util

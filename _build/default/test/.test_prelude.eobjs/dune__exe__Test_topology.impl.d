@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Bsm_prelude Bsm_topology List Party_id Printf Side String

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bool Bsm_prelude Bsm_wire Char Int List Party_id QCheck QCheck_alcotest Result Rng Side String

@@ -1,0 +1,955 @@
+(* Tests for the broadcast/agreement substrate: adversary structures,
+   (generalized) phase king, the omission-tolerant Pi_BA / Pi_BB pair, and
+   Dolev-Strong — each under honest, crashing, silent, equivocating and
+   noise-generating byzantine parties. *)
+
+open Bsm_prelude
+module Engine = Bsm_runtime.Engine
+module Net = Bsm_runtime.Net
+module B = Bsm_broadcast
+module Crypto = Bsm_crypto.Crypto
+module Wire = Bsm_wire.Wire
+
+(* --- adversary structures ----------------------------------------------- *)
+
+let pset l = Party_set.of_list l
+
+let test_possibly_corrupt_threshold () =
+  let s = B.Adversary_structure.Threshold 2 in
+  Alcotest.(check bool) "size 2 ok" true
+    (B.Adversary_structure.possibly_corrupt s (pset [ Party_id.left 0; Party_id.right 1 ]));
+  Alcotest.(check bool) "size 3 not" false
+    (B.Adversary_structure.possibly_corrupt s
+       (pset [ Party_id.left 0; Party_id.left 1; Party_id.right 1 ]))
+
+let test_possibly_corrupt_two_sided () =
+  let s = B.Adversary_structure.Two_sided { t_left = 1; t_right = 2 } in
+  Alcotest.(check bool) "1L+2R ok" true
+    (B.Adversary_structure.possibly_corrupt s
+       (pset [ Party_id.left 0; Party_id.right 0; Party_id.right 1 ]));
+  Alcotest.(check bool) "2L not" false
+    (B.Adversary_structure.possibly_corrupt s (pset [ Party_id.left 0; Party_id.left 1 ]))
+
+let test_q3_two_sided_matches_lemma4 () =
+  (* Lemma 4: Q3 for the product structure over the full roster holds iff
+     t_L < k/3 or t_R < k/3. Exhaustive over small (k, t_L, t_R). *)
+  for k = 1 to 9 do
+    let participants = Party_id.all ~k in
+    for t_left = 0 to k do
+      for t_right = 0 to k do
+        let s = B.Adversary_structure.Two_sided { t_left; t_right } in
+        let expected = 3 * t_left < k || 3 * t_right < k in
+        if B.Adversary_structure.q3 s ~participants <> expected then
+          Alcotest.failf "q3 mismatch at k=%d tL=%d tR=%d" k t_left t_right
+      done
+    done
+  done
+
+let test_q3_explicit_agrees_with_two_sided () =
+  (* Cross-check the explicit-structure cover search against the closed
+     form, by materializing Z* for small instances. *)
+  let k = 3 in
+  let participants = Party_id.all ~k in
+  let lefts = Party_id.side_members Side.Left ~k in
+  let rights = Party_id.side_members Side.Right ~k in
+  let subsets_of_size n pool =
+    List.filter (fun s -> Party_set.cardinal s = n) (Party_set.power_set pool)
+  in
+  for t_left = 0 to k do
+    for t_right = 0 to k do
+      let maximal =
+        List.concat_map
+          (fun sl ->
+            List.map (fun sr -> Party_set.union sl sr) (subsets_of_size t_right rights))
+          (subsets_of_size t_left lefts)
+      in
+      let explicit = B.Adversary_structure.Explicit maximal in
+      let two_sided = B.Adversary_structure.Two_sided { t_left; t_right } in
+      if
+        B.Adversary_structure.q3 explicit ~participants
+        <> B.Adversary_structure.q3 two_sided ~participants
+      then Alcotest.failf "explicit/two-sided q3 disagree at tL=%d tR=%d" t_left t_right
+    done
+  done
+
+let test_king_sequence_not_corruptible () =
+  let check s participants =
+    let kings = B.Adversary_structure.king_sequence s ~participants in
+    Alcotest.(check bool) "kings not corruptible" false
+      (B.Adversary_structure.possibly_corrupt s (pset kings));
+    List.iter
+      (fun king ->
+        Alcotest.(check bool) "king is participant" true (List.mem king participants))
+      kings
+  in
+  check (B.Adversary_structure.Threshold 2) (Party_id.side_members Side.Left ~k:7);
+  check (B.Adversary_structure.Two_sided { t_left = 1; t_right = 3 }) (Party_id.all ~k:4);
+  check (B.Adversary_structure.Two_sided { t_left = 4; t_right = 1 }) (Party_id.all ~k:4)
+
+let test_king_sequence_picks_cheap_side () =
+  let s = B.Adversary_structure.Two_sided { t_left = 3; t_right = 1 } in
+  let kings = B.Adversary_structure.king_sequence s ~participants:(Party_id.all ~k:4) in
+  Alcotest.(check int) "t_R+1 kings" 2 (List.length kings);
+  List.iter
+    (fun king ->
+      Alcotest.(check bool) "from right side" true
+        (Side.equal (Party_id.side king) Side.Right))
+    kings
+
+(* --- helpers for protocol runs ------------------------------------------ *)
+
+let opt_string = Wire.option Wire.string
+
+(* Run a protocol among all 2k parties, fully connected. [byzantine] maps a
+   party to Some program; honest parties run [honest]. Returns the engine
+   result. *)
+let run_protocol ?faults ~k ~honest ~byzantine () =
+  let cfg =
+    Engine.config ?faults ~k
+      ~link:(Engine.Of_topology Bsm_topology.Topology.Fully_connected) ()
+  in
+  Engine.run cfg ~programs:(fun p ->
+      match byzantine p with
+      | Some program -> program
+      | None -> honest p)
+
+let honest_outputs res honest_parties =
+  List.filter_map
+    (fun p ->
+      let r = Engine.find_result res p in
+      match r.Engine.status with
+      | Engine.Terminated -> Some (p, r.Engine.out)
+      | Engine.Out_of_rounds | Engine.Crashed _ ->
+        Alcotest.failf "honest party %s did not terminate cleanly" (Party_id.to_string p))
+    honest_parties
+
+(* --- phase king (threshold structure, one side) -------------------------- *)
+
+let pk_params ~k ~t =
+  B.Phase_king.params
+    ~structure:(B.Adversary_structure.Threshold t)
+    ~participants:(Party_id.side_members Side.Left ~k)
+
+let pk_honest params inputs p (env : Engine.env) =
+  let machine = B.Phase_king.make params ~self:p ~input:(inputs p) in
+  let out = B.Machine.run (Net.direct env) machine in
+  env.Engine.output out
+
+let left_parties ~k = Party_id.side_members Side.Left ~k
+
+let check_agreement ~what outputs =
+  match outputs with
+  | [] -> Alcotest.fail "no honest outputs"
+  | (_, first) :: rest ->
+    List.iter
+      (fun (p, out) ->
+        if out <> first then
+          Alcotest.failf "%s: %s disagrees" what (Party_id.to_string p))
+      rest;
+    first
+
+let test_phase_king_all_honest_validity () =
+  let k = 4 in
+  let params = pk_params ~k ~t:1 in
+  let inputs _ = "v" in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then pk_honest params inputs p env)
+      ~byzantine:(fun _ -> None)
+      ()
+  in
+  let outs = honest_outputs res (left_parties ~k) in
+  let agreed = check_agreement ~what:"validity" outs in
+  Alcotest.(check (option string)) "output is the common input" (Some "v") agreed
+
+(* A byzantine phase-king participant that keeps sending personalized
+   (split-brain) Value/Propose/King messages every round. *)
+let pk_split_brain values (env : Engine.env) =
+  let payload_for i phase =
+    let v = List.nth values (i mod List.length values) in
+    let msg =
+      match phase with
+      | 0 -> B.Phase_king.Msg.Value v
+      | 1 -> B.Phase_king.Msg.Propose v
+      | _ -> B.Phase_king.Msg.King v
+    in
+    Wire.encode B.Phase_king.Msg.codec msg
+  in
+  let targets = List.filter (fun p -> not (Party_id.equal p env.Engine.self)) (Party_id.all ~k:env.Engine.k) in
+  for round = 0 to 40 do
+    List.iteri (fun i dst -> env.Engine.send dst (payload_for (i + round) (round mod 3))) targets;
+    ignore (env.Engine.next_round ())
+  done
+
+let pk_strategies ~k =
+  [
+    "silent", B.Strategies.silent;
+    "crash", B.Strategies.crash_at ~round:2 ~honest:(fun env -> pk_split_brain [ "a" ] env);
+    "noise", B.Strategies.noise ~seed:42 ~rounds:30 ~burst:6 ~targets:(left_parties ~k);
+    "split-brain", pk_split_brain [ "a"; "b"; "zzz" ];
+  ]
+
+let test_phase_king_agreement_under_byzantine () =
+  (* k=4 parties on L, t=1: every byzantine strategy, across several input
+     splits, must preserve agreement among the 3 honest parties — and
+     validity when the honest inputs are unanimous. *)
+  let k = 4 in
+  let params = pk_params ~k ~t:1 in
+  let input_splits =
+    [ (fun _ -> "v"); (fun p -> if Party_id.index p mod 2 = 0 then "a" else "b") ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+      List.iter
+        (fun inputs ->
+          let bad = Party_id.left 3 in
+          let res =
+            run_protocol ~k
+              ~honest:(fun p env ->
+                if Side.equal (Party_id.side p) Side.Left then
+                  pk_honest params inputs p env)
+              ~byzantine:(fun p -> if Party_id.equal p bad then Some strategy else None)
+              ()
+          in
+          let honest = List.filter (fun p -> not (Party_id.equal p bad)) (left_parties ~k) in
+          let outs = honest_outputs res honest in
+          let agreed = check_agreement ~what:name outs in
+          let unanimous =
+            List.sort_uniq String.compare (List.map inputs honest) |> List.length = 1
+          in
+          if unanimous then
+            Alcotest.(check (option string))
+              (name ^ ": validity") (Some (inputs (List.hd honest))) agreed)
+        input_splits)
+    (pk_strategies ~k)
+
+let test_phase_king_two_sided_structure () =
+  (* The general-adversary case that motivates the generalization: all 2k
+     parties participate, the whole of R plus one L party are byzantine
+     (t_L = 1 < k/3 = 4/3 fails... use k = 4, t_L = 1, 3·1 < 4 ✓, t_R = 4).
+     Standard threshold BA would need t < n/3 = 8/3 but we have 5 byzantine
+     parties. Agreement among the 3 honest L parties must hold. *)
+  let k = 4 in
+  let structure = B.Adversary_structure.Two_sided { t_left = 1; t_right = 4 } in
+  let params = B.Phase_king.params ~structure ~participants:(Party_id.all ~k) in
+  let bad_left = Party_id.left 1 in
+  let byzantine p =
+    if Side.equal (Party_id.side p) Side.Right then Some (pk_split_brain [ "x"; "y" ])
+    else if Party_id.equal p bad_left then Some (pk_split_brain [ "y"; "zz" ])
+    else None
+  in
+  let inputs p = if Party_id.index p = 0 then "a" else "b" in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env -> pk_honest params inputs p env)
+      ~byzantine ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p bad_left)) (left_parties ~k) in
+  ignore (check_agreement ~what:"two-sided structure" (honest_outputs res honest))
+
+let test_phase_king_round_complexity () =
+  (* Δ_King = 3(t+1)·Δ: the engine's round counter must match the paper's
+     formula exactly. *)
+  List.iter
+    (fun (k, t) ->
+      let params = pk_params ~k ~t in
+      let res =
+        run_protocol ~k
+          ~honest:(fun p env ->
+            if Side.equal (Party_id.side p) Side.Left then
+              pk_honest params (fun _ -> "v") p env)
+          ~byzantine:(fun _ -> None)
+          ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "rounds k=%d t=%d" k t)
+        (3 * (t + 1))
+        res.Engine.metrics.rounds_used)
+    [ 4, 1; 7, 2; 10, 3 ]
+
+(* --- Pi_BA ---------------------------------------------------------------- *)
+
+let ba_honest params inputs p (env : Engine.env) =
+  let machine = B.Pi_ba.make params ~self:p ~input:(inputs p) in
+  let out = B.Machine.run (Net.direct env) machine in
+  env.Engine.output (Wire.encode opt_string out)
+
+let decode_opt out =
+  match out with
+  | None -> Alcotest.fail "missing output payload"
+  | Some payload -> Wire.decode_exn opt_string payload
+
+let test_pi_ba_no_omissions_is_ba () =
+  let k = 4 in
+  let params = pk_params ~k ~t:1 in
+  let bad = Party_id.left 2 in
+  List.iter
+    (fun (name, strategy) ->
+      let res =
+        run_protocol ~k
+          ~honest:(fun p env ->
+            if Side.equal (Party_id.side p) Side.Left then
+              ba_honest params (fun _ -> "agreed") p env)
+          ~byzantine:(fun p -> if Party_id.equal p bad then Some strategy else None)
+          ()
+      in
+      let honest = List.filter (fun p -> not (Party_id.equal p bad)) (left_parties ~k) in
+      List.iter
+        (fun (_, out) ->
+          Alcotest.(check (option string))
+            (name ^ ": validity incl. echo round")
+            (Some "agreed") (decode_opt out))
+        (honest_outputs res honest))
+    (pk_strategies ~k)
+
+let test_pi_ba_weak_agreement_under_omissions () =
+  (* Random omission patterns (all parties honest): no two honest parties
+     may output distinct Some values, and everyone must terminate on time. *)
+  let k = 4 in
+  let params = pk_params ~k ~t:1 in
+  for seed = 1 to 60 do
+    let rng = Rng.make seed in
+    let faults =
+      {
+        Engine.drop =
+          (fun ~round:_ ~src:_ ~dst:_ -> Rng.int rng 100 < 40);
+      }
+    in
+    let res =
+      run_protocol ~k ~faults
+        ~honest:(fun p env ->
+          if Side.equal (Party_id.side p) Side.Left then
+            ba_honest params (fun p -> if Party_id.index p < 2 then "a" else "b") p env)
+        ~byzantine:(fun _ -> None)
+        ()
+    in
+    let outs = honest_outputs res (left_parties ~k) in
+    let some_values =
+      List.sort_uniq String.compare
+        (List.filter_map (fun (_, out) -> decode_opt out) outs)
+    in
+    if List.length some_values > 1 then
+      Alcotest.failf "weak agreement violated at seed %d" seed;
+    (* Termination within Δ_BA = 3(t+1) + 1 rounds. *)
+    Alcotest.(check bool) "on time" true (res.Engine.metrics.rounds_used <= 3 * 2 + 1)
+  done
+
+(* --- Pi_BB ---------------------------------------------------------------- *)
+
+let bb_honest params ~sender inputs p (env : Engine.env) =
+  let machine =
+    B.Pi_bb.make params ~self:p ~sender ~input:(inputs p) ~default:"default"
+  in
+  let out = B.Machine.run (Net.direct env) machine in
+  env.Engine.output (Wire.encode opt_string out)
+
+let test_pi_bb_honest_sender_validity () =
+  let k = 4 in
+  let params = pk_params ~k ~t:1 in
+  let sender = Party_id.left 0 in
+  let bad = Party_id.left 3 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then
+          bb_honest params ~sender (fun _ -> "the-value") p env)
+      ~byzantine:(fun p ->
+        if Party_id.equal p bad then Some (pk_split_brain [ "x"; "y" ]) else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p bad)) (left_parties ~k) in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check (option string)) "sender's value" (Some "the-value")
+        (decode_opt out))
+    (honest_outputs res honest)
+
+let test_pi_bb_byzantine_sender_agreement () =
+  (* An equivocating sender: honest parties must still agree (on anything,
+     possibly the default). *)
+  let k = 4 in
+  let params = pk_params ~k ~t:1 in
+  let sender = Party_id.left 0 in
+  let equivocating (env : Engine.env) =
+    List.iter
+      (fun p ->
+        let v = if Party_id.index p mod 2 = 0 then "one" else "two" in
+        let payload = Wire.encode B.Phase_king.Msg.codec (B.Phase_king.Msg.Sender v) in
+        if not (Party_id.equal p env.Engine.self) then env.Engine.send p payload)
+      (left_parties ~k);
+    (* keep disrupting the BA phase *)
+    pk_split_brain [ "one"; "two" ] env
+  in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then
+          bb_honest params ~sender (fun _ -> "ignored") p env)
+      ~byzantine:(fun p -> if Party_id.equal p sender then Some equivocating else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p sender)) (left_parties ~k) in
+  ignore (check_agreement ~what:"byzantine sender" (honest_outputs res honest))
+
+let test_pi_bb_silent_sender_default () =
+  let k = 4 in
+  let params = pk_params ~k ~t:1 in
+  let sender = Party_id.left 0 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then
+          bb_honest params ~sender (fun _ -> "ignored") p env)
+      ~byzantine:(fun p -> if Party_id.equal p sender then Some B.Strategies.silent else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p sender)) (left_parties ~k) in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check (option string)) "default adopted" (Some "default") (decode_opt out))
+    (honest_outputs res honest)
+
+(* --- Dolev-Strong ---------------------------------------------------------- *)
+
+let ds_setup ~k ~seed = Crypto.Pki.setup ~k ~seed
+
+let ds_honest params pki ~sender inputs p (env : Engine.env) =
+  let machine =
+    B.Dolev_strong.make params ~signer:(Crypto.Pki.signer pki p) ~sender
+      ~input:(inputs p) ~default:"default"
+  in
+  env.Engine.output (B.Machine.run (Net.direct env) machine)
+
+let test_dolev_strong_honest_sender () =
+  (* t = n-1 = 7: tolerate all-but-one corruption. Here everyone honest. *)
+  let k = 4 in
+  let pki = ds_setup ~k ~seed:1 in
+  let participants = Party_id.all ~k in
+  let params =
+    { B.Dolev_strong.participants; t = 2 * k - 1; verifier = Crypto.Pki.verifier pki }
+  in
+  let sender = Party_id.right 2 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env -> ds_honest params pki ~sender (fun _ -> "payload") p env)
+      ~byzantine:(fun _ -> None)
+      ()
+  in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check (option string)) "validity" (Some "payload") out)
+    (honest_outputs res participants);
+  Alcotest.(check int) "t+1 rounds" (2 * k) res.Engine.metrics.rounds_used
+
+let test_dolev_strong_equivocating_sender () =
+  (* The sender signs two values and sends each to half the parties; with
+     byzantine relays colluding (relaying only to a subset), honest parties
+     must still agree. *)
+  let k = 3 in
+  let pki = ds_setup ~k ~seed:2 in
+  let participants = Party_id.all ~k in
+  let params =
+    { B.Dolev_strong.participants; t = 2; verifier = Crypto.Pki.verifier pki }
+  in
+  let sender = Party_id.left 0 in
+  let helper = Party_id.left 1 in
+  let equivocator (env : Engine.env) =
+    let signer = Crypto.Pki.signer pki sender in
+    let chain v = B.Dolev_strong.Chain.start signer v in
+    let payload v = Wire.encode B.Dolev_strong.Chain.codec (chain v) in
+    (* "one" only to R0, "two" only to R1; nothing to others. *)
+    env.Engine.send (Party_id.right 0) (payload "one");
+    env.Engine.send (Party_id.right 1) (payload "two")
+  in
+  let delayed_helper (env : Engine.env) =
+    (* Byzantine helper: holds the sender's signature on a third value and
+       releases it only in the final round to one party — the classic
+       attack that the t+1-round rule defeats: a chain of length t+1 then
+       carries an honest signer who already relayed. Here the helper signs
+       onto "one"'s chain and sends it late to R2 only. *)
+    let sender_signer = Crypto.Pki.signer pki sender in
+    let my_signer = Crypto.Pki.signer pki helper in
+    let chain = B.Dolev_strong.Chain.start sender_signer "three" in
+    let chain = B.Dolev_strong.Chain.sign_onto my_signer chain in
+    ignore (env.Engine.next_round ());
+    (* round 2: chain of length 2 = current round: accepted by R2 *)
+    env.Engine.send (Party_id.right 2) (Wire.encode B.Dolev_strong.Chain.codec chain)
+  in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env -> ds_honest params pki ~sender (fun _ -> "ignored") p env)
+      ~byzantine:(fun p ->
+        if Party_id.equal p sender then Some equivocator
+        else if Party_id.equal p helper then Some delayed_helper
+        else None)
+      ()
+  in
+  let honest =
+    List.filter
+      (fun p -> not (Party_id.equal p sender || Party_id.equal p helper))
+      participants
+  in
+  ignore (check_agreement ~what:"equivocating sender" (honest_outputs res honest))
+
+let test_dolev_strong_forgery_impossible () =
+  (* A byzantine relay fabricates a chain for a value the sender never
+     signed, using its own signature twice / wrong signers: honest parties
+     must ignore it and output the honest sender's value. *)
+  let k = 3 in
+  let pki = ds_setup ~k ~seed:3 in
+  let participants = Party_id.all ~k in
+  let params =
+    { B.Dolev_strong.participants; t = 2; verifier = Crypto.Pki.verifier pki }
+  in
+  let sender = Party_id.left 0 in
+  let forger = Party_id.left 1 in
+  let forging (env : Engine.env) =
+    let my_signer = Crypto.Pki.signer pki forger in
+    (* Chain that pretends to originate from the sender but is signed by
+       the forger. *)
+    let fake =
+      {
+        B.Dolev_strong.Chain.value = "forged";
+        links =
+          [
+            ( sender,
+              Crypto.Signer.sign my_signer "whatever" );
+          ];
+      }
+    in
+    List.iter
+      (fun p ->
+        if not (Party_id.equal p env.Engine.self) then
+          env.Engine.send p (Wire.encode B.Dolev_strong.Chain.codec fake))
+      participants;
+    ignore (env.Engine.next_round ())
+  in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env -> ds_honest params pki ~sender (fun _ -> "real") p env)
+      ~byzantine:(fun p -> if Party_id.equal p forger then Some forging else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p forger)) participants in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check (option string)) "forgery rejected" (Some "real") out)
+    (honest_outputs res honest)
+
+let test_dolev_strong_silent_sender () =
+  let k = 2 in
+  let pki = ds_setup ~k ~seed:4 in
+  let participants = Party_id.all ~k in
+  let params =
+    { B.Dolev_strong.participants; t = 1; verifier = Crypto.Pki.verifier pki }
+  in
+  let sender = Party_id.left 0 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env -> ds_honest params pki ~sender (fun _ -> "ignored") p env)
+      ~byzantine:(fun p -> if Party_id.equal p sender then Some B.Strategies.silent else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p sender)) participants in
+  List.iter
+    (fun (_, out) -> Alcotest.(check (option string)) "default" (Some "default") out)
+    (honest_outputs res honest)
+
+(* --- additional coverage ---------------------------------------------------- *)
+
+let test_phase_king_explicit_structure () =
+  (* The same instance expressed as an Explicit structure (greedy king
+     sequence, subset-based predicates) must still achieve agreement. *)
+  let k = 4 in
+  let participants = left_parties ~k in
+  let maximal =
+    (* threshold-1 over L, materialized *)
+    List.map Party_set.singleton participants
+  in
+  let structure = B.Adversary_structure.Explicit maximal in
+  Alcotest.(check bool) "q3 holds" true (B.Adversary_structure.q3 structure ~participants);
+  let params = B.Phase_king.params ~structure ~participants in
+  let bad = Party_id.left 3 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then
+          pk_honest params (fun p -> if Party_id.index p = 0 then "x" else "y") p env)
+      ~byzantine:(fun p ->
+        if Party_id.equal p bad then Some (pk_split_brain [ "x"; "y" ]) else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p bad)) participants in
+  ignore (check_agreement ~what:"explicit structure" (honest_outputs res honest))
+
+let test_phase_king_single_participant () =
+  (* Degenerate instance: one participant, zero corruption. *)
+  let params =
+    B.Phase_king.params
+      ~structure:(B.Adversary_structure.Threshold 0)
+      ~participants:[ Party_id.left 0 ]
+  in
+  let res =
+    run_protocol ~k:1
+      ~honest:(fun p env ->
+        if Party_id.equal p (Party_id.left 0) then pk_honest params (fun _ -> "solo") p env)
+      ~byzantine:(fun _ -> None)
+      ()
+  in
+  let outs = honest_outputs res [ Party_id.left 0 ] in
+  Alcotest.(check (option string)) "own value" (Some "solo") (snd (List.hd outs))
+
+let test_phase_king_unanimity_persistence =
+  (* Validity as a property: unanimous honest inputs survive any of our
+     byzantine strategies at any admissible corruption level. *)
+  QCheck.Test.make ~name:"phase king validity under random byzantine" ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.make seed in
+      let k = 4 + Rng.int rng 4 in
+      let t = (k - 1) / 3 in
+      let params = pk_params ~k ~t in
+      let bad = Rng.sample rng (max 1 t) (left_parties ~k) in
+      let strategy p =
+        if List.exists (Party_id.equal p) bad then
+          Some
+            (match Rng.int rng 2 with
+            | 0 -> pk_split_brain [ "not-v"; "v" ]
+            | _ ->
+              B.Strategies.noise ~seed:(Rng.int rng 9999) ~rounds:30 ~burst:5
+                ~targets:(left_parties ~k))
+        else None
+      in
+      let res =
+        run_protocol ~k
+          ~honest:(fun p env ->
+            if Side.equal (Party_id.side p) Side.Left then
+              pk_honest params (fun _ -> "v") p env)
+          ~byzantine:strategy ()
+      in
+      let honest =
+        List.filter (fun p -> not (List.exists (Party_id.equal p) bad)) (left_parties ~k)
+      in
+      List.for_all (fun (_, out) -> out = Some "v") (honest_outputs res honest))
+
+let test_dolev_strong_truncated_chain_rejected () =
+  (* A byzantine relay truncates a valid 2-link chain back to 1 link and
+     replays it late: the length-vs-round rule must reject it. *)
+  let k = 2 in
+  let pki = ds_setup ~k ~seed:8 in
+  let participants = Party_id.all ~k in
+  let params =
+    { B.Dolev_strong.participants; t = 2; verifier = Crypto.Pki.verifier pki }
+  in
+  let sender = Party_id.left 0 in
+  let truncator (env : Engine.env) =
+    (* Round 1: receive the sender's 1-link chain. Round 2: replay the
+       1-link chain unchanged (should be rejected: round 2 expects 2
+       links). *)
+    let inbox = env.Engine.next_round () in
+    ignore (env.Engine.next_round ());
+    List.iter
+      (fun (e : Engine.envelope) ->
+        List.iter
+          (fun p ->
+            if not (Party_id.equal p env.Engine.self) then env.Engine.send p e.Engine.data)
+          participants)
+      inbox;
+    ignore (env.Engine.next_round ())
+  in
+  (* Sender sends only to the truncator, so honest parties can only learn
+     the value through a *valid* relay chain — the truncated replay must
+     not count. Honest parties should decide the default. *)
+  let stingy_sender (env : Engine.env) =
+    let signer = Crypto.Pki.signer pki sender in
+    let chain = B.Dolev_strong.Chain.start signer "secret" in
+    env.Engine.send (Party_id.left 1) (Wire.encode B.Dolev_strong.Chain.codec chain)
+  in
+  let truncator_id = Party_id.left 1 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env -> ds_honest params pki ~sender (fun _ -> "secret") p env)
+      ~byzantine:(fun p ->
+        if Party_id.equal p sender then Some stingy_sender
+        else if Party_id.equal p truncator_id then Some truncator
+        else None)
+      ()
+  in
+  let honest =
+    List.filter
+      (fun p -> not (Party_id.equal p sender || Party_id.equal p truncator_id))
+      participants
+  in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check (option string)) "truncated replay rejected -> default"
+        (Some "default") out)
+    (honest_outputs res honest)
+
+let test_pi_bb_rounds_formula () =
+  (* Δ_BB = 1 + Δ_BA = 1 + (3(t+1) + 1) virtual rounds. *)
+  List.iter
+    (fun (k, t) ->
+      let params = pk_params ~k ~t in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d t=%d" k t)
+        (1 + (3 * (t + 1)) + 1)
+        (B.Pi_bb.rounds params))
+    [ 4, 1; 7, 2; 13, 4 ]
+
+(* --- gradecast -------------------------------------------------------------- *)
+
+let gc_params ~k ~t =
+  {
+    B.Gradecast.structure = B.Adversary_structure.Threshold t;
+    participants = Party_id.side_members Side.Left ~k;
+  }
+
+let gc_verdict_codec = Wire.pair (Wire.option Wire.string) Wire.uint
+
+let gc_honest params ~sender inputs p (env : Engine.env) =
+  let machine = B.Gradecast.make params ~self:p ~sender ~input:(inputs p) in
+  let v = B.Machine.run (Net.direct env) machine in
+  env.Engine.output
+    (Wire.encode gc_verdict_codec (v.B.Gradecast.value, v.B.Gradecast.grade))
+
+let gc_decode out =
+  match out with
+  | Some payload -> Wire.decode_exn gc_verdict_codec payload
+  | None -> Alcotest.fail "missing gradecast output"
+
+let test_gradecast_honest_sender_grade2 () =
+  let k = 4 in
+  let params = gc_params ~k ~t:1 in
+  let sender = Party_id.left 0 in
+  let bad = Party_id.left 3 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then
+          gc_honest params ~sender (fun _ -> "the-value") p env)
+      ~byzantine:(fun p ->
+        if Party_id.equal p bad then Some (pk_split_brain [ "x" ]) else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p bad)) (left_parties ~k) in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check (pair (option string) int))
+        "value with grade 2"
+        (Some "the-value", 2) (gc_decode out))
+    (honest_outputs res honest)
+
+let test_gradecast_silent_sender_grade0 () =
+  let k = 4 in
+  let params = gc_params ~k ~t:1 in
+  let sender = Party_id.left 0 in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then
+          gc_honest params ~sender (fun _ -> "unused") p env)
+      ~byzantine:(fun p ->
+        if Party_id.equal p sender then Some B.Strategies.silent else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p sender)) (left_parties ~k) in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check (pair (option string) int)) "grade 0" (None, 0) (gc_decode out))
+    (honest_outputs res honest)
+
+let gradecast_invariants verdicts =
+  (* Graded consistency: non-None values all equal; max grade - min grade
+     <= 1; grade 0 iff value None. *)
+  let values = List.filter_map fst verdicts in
+  let grades = List.map snd verdicts in
+  List.length (List.sort_uniq String.compare values) <= 1
+  && (match List.sort Int.compare grades with
+     | [] -> true
+     | sorted -> List.nth sorted (List.length sorted - 1) - List.hd sorted <= 1)
+  && List.for_all
+       (fun (v, g) ->
+         match v with
+         | None -> g = 0
+         | Some _ -> g >= 1)
+       verdicts
+
+let test_gradecast_equivocating_sender_consistent () =
+  let k = 4 in
+  let params = gc_params ~k ~t:1 in
+  let sender = Party_id.left 0 in
+  let equivocator (env : Engine.env) =
+    List.iteri
+      (fun i p ->
+        if not (Party_id.equal p sender) then begin
+          let v = if i mod 2 = 0 then "one" else "two" in
+          env.Engine.send p
+            (Wire.encode
+               (Wire.variant ~name:"gc"
+                  [
+                    Wire.pack
+                      (Wire.case 0 Wire.string ~inject:Fun.id ~match_:Option.some);
+                  ])
+               v)
+        end)
+      (left_parties ~k);
+    ignore (env.Engine.next_round ())
+  in
+  let res =
+    run_protocol ~k
+      ~honest:(fun p env ->
+        if Side.equal (Party_id.side p) Side.Left then
+          gc_honest params ~sender (fun _ -> "unused") p env)
+      ~byzantine:(fun p -> if Party_id.equal p sender then Some equivocator else None)
+      ()
+  in
+  let honest = List.filter (fun p -> not (Party_id.equal p sender)) (left_parties ~k) in
+  let verdicts = List.map (fun (_, out) -> gc_decode out) (honest_outputs res honest) in
+  Alcotest.(check bool) "graded consistency" true (gradecast_invariants verdicts)
+
+let prop_gradecast_consistency_random =
+  QCheck.Test.make ~name:"gradecast graded consistency under random byzantine"
+    ~count:80
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.make seed in
+      let k = 4 + Rng.int rng 4 in
+      let t = (k - 1) / 3 in
+      let params = gc_params ~k ~t in
+      let sender = Rng.choose rng (left_parties ~k) in
+      let bad = Rng.sample rng (max 1 t) (left_parties ~k) in
+      let strategy p =
+        if List.exists (Party_id.equal p) bad then
+          Some
+            (match Rng.int rng 3 with
+            | 0 -> B.Strategies.silent
+            | 1 ->
+              B.Strategies.noise ~seed:(Rng.int rng 9999) ~rounds:10 ~burst:4
+                ~targets:(left_parties ~k)
+            | _ -> pk_split_brain [ "a"; "b" ])
+        else None
+      in
+      let res =
+        run_protocol ~k
+          ~honest:(fun p env ->
+            if Side.equal (Party_id.side p) Side.Left then
+              gc_honest params ~sender (fun _ -> "v") p env)
+          ~byzantine:strategy ()
+      in
+      let honest =
+        List.filter (fun p -> not (List.exists (Party_id.equal p) bad)) (left_parties ~k)
+      in
+      let verdicts = List.map (fun (_, out) -> gc_decode out) (honest_outputs res honest) in
+      gradecast_invariants verdicts
+      &&
+      (* validity when the sender is honest *)
+      (List.exists (Party_id.equal sender) bad
+      || List.for_all (fun (v, g) -> v = Some "v" && g = 2) verdicts))
+
+(* --- randomized byzantine sweep (property test) --------------------------- *)
+
+let prop_phase_king_agreement_random =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000) in
+  QCheck.Test.make ~name:"phase king agreement under random byzantine" ~count:80 arb
+    (fun seed ->
+      let rng = Rng.make seed in
+      let k = 4 + Rng.int rng 3 in
+      let t = (k - 1) / 3 in
+      let params = pk_params ~k ~t in
+      let bad = Rng.sample rng t (left_parties ~k) in
+      let inputs _ = string_of_int (Rng.int rng 3) in
+      let strategy p =
+        if List.exists (Party_id.equal p) bad then
+          Some
+            (match Rng.int rng 3 with
+            | 0 -> B.Strategies.silent
+            | 1 ->
+              B.Strategies.noise ~seed:(Rng.int rng 10000) ~rounds:30 ~burst:4
+                ~targets:(left_parties ~k)
+            | _ -> pk_split_brain [ "0"; "1"; "2" ])
+        else None
+      in
+      let res =
+        run_protocol ~k
+          ~honest:(fun p env ->
+            if Side.equal (Party_id.side p) Side.Left then pk_honest params inputs p env)
+          ~byzantine:strategy ()
+      in
+      let honest =
+        List.filter (fun p -> not (List.exists (Party_id.equal p) bad)) (left_parties ~k)
+      in
+      let outs = honest_outputs res honest in
+      match outs with
+      | [] -> false
+      | (_, first) :: rest -> List.for_all (fun (_, o) -> o = first) rest)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "broadcast"
+    [
+      ( "adversary-structure",
+        [
+          Alcotest.test_case "threshold membership" `Quick test_possibly_corrupt_threshold;
+          Alcotest.test_case "two-sided membership" `Quick test_possibly_corrupt_two_sided;
+          Alcotest.test_case "q3 two-sided = Lemma 4 formula" `Quick
+            test_q3_two_sided_matches_lemma4;
+          Alcotest.test_case "q3 explicit agrees with two-sided" `Slow
+            test_q3_explicit_agrees_with_two_sided;
+          Alcotest.test_case "king sequence honest" `Quick test_king_sequence_not_corruptible;
+          Alcotest.test_case "king sequence picks cheap side" `Quick
+            test_king_sequence_picks_cheap_side;
+        ] );
+      ( "phase-king",
+        [
+          Alcotest.test_case "all honest validity" `Quick test_phase_king_all_honest_validity;
+          Alcotest.test_case "agreement under byzantine" `Quick
+            test_phase_king_agreement_under_byzantine;
+          Alcotest.test_case "two-sided structure, one side fully byzantine" `Quick
+            test_phase_king_two_sided_structure;
+          Alcotest.test_case "round complexity = 3(t+1)" `Quick
+            test_phase_king_round_complexity;
+          Alcotest.test_case "explicit adversary structure" `Quick
+            test_phase_king_explicit_structure;
+          Alcotest.test_case "single participant" `Quick
+            test_phase_king_single_participant;
+          qcheck prop_phase_king_agreement_random;
+          qcheck test_phase_king_unanimity_persistence;
+        ] );
+      ( "pi-ba",
+        [
+          Alcotest.test_case "no omissions: full BA" `Quick test_pi_ba_no_omissions_is_ba;
+          Alcotest.test_case "omissions: weak agreement + termination" `Quick
+            test_pi_ba_weak_agreement_under_omissions;
+        ] );
+      ( "pi-bb",
+        [
+          Alcotest.test_case "honest sender validity" `Quick test_pi_bb_honest_sender_validity;
+          Alcotest.test_case "byzantine sender agreement" `Quick
+            test_pi_bb_byzantine_sender_agreement;
+          Alcotest.test_case "silent sender default" `Quick test_pi_bb_silent_sender_default;
+          Alcotest.test_case "rounds formula" `Quick test_pi_bb_rounds_formula;
+        ] );
+      ( "gradecast",
+        [
+          Alcotest.test_case "honest sender: grade 2" `Quick
+            test_gradecast_honest_sender_grade2;
+          Alcotest.test_case "silent sender: grade 0" `Quick
+            test_gradecast_silent_sender_grade0;
+          Alcotest.test_case "equivocating sender: consistent" `Quick
+            test_gradecast_equivocating_sender_consistent;
+          qcheck prop_gradecast_consistency_random;
+        ] );
+      ( "dolev-strong",
+        [
+          Alcotest.test_case "honest sender, t=n-1" `Quick test_dolev_strong_honest_sender;
+          Alcotest.test_case "equivocating sender + late helper" `Quick
+            test_dolev_strong_equivocating_sender;
+          Alcotest.test_case "forgery impossible" `Quick test_dolev_strong_forgery_impossible;
+          Alcotest.test_case "silent sender" `Quick test_dolev_strong_silent_sender;
+          Alcotest.test_case "truncated chain rejected" `Quick
+            test_dolev_strong_truncated_chain_rejected;
+        ] );
+    ]

@@ -1,0 +1,1076 @@
+(* End-to-end tests for the bSM core: the solvability characterization,
+   the virtual-channel layers, and full protocol executions across all six
+   (topology × authentication) settings under byzantine coalitions. *)
+
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Core = Bsm_core
+module H = Bsm_harness
+module Engine = Bsm_runtime.Engine
+module Topology = Bsm_topology.Topology
+module B = Bsm_broadcast
+module Wire = Bsm_wire.Wire
+module Crypto = Bsm_crypto.Crypto
+
+let setting ~k ~topology ~auth ~tl ~tr =
+  Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
+
+let all_settings ~k =
+  List.concat_map
+    (fun topology ->
+      List.concat_map
+        (fun auth ->
+          List.concat_map
+            (fun tl ->
+              List.map
+                (fun tr -> setting ~k ~topology ~auth ~tl ~tr)
+                (Util.range 0 (k + 1)))
+            (Util.range 0 (k + 1)))
+        [ Core.Setting.Unauthenticated; Core.Setting.Authenticated ])
+    Topology.all
+
+(* --- solvability predicate ---------------------------------------------- *)
+
+let test_solvability_spot_checks () =
+  let check ~expected s =
+    if Core.Solvability.solvable s <> expected then
+      Alcotest.failf "wrong verdict for %s" (Format.asprintf "%a" Core.Setting.pp s)
+  in
+  let u = Core.Setting.Unauthenticated and a = Core.Setting.Authenticated in
+  (* Theorem 2 *)
+  check ~expected:true (setting ~k:3 ~topology:Topology.Fully_connected ~auth:u ~tl:0 ~tr:3);
+  check ~expected:true (setting ~k:4 ~topology:Topology.Fully_connected ~auth:u ~tl:1 ~tr:4);
+  check ~expected:false (setting ~k:3 ~topology:Topology.Fully_connected ~auth:u ~tl:1 ~tr:1);
+  (* Theorem 3 *)
+  check ~expected:true (setting ~k:5 ~topology:Topology.Bipartite ~auth:u ~tl:1 ~tr:2);
+  check ~expected:false (setting ~k:5 ~topology:Topology.Bipartite ~auth:u ~tl:1 ~tr:3);
+  check ~expected:false (setting ~k:6 ~topology:Topology.Bipartite ~auth:u ~tl:2 ~tr:2);
+  (* Theorem 4 *)
+  check ~expected:true (setting ~k:5 ~topology:Topology.One_sided ~auth:u ~tl:1 ~tr:2);
+  check ~expected:true (setting ~k:5 ~topology:Topology.One_sided ~auth:u ~tl:5 ~tr:1);
+  check ~expected:false (setting ~k:4 ~topology:Topology.One_sided ~auth:u ~tl:1 ~tr:2);
+  (* Theorem 5 *)
+  check ~expected:true (setting ~k:2 ~topology:Topology.Fully_connected ~auth:a ~tl:2 ~tr:2);
+  (* Theorem 6 *)
+  check ~expected:true (setting ~k:3 ~topology:Topology.Bipartite ~auth:a ~tl:2 ~tr:2);
+  check ~expected:true (setting ~k:4 ~topology:Topology.Bipartite ~auth:a ~tl:1 ~tr:4);
+  check ~expected:false (setting ~k:3 ~topology:Topology.Bipartite ~auth:a ~tl:1 ~tr:3);
+  (* Theorem 7 *)
+  check ~expected:true (setting ~k:3 ~topology:Topology.One_sided ~auth:a ~tl:3 ~tr:2);
+  check ~expected:true (setting ~k:3 ~topology:Topology.One_sided ~auth:a ~tl:0 ~tr:3);
+  check ~expected:false (setting ~k:3 ~topology:Topology.One_sided ~auth:a ~tl:1 ~tr:3)
+
+let test_solvability_monotone () =
+  (* Fewer corruptions never hurt; signatures never hurt; a stronger
+     topology never hurts. Exhaustive over k <= 6. *)
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (s : Core.Setting.t) ->
+          let v = Core.Solvability.solvable s in
+          if v then begin
+            (* decreasing thresholds *)
+            if s.t_left > 0 then begin
+              let s' = { s with Core.Setting.t_left = s.t_left - 1 } in
+              if not (Core.Solvability.solvable s') then
+                Alcotest.failf "not monotone in t_left at %s"
+                  (Format.asprintf "%a" Core.Setting.pp s)
+            end;
+            if s.t_right > 0 then begin
+              let s' = { s with Core.Setting.t_right = s.t_right - 1 } in
+              if not (Core.Solvability.solvable s') then
+                Alcotest.failf "not monotone in t_right at %s"
+                  (Format.asprintf "%a" Core.Setting.pp s)
+            end;
+            (* adding signatures *)
+            if not (Core.Solvability.solvable { s with Core.Setting.auth = Core.Setting.Authenticated })
+            then
+              Alcotest.failf "authentication hurt at %s"
+                (Format.asprintf "%a" Core.Setting.pp s);
+            (* strengthening topology *)
+            List.iter
+              (fun topology' ->
+                if Topology.weaker_or_equal s.topology topology' then
+                  if not (Core.Solvability.solvable { s with Core.Setting.topology = topology' })
+                  then
+                    Alcotest.failf "stronger topology hurt at %s"
+                      (Format.asprintf "%a" Core.Setting.pp s))
+              Topology.all
+          end)
+        (all_settings ~k))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_plan_exists_iff_solvable () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun s ->
+          let planned = Result.is_ok (Core.Select.plan s) in
+          if planned <> Core.Solvability.solvable s then
+            Alcotest.failf "plan/solvability mismatch at %s"
+              (Format.asprintf "%a" Core.Setting.pp s))
+        (all_settings ~k))
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- virtual channels ---------------------------------------------------- *)
+
+(* Drive two L-parties exchanging one message over a proxied topology; all
+   other parties just serve sync duty. *)
+let channel_roundtrip ~topology ~auth_of ~k ~byz =
+  let got = ref None in
+  let programs p (env : Engine.env) =
+    match byz p with
+    | Some program -> program env
+    | None ->
+      let net = Core.Channels.virtual_net env ~topology ~auth:(auth_of p) in
+      if Party_id.equal p (Party_id.left 0) then begin
+        net.Bsm_runtime.Net.send (Party_id.left 1) "hello-there";
+        ignore (net.Bsm_runtime.Net.sync ())
+      end
+      else begin
+        let inbox = net.Bsm_runtime.Net.sync () in
+        if Party_id.equal p (Party_id.left 1) then got := Some inbox
+      end
+  in
+  let cfg = Engine.config ~k ~link:(Engine.Of_topology topology) () in
+  ignore (Engine.run cfg ~programs:(fun p -> fun env -> programs p env));
+  !got
+
+let test_majority_proxy_delivers () =
+  match
+    channel_roundtrip ~topology:Topology.One_sided
+      ~auth_of:(fun _ -> Core.Channels.Majority)
+      ~k:3
+      ~byz:(fun _ -> None)
+  with
+  | Some [ (src, "hello-there") ] ->
+    Alcotest.(check bool) "from L0" true (Party_id.equal src (Party_id.left 0))
+  | Some _ | None -> Alcotest.fail "expected exactly the relayed message"
+
+let test_majority_proxy_survives_minority_byz () =
+  (* k = 5, two byzantine R relays stay silent: 3 > 5/2 forwards remain. *)
+  match
+    channel_roundtrip ~topology:Topology.One_sided
+      ~auth_of:(fun _ -> Core.Channels.Majority)
+      ~k:5
+      ~byz:(fun p ->
+        if Party_id.equal p (Party_id.right 0) || Party_id.equal p (Party_id.right 1)
+        then Some B.Strategies.silent
+        else None)
+  with
+  | Some [ (_, "hello-there") ] -> ()
+  | Some _ | None -> Alcotest.fail "expected delivery despite 2/5 byzantine relays"
+
+let test_majority_proxy_blocks_forgery () =
+  (* All byzantine relays collude to inject a message that L0 never sent:
+     with 2 < 5/2 forwarders the forgery must not be delivered; here ALL
+     k=3 relays forward a forged payload — but a forged payload claims
+     src=L0 while arriving from relays, so honest forwarding never happens
+     and the quorum test is fed only byzantine forwards. With k=3 and 3
+     forwarders the count passes — which is exactly why Lemma 6 requires
+     t_R < k/2. So instead: 1 byzantine relay of 3 forges; 1 < 3/2 fails. *)
+  let forged_payload =
+    (* Craft a Forward for a message L0 never sent. We cannot build
+       Channels payloads directly (abstract), so replay attack: the
+       byzantine relay simply sends garbage; the stronger forgery test
+       lives in the signed-mode test below via replay. *)
+    "garbage-not-a-payload"
+  in
+  let byz p =
+    if Party_id.equal p (Party_id.right 0) then
+      Some
+        (fun (env : Engine.env) ->
+          env.Engine.send (Party_id.left 1) forged_payload;
+          ignore (env.Engine.next_round ()))
+    else None
+  in
+  match
+    channel_roundtrip ~topology:Topology.One_sided
+      ~auth_of:(fun _ -> Core.Channels.Majority)
+      ~k:3 ~byz
+  with
+  | Some inbox ->
+    Alcotest.(check int) "only the real message" 1 (List.length inbox)
+  | None -> Alcotest.fail "receiver did not sync"
+
+let signed_auth pki p =
+  Core.Channels.Signed
+    { signer = Crypto.Pki.signer pki p; verifier = Crypto.Pki.verifier pki }
+
+let test_signed_proxy_single_honest_relay () =
+  (* Bipartite, k=3: two of three relays byzantine-silent; one honest
+     relay suffices (Lemma 8). *)
+  let pki = Crypto.Pki.setup ~k:3 ~seed:99 in
+  match
+    channel_roundtrip ~topology:Topology.Bipartite
+      ~auth_of:(signed_auth pki)
+      ~k:3
+      ~byz:(fun p ->
+        if Party_id.equal p (Party_id.right 0) || Party_id.equal p (Party_id.right 2)
+        then Some B.Strategies.silent
+        else None)
+  with
+  | Some [ (_, "hello-there") ] -> ()
+  | Some _ | None -> Alcotest.fail "one honest relay must deliver"
+
+let test_signed_proxy_drops_late_forward () =
+  (* A byzantine relay withholds the only copy and forwards it two rounds
+     late: the vround (timestamp) check must reject it — an omission, as
+     Lemma 10 prescribes. *)
+  let withhold (env : Engine.env) =
+    (* The byzantine relay receives the Request in round 1 but acts as a
+       correct forwarder two rounds late, replaying the stale envelope
+       through [forward_duty]; the receiver's vround check must reject. *)
+    let stale = env.Engine.next_round () in
+    ignore (env.Engine.next_round ());
+    ignore (env.Engine.next_round ());
+    List.iter (Core.Channels.forward_duty env ~topology:Topology.Bipartite) stale
+  in
+  let pki = Crypto.Pki.setup ~k:2 ~seed:7 in
+  let received = ref [] in
+  let programs p (env : Engine.env) =
+    if Side.equal (Party_id.side p) Side.Right then
+      (if Party_id.equal p (Party_id.right 0) then withhold env
+       else B.Strategies.silent env)
+    else begin
+      let net =
+        Core.Channels.virtual_net env ~topology:Topology.Bipartite
+          ~auth:(signed_auth pki p)
+      in
+      if Party_id.equal p (Party_id.left 0) then begin
+        net.Bsm_runtime.Net.send (Party_id.left 1) "late-message";
+        ignore (net.Bsm_runtime.Net.sync ());
+        ignore (net.Bsm_runtime.Net.sync ())
+      end
+      else begin
+        let i1 = net.Bsm_runtime.Net.sync () in
+        let i2 = net.Bsm_runtime.Net.sync () in
+        received := i1 @ i2
+      end
+    end
+  in
+  let cfg = Engine.config ~k:2 ~link:(Engine.Of_topology Topology.Bipartite) () in
+  ignore (Engine.run cfg ~programs:(fun p env -> programs p env));
+  Alcotest.(check int) "late forward rejected (omission)" 0 (List.length !received)
+
+let prop_channels_reliable_links =
+  (* Random topology, auth mode and traffic: for several virtual rounds,
+     every honest party sends random messages to random peers over the
+     virtual net; every message must arrive exactly once, in the next
+     virtual round, with the true sender. *)
+  QCheck.Test.make ~name:"virtual channels are reliable exactly-once links" ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.make seed in
+      let k = 2 + Rng.int rng 3 in
+      let topology = Rng.choose rng Topology.all in
+      let pki = Crypto.Pki.setup ~k ~seed in
+      (* Fix the mode once for the whole run (all parties must agree). *)
+      let mode_signed = Rng.bool rng in
+      let auth p = if mode_signed then signed_auth pki p else Core.Channels.Majority in
+      let vrounds = 3 in
+      (* Pre-draw the traffic plan: (vround, src, dst, payload). *)
+      let roster = Party_id.all ~k in
+      let plan =
+        List.concat_map
+          (fun v ->
+            List.concat_map
+              (fun src ->
+                List.filter_map
+                  (fun dst ->
+                    if Party_id.equal src dst || Rng.int rng 100 >= 40 then None
+                    else Some (v, src, dst, Printf.sprintf "m-%d-%s-%s" v
+                                 (Party_id.to_string src) (Party_id.to_string dst)))
+                  roster)
+              roster)
+          (Util.range 0 vrounds)
+      in
+      let received = Hashtbl.create 64 in
+      let programs p (env : Engine.env) =
+        let net = Core.Channels.virtual_net env ~topology ~auth:(auth p) in
+        for v = 0 to vrounds - 1 do
+          List.iter
+            (fun (v', src, dst, payload) ->
+              if v' = v && Party_id.equal src p then net.Bsm_runtime.Net.send dst payload)
+            plan;
+          let inbox = net.Bsm_runtime.Net.sync () in
+          List.iter
+            (fun (src, payload) ->
+              let key = Party_id.to_string p ^ "|" ^ Party_id.to_string src ^ "|" ^ payload in
+              Hashtbl.replace received key
+                (1 + try Hashtbl.find received key with Not_found -> 0))
+            inbox
+        done
+      in
+      let cfg = Engine.config ~k ~link:(Engine.Of_topology topology) () in
+      ignore (Engine.run cfg ~programs:(fun p env -> programs p env));
+      List.for_all
+        (fun (_, src, dst, payload) ->
+          let key = Party_id.to_string dst ^ "|" ^ Party_id.to_string src ^ "|" ^ payload in
+          (try Hashtbl.find received key with Not_found -> 0) = 1)
+        plan
+      && Hashtbl.length received = List.length plan)
+
+(* --- end-to-end honest runs across all six settings ---------------------- *)
+
+let solvable_examples ~k =
+  (* One representative maximal-threshold solvable setting per
+     (topology, auth) pair. *)
+  let u = Core.Setting.Unauthenticated and a = Core.Setting.Authenticated in
+  let third = (k - 1) / 3 and half = (k - 1) / 2 in
+  [
+    setting ~k ~topology:Topology.Fully_connected ~auth:u ~tl:third ~tr:k;
+    setting ~k ~topology:Topology.One_sided ~auth:u ~tl:third ~tr:half;
+    setting ~k ~topology:Topology.Bipartite ~auth:u ~tl:third ~tr:half;
+    setting ~k ~topology:Topology.Fully_connected ~auth:a ~tl:k ~tr:k;
+    setting ~k ~topology:Topology.One_sided ~auth:a ~tl:k ~tr:(k - 1);
+    setting ~k ~topology:Topology.Bipartite ~auth:a ~tl:third ~tr:k;
+  ]
+
+let test_honest_runs_all_settings () =
+  let k = 3 in
+  let rng = Rng.make 1234 in
+  List.iter
+    (fun s ->
+      let profile = SM.Profile.random rng k in
+      let scenario = H.Scenario.make_exn s profile in
+      let report = H.Scenario.run scenario in
+      if not (H.Scenario.ok report) then
+        Alcotest.failf "honest run violated bSM at %s:@ %s"
+          (Format.asprintf "%a" Core.Setting.pp s)
+          (Format.asprintf "%a" H.Scenario.pp_report report);
+      (* With zero byzantine parties the outcome must be the stable
+         matching of the true profile. *)
+      let m = SM.Gale_shapley.run profile in
+      List.iter
+        (fun (p, d) ->
+          match (d : Core.Problem.decision) with
+          | Core.Problem.Matched q ->
+            if not (Party_id.equal q (SM.Matching.partner m p)) then
+              Alcotest.failf "wrong partner for %s" (Party_id.to_string p)
+          | Core.Problem.Nobody | Core.Problem.No_output ->
+            Alcotest.failf "%s should be matched" (Party_id.to_string p))
+        report.H.Scenario.outcome.Core.Problem.decisions)
+    (solvable_examples ~k)
+
+let test_round_complexity_matches_plan () =
+  (* plan.engine_rounds is a documented constant; honest executions must
+     finish in exactly that many rounds. *)
+  let k = 3 in
+  let rng = Rng.make 77 in
+  List.iter
+    (fun s ->
+      let profile = SM.Profile.random rng k in
+      let report = H.Scenario.run (H.Scenario.make_exn s profile) in
+      let plan = report.H.Scenario.plan in
+      Alcotest.(check int)
+        (Format.asprintf "rounds for %a" Core.Setting.pp s)
+        plan.Core.Select.engine_rounds
+        report.H.Scenario.metrics.Engine.rounds_used)
+    (solvable_examples ~k)
+
+let test_predicted_messages_exact () =
+  (* The closed-form communication model must match the engine's counter
+     exactly, for every representative solvable setting and k = 2..6. *)
+  List.iter
+    (fun k ->
+      let rng = Rng.make (k * 997) in
+      List.iter
+        (fun s ->
+          let profile = SM.Profile.random rng k in
+          let report = H.Scenario.run (H.Scenario.make_exn s profile) in
+          let measured = report.H.Scenario.metrics.Engine.messages_sent in
+          let predicted = Core.Complexity.predicted_messages s in
+          if measured <> predicted then
+            Alcotest.failf "message model wrong at %s: predicted %d, measured %d"
+              (Format.asprintf "%a" Core.Setting.pp s)
+              predicted measured)
+        (solvable_examples ~k))
+    [ 2; 3; 4; 5; 6 ]
+
+(* --- byzantine end-to-end runs ------------------------------------------- *)
+
+let run_with_random_coalitions ~name ~runs ~k ~seed settings =
+  let rng = Rng.make seed in
+  List.iter
+    (fun (s : Core.Setting.t) ->
+      for i = 1 to runs do
+        let profile = SM.Profile.random rng k in
+        let scenario_seed = (i * 7919) + seed in
+        let byzantine =
+          H.Adversaries.random_coalition rng ~setting:s ~seed:scenario_seed ~profile
+        in
+        let scenario = H.Scenario.make_exn ~byzantine ~seed:scenario_seed s profile in
+        let report = H.Scenario.run scenario in
+        if not (H.Scenario.ok report) then
+          Alcotest.failf "%s: violation at %s (run %d):@ %s" name
+            (Format.asprintf "%a" Core.Setting.pp s)
+            i
+            (Format.asprintf "%a" H.Scenario.pp_report report)
+      done)
+    settings
+
+let test_byzantine_runs_all_settings () =
+  run_with_random_coalitions ~name:"T1 sweep" ~runs:6 ~k:3 ~seed:5
+    (solvable_examples ~k:3)
+
+let test_byzantine_runs_k4 () =
+  run_with_random_coalitions ~name:"T1 sweep k=4" ~runs:4 ~k:4 ~seed:11
+    (solvable_examples ~k:4)
+
+let test_byzantine_runs_k6 () =
+  run_with_random_coalitions ~name:"T1 sweep k=6" ~runs:3 ~k:6 ~seed:23
+    (solvable_examples ~k:6)
+
+let test_pi_bsm_fully_byzantine_side () =
+  (* Bipartite authenticated, t_R = k: every R-party byzantine. Lemma 11
+     regime — the honest L parties must satisfy all properties (they may
+     match nobody). Strategies include fully silent R (pure omission). *)
+  let k = 3 in
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:0
+      ~tr:k
+  in
+  let rng = Rng.make 31 in
+  let strategies =
+    [
+      ("silent", fun _ -> H.Adversaries.silent);
+      ("noise", fun i -> H.Adversaries.noise ~seed:(100 + i));
+      ( "mixed",
+        fun i ->
+          if i = 0 then H.Adversaries.silent else H.Adversaries.noise ~seed:(200 + i) );
+    ]
+  in
+  List.iter
+    (fun (name, strategy_of) ->
+      let profile = SM.Profile.random rng k in
+      let byzantine =
+        List.mapi (fun i r -> r, strategy_of i) (Party_id.side_members Side.Right ~k)
+      in
+      let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:3 s profile) in
+      if not (H.Scenario.ok report) then
+        Alcotest.failf "all-R-byzantine (%s):@ %s" name
+          (Format.asprintf "%a" H.Scenario.pp_report report))
+    strategies
+
+let test_pi_bsm_selective_forwarding () =
+  (* The sharpest Lemma 11 case: every R-party byzantine, but instead of
+     staying silent they forward *selectively* — each relay serves only a
+     subset of L-destinations, and only in some rounds. This creates
+     asymmetric omissions: some L-parties may complete their BB/BA
+     instances while others see ⊥. Weak agreement must still prevent any
+     two honest L-parties from acting on different matchings; all four
+     bSM properties must hold. Swept over many selection patterns. *)
+  let k = 3 in
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:0
+      ~tr:k
+  in
+  for seed = 1 to 40 do
+    let rng = Rng.make (seed * 131) in
+    let profile = SM.Profile.random rng k in
+    let selective_relay (env : Engine.env) =
+      let rng = Rng.make (seed lxor Party_id.hash env.Engine.self) in
+      (* Also send a (possibly garbage) preference list first. *)
+      if Rng.bool rng then
+        env.Engine.send (Party_id.left (Rng.int rng k)) "not-a-valid-prefs-msg";
+      for _ = 1 to 30 do
+        let inbox = env.Engine.next_round () in
+        List.iter
+          (fun (e : Engine.envelope) ->
+            (* Forward each relay request only with probability 1/2, and
+               occasionally duplicate it. *)
+            if Rng.bool rng then begin
+              Core.Channels.forward_duty env ~topology:Topology.Bipartite e;
+              if Rng.int rng 4 = 0 then
+                Core.Channels.forward_duty env ~topology:Topology.Bipartite e
+            end)
+          inbox
+      done
+    in
+    let byzantine =
+      List.map (fun r -> r, selective_relay) (Party_id.side_members Side.Right ~k)
+    in
+    let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed s profile) in
+    if not (H.Scenario.ok report) then
+      Alcotest.failf "selective forwarding broke bSM at seed %d:@ %s" seed
+        (Format.asprintf "%a" H.Scenario.pp_report report)
+  done
+
+let test_pi_bsm_one_honest_relay () =
+  (* Lemma 12 regime: one honest R-party; everyone must be matched
+     according to the common Gale-Shapley run and R0's true preferences
+     must be respected (validity of its Pi_BA instance). *)
+  let k = 3 in
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:0
+      ~tr:(k - 1)
+  in
+  (* t_R = k-1 = 2 < k fails the first Thm 6 disjunct? No: tl=0 < k and
+     tr=2 < k, so the plan is the DS pipeline. Force Pi_bsm by tr = k with
+     an under-budget coalition instead. *)
+  ignore s;
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:0
+      ~tr:k
+  in
+  let rng = Rng.make 41 in
+  let profile = SM.Profile.random rng k in
+  let byzantine =
+    [
+      Party_id.right 1, H.Adversaries.silent;
+      Party_id.right 2, H.Adversaries.noise ~seed:404;
+    ]
+  in
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:5 s profile) in
+  (match Core.Select.(report.H.Scenario.plan.mechanism) with
+  | Core.Select.Pi_bsm side ->
+    Alcotest.(check bool) "computing side is L" true (Side.equal side Side.Left)
+  | Core.Select.Bb_pipeline -> Alcotest.fail "expected Pi_bsm plan");
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "one honest relay:@ %s"
+      (Format.asprintf "%a" H.Scenario.pp_report report);
+  (* The honest R0 must be matched (it participates honestly and L runs
+     full BA: the suggestion majority reaches it). *)
+  let r0_decision =
+    List.assoc (Party_id.right 0) report.H.Scenario.outcome.Core.Problem.decisions
+  in
+  (match r0_decision with
+  | Core.Problem.Matched _ -> ()
+  | Core.Problem.Nobody | Core.Problem.No_output ->
+    Alcotest.fail "honest R0 should be matched")
+
+let test_pi_bsm_mirrored_side () =
+  (* t_L = k, t_R < k/3: the mirrored protocol (computing side R). *)
+  let k = 3 in
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:k
+      ~tr:0
+  in
+  let rng = Rng.make 43 in
+  let profile = SM.Profile.random rng k in
+  let byzantine =
+    [
+      Party_id.left 0, H.Adversaries.silent;
+      Party_id.left 1, H.Adversaries.noise ~seed:7;
+      Party_id.left 2, H.Adversaries.silent;
+    ]
+  in
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:9 s profile) in
+  (match Core.Select.(report.H.Scenario.plan.mechanism) with
+  | Core.Select.Pi_bsm side ->
+    Alcotest.(check bool) "computing side is R" true (Side.equal side Side.Right)
+  | Core.Select.Bb_pipeline -> Alcotest.fail "expected mirrored Pi_bsm plan");
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "mirrored Pi_bsm:@ %s"
+      (Format.asprintf "%a" H.Scenario.pp_report report)
+
+let test_one_sided_auth_fully_byzantine_r () =
+  (* Theorem 7's second regime: one-sided, t_R = k, t_L < k/3. *)
+  let k = 4 in
+  let s =
+    setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated ~tl:1
+      ~tr:k
+  in
+  let rng = Rng.make 47 in
+  let profile = SM.Profile.random rng k in
+  let byzantine =
+    (Party_id.left 3, H.Adversaries.noise ~seed:17)
+    :: List.mapi
+         (fun i r -> r, if i mod 2 = 0 then H.Adversaries.silent else H.Adversaries.noise ~seed:i)
+         (Party_id.side_members Side.Right ~k)
+  in
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:13 s profile) in
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "one-sided tR=k:@ %s"
+      (Format.asprintf "%a" H.Scenario.pp_report report)
+
+let test_pi_bsm_bogus_suggestions () =
+  (* Byzantine members of the computing side lie to R about its match: the
+     suggestion majority (k - t_L > t_L honest senders) must override
+     them. R0 is honest; its decision must equal the honest G-S result. *)
+  let k = 4 in
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:1
+      ~tr:k
+  in
+  let rng = Rng.make 61 in
+  let profile = SM.Profile.random rng k in
+  let liar = Party_id.left 2 in
+  let lying_computer (env : Engine.env) =
+    (* Follow the protocol so the BB/BA phase completes normally, but send
+       every R-party a bogus suggestion at the end. We just run the honest
+       program with sends of Suggest messages garbled: simplest faithful
+       lie — run honest, then flood fake suggestions one round before the
+       deadline cannot be injected portably, so instead: behave honestly
+       for the session but replace outgoing *direct* messages to R (the
+       suggestions) with a fixed wrong suggestion. Relay traffic also goes
+       to R but is relay-encoded; garbling only Suggest-typed traffic
+       keeps the session intact. *)
+    let pki = Crypto.Pki.setup ~k ~seed:33 in
+    let honest =
+      Core.Pi_bsm.program s ~pki ~computing_side:Side.Left
+        ~input:(SM.Profile.prefs profile liar) ~self:liar
+    in
+    let fake =
+      (* decodes as a Suggest of R0's own id's opposite: always L3 *)
+      Bsm_wire.Wire.encode Core.Pi_bsm.Msg.codec
+        (Core.Pi_bsm.Msg.Suggest (Some (Party_id.left 3)))
+    in
+    let env' =
+      {
+        env with
+        Engine.send =
+          (fun dst msg ->
+            let is_suggest =
+              match Bsm_wire.Wire.decode Core.Pi_bsm.Msg.codec msg with
+              | Ok (Core.Pi_bsm.Msg.Suggest _) -> true
+              | Ok (Core.Pi_bsm.Msg.Prefs _) | Error _ -> false
+            in
+            env.Engine.send dst (if is_suggest then fake else msg));
+      }
+    in
+    honest env'
+  in
+  let byzantine =
+    (liar, lying_computer)
+    :: List.filteri
+         (fun i _ -> i > 0) (* keep R0 honest *)
+         (List.map (fun r -> r, H.Adversaries.silent) (Party_id.side_members Side.Right ~k))
+  in
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:33 s profile) in
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "bogus suggestions:@ %s"
+      (Format.asprintf "%a" H.Scenario.pp_report report);
+  (* R0 is honest and at least one honest L computed a matching; its
+     decision must NOT be the liar's fake unless the real matching says
+     so. Stronger: symmetry already checked; here assert R0 matched its
+     true partner per the honest L majority. *)
+  let r0 = List.assoc (Party_id.right 0) report.H.Scenario.outcome.Core.Problem.decisions in
+  let l_partner_of_r0 =
+    List.find_map
+      (fun (p, d) ->
+        match (d : Core.Problem.decision) with
+        | Core.Problem.Matched q
+          when Side.equal (Party_id.side p) Side.Left
+               && Party_id.equal q (Party_id.right 0) ->
+          Some p
+        | _ -> None)
+      report.H.Scenario.outcome.Core.Problem.decisions
+  in
+  match r0, l_partner_of_r0 with
+  | Core.Problem.Matched q, Some l -> Alcotest.(check bool) "majority wins" true (Party_id.equal q l)
+  | Core.Problem.Matched _, None -> ()
+  | (Core.Problem.Nobody | Core.Problem.No_output), _ ->
+    Alcotest.fail "R0 should be matched (honest L majority suggests)"
+
+let prop_random_solvable_settings_never_violate =
+  (* The global property behind T1: draw a random solvable setting, a
+     random profile and a random admissible coalition; the selected
+     protocol never violates bSM. *)
+  QCheck.Test.make ~name:"random solvable settings never violate bSM" ~count:50
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.make seed in
+      let k = 2 + Rng.int rng 3 in
+      let rec draw () =
+        let s =
+          setting ~k
+            ~topology:(Rng.choose rng Topology.all)
+            ~auth:
+              (Rng.choose rng [ Core.Setting.Unauthenticated; Core.Setting.Authenticated ])
+            ~tl:(Rng.int rng (k + 1))
+            ~tr:(Rng.int rng (k + 1))
+        in
+        if Core.Solvability.solvable s then s else draw ()
+      in
+      let s = draw () in
+      let profile = SM.Profile.random rng k in
+      let byzantine = H.Adversaries.random_coalition rng ~setting:s ~seed ~profile in
+      let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed s profile) in
+      H.Scenario.ok report)
+
+let test_lying_is_not_a_violation () =
+  (* A byzantine party that simply misreports its preferences produces a
+     perfectly valid bSM outcome (stability is judged on honest inputs
+     only). This is the Roth manipulation in the distributed setting. *)
+  let k = 3 in
+  let s =
+    setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+      ~tl:0 ~tr:1
+  in
+  let profile, manipulation = SM.Truthfulness.roth_instance () in
+  let liar = manipulation.SM.Truthfulness.manipulator in
+  let seed = 21 in
+  let byzantine =
+    [
+      ( liar,
+        H.Adversaries.lying ~setting:s ~seed ~fake:manipulation.SM.Truthfulness.fake
+          ~self:liar );
+    ]
+  in
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed s profile) in
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "lying run:@ %s" (Format.asprintf "%a" H.Scenario.pp_report report);
+  (* And the liar profits: the honest parties matched it to its true
+     favorite. *)
+  let partner_of_liar =
+    List.find_map
+      (fun (p, d) ->
+        match (d : Core.Problem.decision) with
+        | Core.Problem.Matched q when Party_id.equal q liar -> Some p
+        | Core.Problem.Matched _ | Core.Problem.Nobody | Core.Problem.No_output -> None)
+      report.H.Scenario.outcome.Core.Problem.decisions
+  in
+  match partner_of_liar with
+  | Some p ->
+    Alcotest.(check int) "liar got its lying-partner"
+      manipulation.SM.Truthfulness.lying_partner (Party_id.index p)
+  | None -> Alcotest.fail "liar unmatched"
+
+(* --- distributed Gale-Shapley (fault-free) --------------------------------- *)
+
+let test_distributed_gs_matches_centralized () =
+  (* Same matching and the exact same proposal count as the centralized
+     parallel algorithm, over random instances. *)
+  let rng = Rng.make 71 in
+  for _ = 1 to 25 do
+    let k = 2 + Rng.int rng 6 in
+    let profile = SM.Profile.random rng k in
+    let matching, _, proposals = Core.Distributed_gs.run profile in
+    let expected, stats = SM.Gale_shapley.run_with_stats profile in
+    Alcotest.(check bool) "same matching" true (SM.Matching.equal matching expected);
+    Alcotest.(check int) "same proposal count" stats.SM.Gale_shapley.proposals proposals
+  done
+
+let test_distributed_gs_worst_case_quadratic () =
+  let k = 8 in
+  let _, _, proposals = Core.Distributed_gs.run (SM.Profile.worst_case k) in
+  Alcotest.(check int) "k(k+1)/2 proposals" (k * (k + 1) / 2) proposals
+
+let test_distributed_gs_similarity_costs_more () =
+  (* Correlated (similar) preference lists create contention: everyone
+     chases the same partners and plain Gale-Shapley pays more proposals —
+     the regime that motivates Khanchandani-Wattenhofer's specialized
+     algorithm (their lower bound grows with similarity). Averaged over
+     seeds. *)
+  let k = 12 in
+  let mean_proposals ~swaps =
+    let total = ref 0 in
+    for seed = 1 to 8 do
+      let profile = SM.Profile.similar (Rng.make seed) ~swaps k in
+      let _, _, proposals = Core.Distributed_gs.run profile in
+      total := !total + proposals
+    done;
+    !total / 8
+  in
+  let near_identical = mean_proposals ~swaps:1 in
+  let shuffled = mean_proposals ~swaps:60 in
+  Alcotest.(check bool)
+    (Printf.sprintf "correlated lists cost more (%d vs %d)" near_identical shuffled)
+    true
+    (near_identical >= shuffled)
+
+let test_distributed_gs_stability () =
+  let rng = Rng.make 73 in
+  for _ = 1 to 15 do
+    let k = 3 + Rng.int rng 5 in
+    let profile = SM.Profile.random rng k in
+    let matching, _, _ = Core.Distributed_gs.run profile in
+    Alcotest.(check bool) "stable" true (SM.Verify.is_stable profile matching)
+  done
+
+(* --- edge cases and robustness --------------------------------------------- *)
+
+let test_k1_settings () =
+  (* The degenerate single-pair instance must work in every solvable
+     setting: with k = 1, k/3 conditions force t = 0 in unauth settings. *)
+  let profile = SM.Profile.worst_case 1 in
+  List.iter
+    (fun (topology, auth, tl, tr) ->
+      let s = setting ~k:1 ~topology ~auth ~tl ~tr in
+      if Core.Solvability.solvable s then begin
+        let report = H.Scenario.run (H.Scenario.make_exn s profile) in
+        if not (H.Scenario.ok report) then
+          Alcotest.failf "k=1 violation at %s" (Format.asprintf "%a" Core.Setting.pp s);
+        List.iter
+          (fun (p, d) ->
+            match (d : Core.Problem.decision) with
+            | Core.Problem.Matched q ->
+              Alcotest.(check bool) "matched across" true
+                (not (Side.equal (Party_id.side p) (Party_id.side q)))
+            | Core.Problem.Nobody | Core.Problem.No_output ->
+              Alcotest.fail "k=1 honest pair must match")
+          report.H.Scenario.outcome.Core.Problem.decisions
+      end)
+    [
+      Topology.Fully_connected, Core.Setting.Unauthenticated, 0, 0;
+      Topology.Bipartite, Core.Setting.Unauthenticated, 0, 0;
+      Topology.Fully_connected, Core.Setting.Authenticated, 1, 1;
+      Topology.One_sided, Core.Setting.Authenticated, 1, 0;
+    ]
+
+let test_k1_pi_bsm_all_r_byzantine () =
+  (* k = 1, bipartite auth, t_R = 1: the single L party's only counterpart
+     is byzantine; L must terminate without crashing (matching nobody or
+     the byzantine party, both fine). *)
+  let s =
+    setting ~k:1 ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl:0
+      ~tr:1
+  in
+  let profile = SM.Profile.worst_case 1 in
+  let byzantine = [ Party_id.right 0, H.Adversaries.silent ] in
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine s profile) in
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "k=1 pi_bsm:@ %s" (Format.asprintf "%a" H.Scenario.pp_report report)
+
+let test_scenario_rejects_over_budget () =
+  let s =
+    setting ~k:2 ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+      ~tl:1 ~tr:0
+  in
+  let profile = SM.Profile.worst_case 2 in
+  let too_many =
+    [ Party_id.left 0, H.Adversaries.silent; Party_id.left 1, H.Adversaries.silent ]
+  in
+  Alcotest.(check bool) "over budget rejected" true
+    (Result.is_error (H.Scenario.make ~byzantine:too_many s profile));
+  let wrong_side = [ Party_id.right 0, H.Adversaries.silent ] in
+  Alcotest.(check bool) "tR budget enforced" true
+    (Result.is_error (H.Scenario.make ~byzantine:wrong_side s profile));
+  let duplicate =
+    [ Party_id.left 0, H.Adversaries.silent; Party_id.left 0, H.Adversaries.noise ~seed:1 ]
+  in
+  Alcotest.(check bool) "duplicate rejected" true
+    (Result.is_error (H.Scenario.make ~byzantine:duplicate s profile))
+
+let test_run_ssm_all_settings_byzantine () =
+  (* The sSM wrapper end-to-end in all six settings with byzantine
+     coalitions. *)
+  let k = 3 in
+  let rng = Rng.make 101 in
+  List.iter
+    (fun s ->
+      let favs =
+        List.map
+          (fun p -> p, Party_id.make (Side.opposite (Party_id.side p)) (Rng.int rng k))
+          (Party_id.all ~k)
+      in
+      let favorites p = List.assoc p favs in
+      let profile = Core.Ssm.favorites_to_profile ~k favorites in
+      let byzantine = H.Adversaries.random_coalition rng ~setting:s ~seed:7 ~profile in
+      let scenario = H.Scenario.make_exn ~byzantine ~seed:7 s profile in
+      let report = H.Scenario.run_ssm ~favorites scenario in
+      if not (H.Scenario.ok report) then
+        Alcotest.failf "ssm violation at %s:@ %s"
+          (Format.asprintf "%a" Core.Setting.pp s)
+          (Format.asprintf "%a" H.Scenario.pp_report report))
+    (solvable_examples ~k)
+
+let test_engine_determinism () =
+  (* Two executions of the same scenario are bit-identical: decisions and
+     metrics. This is what makes every experiment in this repo
+     reproducible. *)
+  let k = 4 in
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Unauthenticated ~tl:1
+      ~tr:1
+  in
+  let rng = Rng.make 5 in
+  let profile = SM.Profile.random rng k in
+  let make_byz () =
+    (* Strategies must be rebuilt per run (stateful rngs inside), from the
+       same seeds. *)
+    [
+      Party_id.left 0, H.Adversaries.noise ~seed:11;
+      Party_id.right 3, H.Adversaries.noise ~seed:13;
+    ]
+  in
+  let run () = H.Scenario.run (H.Scenario.make_exn ~byzantine:(make_byz ()) ~seed:3 s profile) in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same messages" a.H.Scenario.metrics.Engine.messages_sent
+    b.H.Scenario.metrics.Engine.messages_sent;
+  Alcotest.(check int) "same bytes" a.H.Scenario.metrics.Engine.bytes_sent
+    b.H.Scenario.metrics.Engine.bytes_sent;
+  Alcotest.(check bool) "same decisions" true
+    (a.H.Scenario.outcome.Core.Problem.decisions
+    = b.H.Scenario.outcome.Core.Problem.decisions)
+
+let test_session_ignores_forged_tags () =
+  (* A byzantine party floods a session with unknown and malformed tags;
+     the multiplexed BB instances must be unaffected. *)
+  let k = 2 in
+  let s =
+    setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+      ~tl:0 ~tr:1
+  in
+  let rng = Rng.make 7 in
+  let profile = SM.Profile.random rng k in
+  let flooder (env : Engine.env) =
+    for _ = 1 to 15 do
+      List.iter
+        (fun p ->
+          if not (Party_id.equal p env.Engine.self) then begin
+            (* plausible-looking session wrapper with an unknown tag *)
+            env.Engine.send p (B.Session.wrap "NO-SUCH-TAG" "payload");
+            (* raw garbage *)
+            env.Engine.send p "\xff\xfe\x00garbage"
+          end)
+        (Party_id.all ~k);
+      ignore (env.Engine.next_round ())
+    done
+  in
+  let byzantine = [ Party_id.right 1, flooder ] in
+  let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:1 s profile) in
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "forged tags broke the session:@ %s"
+      (Format.asprintf "%a" H.Scenario.pp_report report)
+
+let test_channels_duplicate_forwards_delivered_once () =
+  (* A byzantine relay forwards the same signed request twice; replay
+     suppression must deliver it exactly once. *)
+  let pki = Crypto.Pki.setup ~k:2 ~seed:21 in
+  let received = ref [] in
+  let duplicating_relay (env : Engine.env) =
+    let inbox = env.Engine.next_round () in
+    (* forward each request twice in the same round *)
+    List.iter (Core.Channels.forward_duty env ~topology:Topology.Bipartite) inbox;
+    List.iter (Core.Channels.forward_duty env ~topology:Topology.Bipartite) inbox;
+    ignore (env.Engine.next_round ())
+  in
+  let programs p (env : Engine.env) =
+    if Side.equal (Party_id.side p) Side.Right then
+      if Party_id.equal p (Party_id.right 0) then duplicating_relay env
+      else B.Strategies.silent env
+    else begin
+      let net =
+        Core.Channels.virtual_net env ~topology:Topology.Bipartite
+          ~auth:(signed_auth pki p)
+      in
+      if Party_id.equal p (Party_id.left 0) then begin
+        net.Bsm_runtime.Net.send (Party_id.left 1) "once";
+        ignore (net.Bsm_runtime.Net.sync ())
+      end
+      else received := net.Bsm_runtime.Net.sync ()
+    end
+  in
+  let cfg = Engine.config ~k:2 ~link:(Engine.Of_topology Topology.Bipartite) () in
+  ignore (Engine.run cfg ~programs:(fun p env -> programs p env));
+  Alcotest.(check int) "exactly one delivery" 1 (List.length !received)
+
+(* --- sSM ------------------------------------------------------------------ *)
+
+let test_ssm_mutual_favorites_matched () =
+  let k = 3 in
+  let s =
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Unauthenticated ~tl:0
+      ~tr:1
+  in
+  (* L0 and R1 are mutual favorites; R2 is byzantine. *)
+  let favorites p =
+    match Party_id.side p, Party_id.index p with
+    | Side.Left, 0 -> Party_id.right 1
+    | Side.Left, i -> Party_id.right ((i + 1) mod k)
+    | Side.Right, 1 -> Party_id.left 0
+    | Side.Right, i -> Party_id.left ((i + 2) mod k)
+  in
+  let profile = Core.Ssm.favorites_to_profile ~k favorites in
+  let byzantine = [ Party_id.right 2, H.Adversaries.noise ~seed:3 ] in
+  let scenario = H.Scenario.make_exn ~byzantine ~seed:17 s profile in
+  let report = H.Scenario.run_ssm ~favorites scenario in
+  if not (H.Scenario.ok report) then
+    Alcotest.failf "sSM run:@ %s" (Format.asprintf "%a" H.Scenario.pp_report report);
+  let l0 =
+    List.assoc (Party_id.left 0) report.H.Scenario.outcome.Core.Problem.decisions
+  in
+  match l0 with
+  | Core.Problem.Matched q ->
+    Alcotest.(check bool) "L0 matched its mutual favorite" true
+      (Party_id.equal q (Party_id.right 1))
+  | Core.Problem.Nobody | Core.Problem.No_output ->
+    Alcotest.fail "L0 must match its mutual favorite"
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "solvability",
+        [
+          Alcotest.test_case "spot checks per theorem" `Quick test_solvability_spot_checks;
+          Alcotest.test_case "monotonicity" `Quick test_solvability_monotone;
+          Alcotest.test_case "plan iff solvable" `Quick test_plan_exists_iff_solvable;
+        ] );
+      ( "channels",
+        [
+          Alcotest.test_case "majority proxy delivers" `Quick test_majority_proxy_delivers;
+          Alcotest.test_case "majority proxy, byzantine minority" `Quick
+            test_majority_proxy_survives_minority_byz;
+          Alcotest.test_case "majority proxy blocks junk" `Quick
+            test_majority_proxy_blocks_forgery;
+          Alcotest.test_case "signed proxy, single honest relay" `Quick
+            test_signed_proxy_single_honest_relay;
+          Alcotest.test_case "signed proxy drops late forward" `Quick
+            test_signed_proxy_drops_late_forward;
+          QCheck_alcotest.to_alcotest prop_channels_reliable_links;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "honest runs, all six settings" `Quick
+            test_honest_runs_all_settings;
+          Alcotest.test_case "round complexity matches plan" `Quick
+            test_round_complexity_matches_plan;
+          Alcotest.test_case "message model exact" `Quick test_predicted_messages_exact;
+          Alcotest.test_case "byzantine sweep k=3" `Slow test_byzantine_runs_all_settings;
+          Alcotest.test_case "byzantine sweep k=4" `Slow test_byzantine_runs_k4;
+          Alcotest.test_case "byzantine sweep k=6" `Slow test_byzantine_runs_k6;
+        ] );
+      ( "pi-bsm",
+        [
+          Alcotest.test_case "fully byzantine R side" `Quick
+            test_pi_bsm_fully_byzantine_side;
+          Alcotest.test_case "selective forwarding (partial omissions)" `Quick
+            test_pi_bsm_selective_forwarding;
+          Alcotest.test_case "one honest relay" `Quick test_pi_bsm_one_honest_relay;
+          Alcotest.test_case "mirrored computing side" `Quick test_pi_bsm_mirrored_side;
+          Alcotest.test_case "one-sided, tR=k" `Quick
+            test_one_sided_auth_fully_byzantine_r;
+        ] );
+      ( "manipulation",
+        [ Alcotest.test_case "lying is not a violation" `Quick test_lying_is_not_a_violation ]
+      );
+      ( "properties",
+        [
+          Alcotest.test_case "bogus suggestions outvoted" `Quick
+            test_pi_bsm_bogus_suggestions;
+          QCheck_alcotest.to_alcotest prop_random_solvable_settings_never_violate;
+        ] );
+      ( "ssm",
+        [
+          Alcotest.test_case "mutual favorites matched" `Quick
+            test_ssm_mutual_favorites_matched;
+          Alcotest.test_case "all six settings, byzantine" `Quick
+            test_run_ssm_all_settings_byzantine;
+        ] );
+      ( "distributed-gs",
+        [
+          Alcotest.test_case "matches centralized run exactly" `Quick
+            test_distributed_gs_matches_centralized;
+          Alcotest.test_case "worst case is quadratic" `Quick
+            test_distributed_gs_worst_case_quadratic;
+          Alcotest.test_case "correlated lists cost more proposals" `Quick
+            test_distributed_gs_similarity_costs_more;
+          Alcotest.test_case "always stable" `Quick test_distributed_gs_stability;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "k=1 settings" `Quick test_k1_settings;
+          Alcotest.test_case "k=1 Pi_bsm, byzantine counterpart" `Quick
+            test_k1_pi_bsm_all_r_byzantine;
+          Alcotest.test_case "scenario budget validation" `Quick
+            test_scenario_rejects_over_budget;
+          Alcotest.test_case "engine determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "session ignores forged tags" `Quick
+            test_session_ignores_forged_tags;
+          Alcotest.test_case "duplicate forwards delivered once" `Quick
+            test_channels_duplicate_forwards_delivered_once;
+        ] );
+    ]

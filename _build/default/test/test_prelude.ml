@@ -1,0 +1,231 @@
+(* Tests for the prelude: identifiers, party sets, utilities, rng. *)
+
+open Bsm_prelude
+
+let party_id = Alcotest.testable Party_id.pp Party_id.equal
+
+(* --- Side / Party_id ------------------------------------------------------ *)
+
+let test_side_opposite () =
+  Alcotest.(check bool) "L<->R" true
+    (Side.equal (Side.opposite Side.Left) Side.Right
+    && Side.equal (Side.opposite Side.Right) Side.Left)
+
+let test_party_id_string_roundtrip () =
+  List.iter
+    (fun p -> Alcotest.check party_id "roundtrip" p (Party_id.of_string (Party_id.to_string p)))
+    (Party_id.all ~k:13)
+
+let test_party_id_of_string_rejects () =
+  List.iter
+    (fun s ->
+      match Party_id.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "L"; "X3"; "L-1"; "Lx"; "3L" ]
+
+let test_party_id_order_is_roster_order () =
+  let roster = Party_id.all ~k:4 in
+  let sorted = List.sort Party_id.compare roster in
+  Alcotest.(check (list party_id)) "already sorted" roster sorted
+
+let test_dense_roundtrip () =
+  let k = 7 in
+  List.iter
+    (fun p ->
+      Alcotest.check party_id "dense roundtrip" p
+        (Party_id.of_dense ~k (Party_id.to_dense ~k p)))
+    (Party_id.all ~k);
+  Alcotest.(check bool) "dense is injective" true
+    (List.length
+       (List.sort_uniq compare (List.map (Party_id.to_dense ~k) (Party_id.all ~k)))
+    = 2 * k)
+
+(* --- Party_set ------------------------------------------------------------ *)
+
+let test_party_set_side_counts () =
+  let s = Party_set.of_list [ Party_id.left 0; Party_id.left 2; Party_id.right 1 ] in
+  Alcotest.(check int) "left count" 2 (Party_set.count_side Side.Left s);
+  Alcotest.(check int) "right count" 1 (Party_set.count_side Side.Right s);
+  Alcotest.(check int) "restrict left" 2
+    (Party_set.cardinal (Party_set.restrict_side Side.Left s))
+
+let test_party_set_complement () =
+  let k = 3 in
+  let s = Party_set.of_list [ Party_id.left 0; Party_id.right 2 ] in
+  let c = Party_set.complement ~k s in
+  Alcotest.(check int) "size" (2 * k - 2) (Party_set.cardinal c);
+  Alcotest.(check bool) "disjoint" true (Party_set.is_empty (Party_set.inter s c));
+  Alcotest.(check bool) "union is full" true
+    (Party_set.equal (Party_set.union s c) (Party_set.full ~k))
+
+let test_power_set () =
+  let sets = Party_set.power_set [ Party_id.left 0; Party_id.left 1 ] in
+  Alcotest.(check int) "2^2 subsets" 4 (List.length sets)
+
+(* --- Util ------------------------------------------------------------------ *)
+
+let test_most_common () =
+  Alcotest.(check (option (pair string int)))
+    "majority" (Some ("b", 2))
+    (Util.most_common ~equal:String.equal [ "a"; "b"; "b" ]);
+  Alcotest.(check (option (pair string int)))
+    "first wins ties" (Some ("a", 1))
+    (Util.most_common ~equal:String.equal [ "a"; "b" ]);
+  Alcotest.(check (option (pair string int)))
+    "empty" None
+    (Util.most_common ~equal:String.equal [])
+
+let test_strict_majority () =
+  Alcotest.(check (option int)) "5 of 9" (Some 1)
+    (Util.strict_majority ~equal:Int.equal ~total:9 [ 1; 1; 1; 1; 1; 2; 2; 2; 2 ]);
+  Alcotest.(check (option int)) "exactly half is not majority" None
+    (Util.strict_majority ~equal:Int.equal ~total:4 [ 1; 1; 2 ])
+
+let test_group_by_preserves_order () =
+  let groups = Util.group_by ~key:(fun x -> x mod 2) ~equal_key:Int.equal [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list (pair int (list int)))) "keyed in first-seen order"
+    [ 1, [ 1; 3 ]; 0, [ 2; 4 ] ]
+    groups
+
+let test_is_permutation () =
+  Alcotest.(check bool) "valid" true (Util.is_permutation [ 2; 0; 1 ] ~n:3);
+  Alcotest.(check bool) "duplicate" false (Util.is_permutation [ 0; 0; 1 ] ~n:3);
+  Alcotest.(check bool) "short" false (Util.is_permutation [ 0; 1 ] ~n:3);
+  Alcotest.(check bool) "out of range" false (Util.is_permutation [ 0; 1; 3 ] ~n:3)
+
+let test_cdiv () =
+  Alcotest.(check int) "7/3" 3 (Util.cdiv 7 3);
+  Alcotest.(check int) "6/3" 2 (Util.cdiv 6 3);
+  Alcotest.(check int) "1/3" 1 (Util.cdiv 1 3)
+
+let test_dedup_take_range () =
+  Alcotest.(check (list int)) "dedup keeps first" [ 3; 1; 2 ]
+    (Util.dedup ~equal:Int.equal [ 3; 1; 3; 2; 1 ]);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Util.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take beyond" [ 1 ] (Util.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Util.range 2 5);
+  Alcotest.(check (list int)) "empty range" [] (Util.range 5 2)
+
+(* --- Rng -------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  let xs rng = List.init 20 (fun _ -> Rng.int rng 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (xs a) (xs b)
+
+let test_rng_permutation_valid () =
+  let rng = Rng.make 1 in
+  for n = 1 to 20 do
+    Alcotest.(check bool) "permutation" true
+      (Util.is_permutation (Rng.permutation rng n) ~n)
+  done
+
+let test_rng_sample_distinct () =
+  let rng = Rng.make 2 in
+  let sample = Rng.sample rng 5 (List.init 10 Fun.id) in
+  Alcotest.(check int) "5 distinct" 5 (List.length (List.sort_uniq compare sample))
+
+let test_rng_split_independent () =
+  let a = Rng.make 7 in
+  let b = Rng.split a in
+  let before = Rng.int b 1000000 in
+  ignore (Rng.int a 1000000);
+  (* Recreate the same split stream: split is a function of a's state at
+     split time, so an identical setup must reproduce [before]. *)
+  let a' = Rng.make 7 in
+  let b' = Rng.split a' in
+  Alcotest.(check int) "split reproducible" before (Rng.int b' 1000000)
+
+(* --- Stats ------------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check int) "n" 8 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 s.Stats.stddev;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 9.0 s.Stats.max
+
+let test_stats_percentile () =
+  let xs = List.map float_of_int (Util.range 1 101) in
+  Alcotest.(check (float 1e-9)) "median" 50.0 (Stats.percentile 50. xs);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile 95. xs);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100. xs)
+
+let test_stats_rate () =
+  Alcotest.(check (float 1e-9)) "3 of 4" 75.0 (Stats.rate 3 4);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.rate 0 0)
+
+let test_stats_rejects_empty () =
+  (match Stats.summarize [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "summarize accepted empty");
+  match Stats.percentile 50. [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "percentile accepted empty"
+
+(* --- Table ------------------------------------------------------------------ *)
+
+let test_table_renders () =
+  let t = Table.make ~title:"demo" ~header:[ "col"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bb"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "aligned" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "| a   | 1     |"))
+
+let test_table_rejects_bad_row () =
+  let t = Table.make ~title:"demo" ~header:[ "a"; "b" ] in
+  match Table.add_row t [ "only-one" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "accepted short row"
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "ids",
+        [
+          Alcotest.test_case "side opposite" `Quick test_side_opposite;
+          Alcotest.test_case "party id string roundtrip" `Quick
+            test_party_id_string_roundtrip;
+          Alcotest.test_case "of_string rejects" `Quick test_party_id_of_string_rejects;
+          Alcotest.test_case "roster order" `Quick test_party_id_order_is_roster_order;
+          Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+        ] );
+      ( "party-set",
+        [
+          Alcotest.test_case "side counts" `Quick test_party_set_side_counts;
+          Alcotest.test_case "complement" `Quick test_party_set_complement;
+          Alcotest.test_case "power set" `Quick test_power_set;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "most common" `Quick test_most_common;
+          Alcotest.test_case "strict majority" `Quick test_strict_majority;
+          Alcotest.test_case "group by" `Quick test_group_by_preserves_order;
+          Alcotest.test_case "is permutation" `Quick test_is_permutation;
+          Alcotest.test_case "ceiling division" `Quick test_cdiv;
+          Alcotest.test_case "dedup/take/range" `Quick test_dedup_take_range;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "permutations valid" `Quick test_rng_permutation_valid;
+          Alcotest.test_case "samples distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "split reproducible" `Quick test_rng_split_independent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "rate" `Quick test_stats_rate;
+          Alcotest.test_case "rejects empty" `Quick test_stats_rejects_empty;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders aligned" `Quick test_table_renders;
+          Alcotest.test_case "rejects bad row" `Quick test_table_rejects_bad_row;
+        ] );
+    ]

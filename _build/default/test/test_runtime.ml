@@ -1,0 +1,368 @@
+(* Tests for the synchronous round engine: fiber scheduling, delivery
+   timing, topology enforcement, omission faults, metrics. *)
+
+open Bsm_prelude
+module Engine = Bsm_runtime.Engine
+module Topology = Bsm_topology.Topology
+
+let party_id = Alcotest.testable Party_id.pp Party_id.equal
+
+let run ?(topology = Topology.Fully_connected) ?max_rounds ?faults ~k programs =
+  let cfg =
+    Engine.config ?max_rounds ?faults ~k ~link:(Engine.Of_topology topology) ()
+  in
+  Engine.run cfg ~programs
+
+let status_of res p = (Engine.find_result res p).Engine.status
+
+let check_status what expected res p =
+  let pp_status ppf (s : Engine.status) =
+    match s with
+    | Engine.Terminated -> Format.pp_print_string ppf "terminated"
+    | Engine.Out_of_rounds -> Format.pp_print_string ppf "out-of-rounds"
+    | Engine.Crashed m -> Format.fprintf ppf "crashed: %s" m
+  in
+  let status = Alcotest.testable pp_status ( = ) in
+  Alcotest.check status what expected (status_of res p)
+
+(* --- basic scheduling -------------------------------------------------- *)
+
+let test_all_terminate_immediately () =
+  let res = run ~k:2 (fun _ -> fun env -> env.Engine.output "done") in
+  List.iter
+    (fun (r : Engine.party_result) ->
+      Alcotest.(check bool) "terminated" true (r.status = Engine.Terminated);
+      Alcotest.(check (option string)) "output" (Some "done") r.out)
+    res.parties;
+  Alcotest.(check int) "no rounds needed" 0 res.metrics.rounds_used
+
+let test_message_delivered_next_round () =
+  (* L0 sends "hi" to R0 in round 0; R0 must see it in round 1 and nothing
+     in round 2. *)
+  let saw = ref [] in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      env.Engine.send (Party_id.right 0) "hi"
+    else if Party_id.equal id (Party_id.right 0) then begin
+      let inbox1 = env.Engine.next_round () in
+      let inbox2 = env.Engine.next_round () in
+      saw := [ inbox1; inbox2 ]
+    end
+  in
+  let res = run ~k:1 programs in
+  check_status "R0 terminated" Engine.Terminated res (Party_id.right 0);
+  match !saw with
+  | [ [ e ]; [] ] ->
+    Alcotest.check party_id "sender" (Party_id.left 0) e.Engine.src;
+    Alcotest.(check string) "payload" "hi" e.Engine.data
+  | _ -> Alcotest.fail "expected exactly one message in round 1 and none in round 2"
+
+let test_round_counter () =
+  let rounds_seen = ref [] in
+  let programs _ env =
+    rounds_seen := env.Engine.round () :: !rounds_seen;
+    ignore (env.Engine.next_round ());
+    rounds_seen := env.Engine.round () :: !rounds_seen;
+    ignore (env.Engine.next_round ());
+    rounds_seen := env.Engine.round () :: !rounds_seen
+  in
+  let res = run ~k:1 programs in
+  Alcotest.(check int) "rounds used" 2 res.metrics.rounds_used;
+  let sorted = List.sort_uniq compare !rounds_seen in
+  Alcotest.(check (list int)) "each fiber saw rounds 0,1,2" [ 0; 1; 2 ] sorted
+
+let test_ping_pong () =
+  (* L0 and R0 bounce a counter; each increments and returns it. After 6
+     rounds L0 should hold 6. *)
+  let final = ref (-1) in
+  let peer id =
+    if Side.equal (Party_id.side id) Side.Left then Party_id.right 0
+    else Party_id.left 0
+  in
+  let programs id env =
+    let me_first = Side.equal (Party_id.side id) Side.Left in
+    if me_first then env.Engine.send (peer id) "0";
+    let rec loop () =
+      match env.Engine.next_round () with
+      | [ e ] ->
+        let v = int_of_string e.Engine.data + 1 in
+        if v >= 6 then final := v
+        else begin
+          env.Engine.send (peer id) (string_of_int v);
+          loop ()
+        end
+      | [] -> loop ()
+      | _ -> Alcotest.fail "unexpected traffic"
+    in
+    if Party_id.index id = 0 then loop ()
+  in
+  let res = run ~k:1 ~max_rounds:20 programs in
+  ignore res;
+  Alcotest.(check int) "counter reached 6" 6 !final
+
+let test_out_of_rounds () =
+  let programs _ env =
+    while true do
+      ignore (env.Engine.next_round ())
+    done
+  in
+  let res = run ~k:1 ~max_rounds:5 programs in
+  Alcotest.(check int) "hit the budget" 5 res.metrics.rounds_used;
+  check_status "L0 out of rounds" Engine.Out_of_rounds res (Party_id.left 0)
+
+let test_crash_is_reported () =
+  let programs id _env =
+    if Party_id.equal id (Party_id.left 0) then failwith "boom"
+  in
+  let res = run ~k:1 programs in
+  (match status_of res (Party_id.left 0) with
+  | Engine.Crashed m -> Alcotest.(check bool) "message" true (String.length m > 0)
+  | _ -> Alcotest.fail "expected crash");
+  check_status "R0 unaffected" Engine.Terminated res (Party_id.right 0)
+
+let test_crash_after_send_still_delivers () =
+  (* A party that sends then crashes in the same round: the message was
+     already queued and must still be delivered (the paper's adversary can
+     always behave this way, so the engine must not retract it). *)
+  let got = ref false in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.right 0) "last words";
+      failwith "crash"
+    end
+    else got := env.Engine.next_round () <> []
+  in
+  ignore (run ~k:1 programs);
+  Alcotest.(check bool) "delivered" true !got
+
+(* --- topology enforcement ---------------------------------------------- *)
+
+let inbox_senders env = List.map (fun e -> e.Engine.src) (env.Engine.next_round ())
+
+let test_bipartite_blocks_same_side () =
+  let l1_saw = ref [] in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.left 1) "intra";
+      env.Engine.send (Party_id.right 0) "cross"
+    end
+    else if Party_id.equal id (Party_id.left 1) then l1_saw := inbox_senders env
+    else ignore (env.Engine.next_round ())
+  in
+  let res = run ~topology:Topology.Bipartite ~k:2 programs in
+  Alcotest.(check (list party_id)) "L1 got nothing" [] !l1_saw;
+  Alcotest.(check int) "one drop" 1 res.metrics.messages_dropped_topology
+
+let test_one_sided_allows_rr_blocks_ll () =
+  let r1_saw = ref [] in
+  let l1_saw = ref [] in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then env.Engine.send (Party_id.left 1) "x"
+    else if Party_id.equal id (Party_id.right 0) then
+      env.Engine.send (Party_id.right 1) "y"
+    else if Party_id.equal id (Party_id.left 1) then l1_saw := inbox_senders env
+    else if Party_id.equal id (Party_id.right 1) then r1_saw := inbox_senders env
+  in
+  ignore (run ~topology:Topology.One_sided ~k:2 programs);
+  Alcotest.(check (list party_id)) "L-L dropped" [] !l1_saw;
+  Alcotest.(check (list party_id)) "R-R delivered" [ Party_id.right 0 ] !r1_saw
+
+let test_out_of_roster_send_dropped () =
+  (* A byzantine fiber addressing a party outside the roster must not
+     crash the engine; the message counts as a topology drop. *)
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.left 99) "junk";
+      env.Engine.send (Party_id.right 0) "real"
+    end
+    else ignore (env.Engine.next_round ())
+  in
+  let res = run ~k:1 programs in
+  Alcotest.(check int) "junk dropped" 1 res.metrics.messages_dropped_topology;
+  Alcotest.(check int) "real delivered" 1 res.metrics.messages_delivered
+
+let test_self_send_dropped () =
+  let saw = ref [ Party_id.left 0 ] in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.left 0) "me";
+      saw := inbox_senders env
+    end
+  in
+  ignore (run ~k:1 programs);
+  Alcotest.(check (list party_id)) "no self delivery" [] !saw
+
+(* --- faults ------------------------------------------------------------ *)
+
+let test_omission_fault_drops () =
+  let faults =
+    {
+      Engine.drop =
+        (fun ~round:_ ~src ~dst:_ -> Party_id.equal src (Party_id.left 0));
+    }
+  in
+  let saw = ref [ "sentinel" ] in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then env.Engine.send (Party_id.right 0) "a"
+    else if Party_id.equal id (Party_id.left 1) then
+      env.Engine.send (Party_id.right 0) "b"
+    else if Party_id.equal id (Party_id.right 0) then
+      saw := List.map (fun e -> e.Engine.data) (env.Engine.next_round ())
+  in
+  let res = run ~k:2 ~faults programs in
+  Alcotest.(check (list string)) "only L1's message" [ "b" ] !saw;
+  Alcotest.(check int) "one fault drop" 1 res.metrics.messages_dropped_fault
+
+(* --- determinism & inbox order ------------------------------------------ *)
+
+let test_inbox_sorted_by_sender () =
+  let k = 3 in
+  let saw = ref [] in
+  let programs id env =
+    if Party_id.equal id (Party_id.right 0) then saw := inbox_senders env
+    else if Side.equal (Party_id.side id) Side.Left then
+      env.Engine.send (Party_id.right 0) "m"
+  in
+  ignore (run ~k programs);
+  Alcotest.(check (list party_id))
+    "sorted" [ Party_id.left 0; Party_id.left 1; Party_id.left 2 ] !saw
+
+let test_per_sender_order_preserved () =
+  let saw = ref [] in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.right 0) "first";
+      env.Engine.send (Party_id.right 0) "second"
+    end
+    else if Party_id.equal id (Party_id.right 0) then
+      saw := List.map (fun e -> e.Engine.data) (env.Engine.next_round ())
+  in
+  ignore (run ~k:1 programs);
+  Alcotest.(check (list string)) "order kept" [ "first"; "second" ] !saw
+
+let test_metrics_accounting () =
+  let programs id env =
+    if Side.equal (Party_id.side id) Side.Left then
+      env.Engine.send (Party_id.right 0) "12345"
+  in
+  let res = run ~k:2 programs in
+  Alcotest.(check int) "sent" 2 res.metrics.messages_sent;
+  Alcotest.(check int) "delivered" 2 res.metrics.messages_delivered;
+  Alcotest.(check int) "bytes" 10 res.metrics.bytes_sent
+
+let test_trace_records_fates () =
+  (* One delivered, one dropped-by-topology, one omitted message; the
+     trace must record all three with their fates, in order. *)
+  let faults =
+    { Engine.drop = (fun ~round:_ ~src:_ ~dst -> Party_id.equal dst (Party_id.right 1)) }
+  in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.right 0) "ok";
+      env.Engine.send (Party_id.left 1) "blocked";
+      env.Engine.send (Party_id.right 1) "omitted"
+    end
+    else ignore (env.Engine.next_round ())
+  in
+  let cfg =
+    Engine.config ~k:2 ~faults ~trace_limit:100
+      ~link:(Engine.Of_topology Topology.Bipartite) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let fates = List.map (fun e -> e.Engine.event_fate) res.Engine.trace in
+  Alcotest.(check int) "three events" 3 (List.length fates);
+  Alcotest.(check bool) "one of each fate" true
+    (List.mem `Delivered fates && List.mem `No_channel fates && List.mem `Omitted fates)
+
+let test_trace_limit_respected () =
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      for _ = 1 to 50 do
+        env.Engine.send (Party_id.right 0) "x"
+      done
+  in
+  let cfg =
+    Engine.config ~k:1 ~trace_limit:10
+      ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  let res = Engine.run cfg ~programs in
+  Alcotest.(check int) "capped at 10" 10 (List.length res.Engine.trace);
+  Alcotest.(check int) "metrics still complete" 50 res.Engine.metrics.messages_sent
+
+let test_trace_off_by_default () =
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then env.Engine.send (Party_id.right 0) "x"
+  in
+  let res = run ~k:1 programs in
+  Alcotest.(check int) "no trace" 0 (List.length res.Engine.trace)
+
+let test_nested_engines () =
+  (* A fiber may itself run an inner engine (the attack constructions do
+     exactly this); effects of inner fibers must not leak outward. *)
+  let inner_ok = ref false in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      let inner =
+        run ~k:1 (fun iid ienv ->
+            if Party_id.equal iid (Party_id.left 0) then
+              ienv.Engine.send (Party_id.right 0) "inner"
+            else inner_ok := ienv.Engine.next_round () <> [])
+      in
+      ignore inner;
+      (* outer fiber still works after the nested run *)
+      env.Engine.send (Party_id.right 0) "outer"
+    end
+    else begin
+      let inbox = env.Engine.next_round () in
+      env.Engine.output (String.concat "," (List.map (fun e -> e.Engine.data) inbox))
+    end
+  in
+  let res = run ~k:1 programs in
+  Alcotest.(check bool) "inner delivered" true !inner_ok;
+  let r0 = Engine.find_result res (Party_id.right 0) in
+  Alcotest.(check (option string)) "outer delivered" (Some "outer") r0.Engine.out
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "scheduling",
+        [
+          Alcotest.test_case "all terminate immediately" `Quick
+            test_all_terminate_immediately;
+          Alcotest.test_case "delivery at next round" `Quick
+            test_message_delivered_next_round;
+          Alcotest.test_case "round counter" `Quick test_round_counter;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          Alcotest.test_case "out of rounds" `Quick test_out_of_rounds;
+          Alcotest.test_case "crash reported" `Quick test_crash_is_reported;
+          Alcotest.test_case "crash after send delivers" `Quick
+            test_crash_after_send_still_delivers;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "bipartite blocks same side" `Quick
+            test_bipartite_blocks_same_side;
+          Alcotest.test_case "one-sided RR ok, LL blocked" `Quick
+            test_one_sided_allows_rr_blocks_ll;
+          Alcotest.test_case "self send dropped" `Quick test_self_send_dropped;
+          Alcotest.test_case "out-of-roster send dropped" `Quick
+            test_out_of_roster_send_dropped;
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "omission drops" `Quick test_omission_fault_drops ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "inbox sorted by sender" `Quick
+            test_inbox_sorted_by_sender;
+          Alcotest.test_case "per-sender order preserved" `Quick
+            test_per_sender_order_preserved;
+          Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+          Alcotest.test_case "nested engines" `Quick test_nested_engines;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records all fates" `Quick test_trace_records_fates;
+          Alcotest.test_case "limit respected" `Quick test_trace_limit_respected;
+          Alcotest.test_case "off by default" `Quick test_trace_off_by_default;
+        ] );
+    ]

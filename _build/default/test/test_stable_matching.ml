@@ -1,0 +1,521 @@
+(* Tests for the classic stable-matching substrate: Gale–Shapley and its
+   optimality/truthfulness properties, the stable-matching lattice, and
+   Irving's stable-roommates algorithm — each cross-checked against
+   factorial-time brute force on small instances. *)
+
+open Bsm_prelude
+module SM = Bsm_stable_matching
+
+let prefs = Alcotest.testable SM.Prefs.pp SM.Prefs.equal
+let matching = Alcotest.testable SM.Matching.pp SM.Matching.equal
+
+(* --- Prefs -------------------------------------------------------------- *)
+
+let test_prefs_basics () =
+  let p = SM.Prefs.of_list_exn [ 2; 0; 1 ] in
+  Alcotest.(check int) "favorite" 2 (SM.Prefs.favorite p);
+  Alcotest.(check int) "rank of 1" 2 (SM.Prefs.rank p 1);
+  Alcotest.(check int) "at 1" 0 (SM.Prefs.at p 1);
+  Alcotest.(check bool) "prefers 2 over 0" true (SM.Prefs.prefers p 2 0);
+  Alcotest.(check bool) "not prefers 1 over 0" false (SM.Prefs.prefers p 1 0)
+
+let test_prefs_rejects_non_permutation () =
+  let is_error l = Result.is_error (SM.Prefs.of_list l) in
+  Alcotest.(check bool) "duplicate" true (is_error [ 0; 0; 1 ]);
+  Alcotest.(check bool) "out of range" true (is_error [ 0; 3; 1 ]);
+  Alcotest.(check bool) "negative" true (is_error [ 0; -1; 1 ]);
+  Alcotest.(check bool) "valid" false (is_error [ 1; 0; 2 ])
+
+let test_prefs_codec_roundtrip () =
+  let rng = Rng.make 7 in
+  for _ = 1 to 50 do
+    let p = SM.Prefs.random rng 9 in
+    let bytes = Bsm_wire.Wire.encode SM.Prefs.codec p in
+    match Bsm_wire.Wire.decode SM.Prefs.codec bytes with
+    | Ok p' -> Alcotest.check prefs "roundtrip" p p'
+    | Error e -> Alcotest.fail e
+  done
+
+let test_prefs_codec_rejects_malformed () =
+  (* A non-permutation list is a structurally valid encoding but must be
+     rejected semantically — this is how honest parties sanitize byzantine
+     preference lists. *)
+  let bad = Bsm_wire.Wire.encode (Bsm_wire.Wire.list Bsm_wire.Wire.uint) [ 0; 0; 1 ] in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Bsm_wire.Wire.decode SM.Prefs.codec bad))
+
+let test_prefs_similar_is_permutation () =
+  let rng = Rng.make 11 in
+  for _ = 1 to 30 do
+    let base = SM.Prefs.random rng 8 in
+    let p = SM.Prefs.similar rng ~swaps:5 base in
+    Alcotest.(check bool) "valid permutation" true
+      (Util.is_permutation (SM.Prefs.to_list p) ~n:8)
+  done
+
+(* --- Gale–Shapley ------------------------------------------------------- *)
+
+let test_gs_textbook_instance () =
+  (* Gale & Shapley's original 3x3 example structure: check output is the
+     known left-optimal matching. *)
+  let profile =
+    SM.Profile.make_exn
+      ~left:
+        [|
+          SM.Prefs.of_list_exn [ 0; 1; 2 ];
+          SM.Prefs.of_list_exn [ 1; 2; 0 ];
+          SM.Prefs.of_list_exn [ 2; 0; 1 ];
+        |]
+      ~right:
+        [|
+          SM.Prefs.of_list_exn [ 1; 2; 0 ];
+          SM.Prefs.of_list_exn [ 2; 0; 1 ];
+          SM.Prefs.of_list_exn [ 0; 1; 2 ];
+        |]
+  in
+  (* Every left party gets its favorite: favorites are distinct. *)
+  let m = SM.Gale_shapley.run profile in
+  Alcotest.check matching "left-optimal"
+    (SM.Matching.of_l2r_exn [| 0; 1; 2 |])
+    m;
+  Alcotest.(check bool) "stable" true (SM.Verify.is_stable profile m)
+
+let test_gs_worst_case_proposals () =
+  let k = 10 in
+  let profile = SM.Profile.worst_case k in
+  let m, stats = SM.Gale_shapley.run_with_stats profile in
+  Alcotest.(check bool) "stable" true (SM.Verify.is_stable profile m);
+  Alcotest.(check int) "k(k+1)/2 proposals" (k * (k + 1) / 2) stats.proposals
+
+let test_gs_deterministic () =
+  let rng = Rng.make 3 in
+  let profile = SM.Profile.random rng 12 in
+  let m1 = SM.Gale_shapley.run profile in
+  let m2 = SM.Gale_shapley.run profile in
+  Alcotest.check matching "same output" m1 m2
+
+let test_gs_right_proposing_stable () =
+  let rng = Rng.make 5 in
+  for _ = 1 to 20 do
+    let profile = SM.Profile.random rng 8 in
+    let m = SM.Gale_shapley.run ~proposers:Side.Right profile in
+    Alcotest.(check bool) "stable" true (SM.Verify.is_stable profile m)
+  done
+
+let test_gs_proposer_optimal_acceptor_pessimal () =
+  (* Left-proposing GS must give every left party its best stable partner
+     and every right party its worst stable partner (checked against the
+     full lattice). *)
+  let rng = Rng.make 17 in
+  for _ = 1 to 25 do
+    let profile = SM.Profile.random rng 6 in
+    let m = SM.Gale_shapley.run profile in
+    let all = SM.Lattice.all_stable_brute profile in
+    let lp = SM.Profile.left profile in
+    let rp = SM.Profile.right profile in
+    List.iter
+      (fun m' ->
+        for i = 0 to 5 do
+          let mine = SM.Matching.partner_of_left m i in
+          let other = SM.Matching.partner_of_left m' i in
+          Alcotest.(check bool) "left no better stable partner" false
+            (SM.Prefs.prefers lp.(i) other mine)
+        done;
+        for j = 0 to 5 do
+          let mine = SM.Matching.partner_of_right m j in
+          let other = SM.Matching.partner_of_right m' j in
+          Alcotest.(check bool) "right no worse stable partner" false
+            (SM.Prefs.prefers rp.(j) mine other)
+        done)
+      all
+  done
+
+let qcheck_profile k =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "profile seed %d" seed)
+    QCheck.Gen.(int_bound 1_000_000)
+  |> fun arb -> arb, fun seed -> SM.Profile.random (Rng.make seed) k
+
+let prop_gs_always_stable =
+  let arb, profile_of = qcheck_profile 15 in
+  QCheck.Test.make ~name:"gale-shapley output is always stable" ~count:200 arb
+    (fun seed ->
+      let profile = profile_of seed in
+      SM.Verify.is_stable profile (SM.Gale_shapley.run profile))
+
+let prop_gs_right_stable =
+  let arb, profile_of = qcheck_profile 11 in
+  QCheck.Test.make ~name:"right-proposing output is always stable" ~count:200 arb
+    (fun seed ->
+      let profile = profile_of seed in
+      SM.Verify.is_stable profile (SM.Gale_shapley.run ~proposers:Side.Right profile))
+
+let prop_similar_profiles_stable =
+  let arb = QCheck.make QCheck.Gen.(int_bound 1_000_000) in
+  QCheck.Test.make ~name:"similar-preferences workload is handled" ~count:100 arb
+    (fun seed ->
+      let profile = SM.Profile.similar (Rng.make seed) ~swaps:4 10 in
+      SM.Verify.is_stable profile (SM.Gale_shapley.run profile))
+
+(* --- Verify ------------------------------------------------------------- *)
+
+let test_blocking_pair_detection () =
+  (* Two couples who each prefer the other's partner: swap is forced. *)
+  let profile =
+    SM.Profile.make_exn
+      ~left:
+        [| SM.Prefs.of_list_exn [ 1; 0 ]; SM.Prefs.of_list_exn [ 0; 1 ] |]
+      ~right:
+        [| SM.Prefs.of_list_exn [ 1; 0 ]; SM.Prefs.of_list_exn [ 0; 1 ] |]
+  in
+  let bad = SM.Matching.of_l2r_exn [| 0; 1 |] in
+  Alcotest.(check bool) "unstable" false (SM.Verify.is_stable profile bad);
+  Alcotest.(check int) "two blocking pairs" 2 (SM.Verify.instability profile bad);
+  let good = SM.Matching.of_l2r_exn [| 1; 0 |] in
+  Alcotest.(check bool) "stable" true (SM.Verify.is_stable profile good)
+
+let test_partial_unmatched_mutually_acceptable_blocks () =
+  (* Paper convention: two single parties on opposite sides always block. *)
+  let profile = SM.Profile.worst_case 2 in
+  let pairs =
+    SM.Verify.blocking_pairs_partial profile
+      ~left_partner:(fun _ -> None)
+      ~right_partner:(fun _ -> None)
+      ~consider_left:(fun l -> l = 0)
+      ~consider_right:(fun r -> r = 0)
+  in
+  Alcotest.(check int) "singles block" 1 (List.length pairs)
+
+let test_partial_respects_consider_filters () =
+  let profile = SM.Profile.worst_case 2 in
+  let pairs =
+    SM.Verify.blocking_pairs_partial profile
+      ~left_partner:(fun _ -> None)
+      ~right_partner:(fun _ -> None)
+      ~consider_left:(fun _ -> false)
+      ~consider_right:(fun _ -> true)
+  in
+  Alcotest.(check int) "byzantine left ignored" 0 (List.length pairs)
+
+(* --- Lattice ------------------------------------------------------------ *)
+
+let test_lattice_meet_join_stable () =
+  let rng = Rng.make 23 in
+  for _ = 1 to 30 do
+    let profile = SM.Profile.random rng 6 in
+    let all = SM.Lattice.all_stable_brute profile in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            Alcotest.(check bool) "meet stable" true
+              (SM.Verify.is_stable profile (SM.Lattice.meet profile a b));
+            Alcotest.(check bool) "join stable" true
+              (SM.Verify.is_stable profile (SM.Lattice.join profile a b)))
+          all)
+      all
+  done
+
+let test_all_stable_matches_brute_force () =
+  let rng = Rng.make 29 in
+  for _ = 1 to 60 do
+    let profile = SM.Profile.random rng 6 in
+    let fast = List.sort SM.Matching.compare (SM.Lattice.all_stable profile) in
+    let brute = List.sort SM.Matching.compare (SM.Lattice.all_stable_brute profile) in
+    Alcotest.(check (list matching)) "same set" brute fast
+  done
+
+let test_all_stable_contains_both_optima () =
+  let rng = Rng.make 31 in
+  let profile = SM.Profile.random rng 7 in
+  let all = SM.Lattice.all_stable profile in
+  let mem m = List.exists (SM.Matching.equal m) all in
+  Alcotest.(check bool) "left-optimal present" true
+    (mem (SM.Gale_shapley.run ~proposers:Side.Left profile));
+  Alcotest.(check bool) "right-optimal present" true
+    (mem (SM.Gale_shapley.run ~proposers:Side.Right profile))
+
+let test_egalitarian_minimizes () =
+  let rng = Rng.make 37 in
+  for _ = 1 to 20 do
+    let profile = SM.Profile.random rng 6 in
+    let e = SM.Lattice.egalitarian profile in
+    let cost = SM.Lattice.egalitarian_cost profile e in
+    List.iter
+      (fun m ->
+        Alcotest.(check bool) "no cheaper stable matching" true
+          (cost <= SM.Lattice.egalitarian_cost profile m))
+      (SM.Lattice.all_stable_brute profile);
+    Alcotest.(check bool) "egalitarian is stable" true
+      (SM.Verify.is_stable profile e)
+  done
+
+let test_minimum_regret_minimizes () =
+  let rng = Rng.make 41 in
+  for _ = 1 to 20 do
+    let profile = SM.Profile.random rng 6 in
+    let e = SM.Lattice.minimum_regret profile in
+    let r = SM.Lattice.regret profile e in
+    List.iter
+      (fun m ->
+        Alcotest.(check bool) "no lower-regret stable matching" true
+          (r <= SM.Lattice.regret profile m))
+      (SM.Lattice.all_stable_brute profile)
+  done
+
+let test_worst_case_has_unique_stable_matching () =
+  (* With identical lists on both sides the lattice collapses. *)
+  let profile = SM.Profile.worst_case 5 in
+  Alcotest.(check int) "singleton lattice" 1
+    (List.length (SM.Lattice.all_stable profile))
+
+(* --- Truthfulness ------------------------------------------------------- *)
+
+let test_roth_instance_manipulation () =
+  let profile, m = SM.Truthfulness.roth_instance () in
+  let truth = SM.Profile.prefs profile m.manipulator in
+  Alcotest.(check bool) "lying strictly improves" true
+    (SM.Prefs.prefers truth m.lying_partner m.honest_partner);
+  Alcotest.(check bool) "manipulator is an acceptor" true
+    (Side.equal (Party_id.side m.manipulator) Side.Right)
+
+let test_proposers_cannot_gain () =
+  (* Dubins–Freedman/Roth: the proposing side is truthful in GS. Exhaustive
+     over all k! lies for each left party, on random small instances. *)
+  let rng = Rng.make 43 in
+  for _ = 1 to 15 do
+    let profile = SM.Profile.random rng 4 in
+    Alcotest.(check bool) "no profitable lie for proposers" false
+      (SM.Truthfulness.proposer_can_gain profile)
+  done
+
+(* --- Roommates ---------------------------------------------------------- *)
+
+let test_roommates_mutual_favorites () =
+  (* Persons 0-1, 2-3 and 4-5 are mutual favorites; any stable matching
+     must pair mutual favorites, so the outcome is forced. *)
+  let inst =
+    SM.Roommates.make_exn
+      [|
+        [ 1; 2; 3; 4; 5 ];
+        [ 0; 3; 4; 5; 2 ];
+        [ 3; 0; 1; 5; 4 ];
+        [ 2; 4; 5; 0; 1 ];
+        [ 5; 0; 2; 1; 3 ];
+        [ 4; 1; 3; 2; 0 ];
+      |]
+  in
+  match SM.Roommates.solve inst with
+  | Some partner ->
+    Alcotest.(check bool) "stable" true (SM.Roommates.is_stable inst partner);
+    Alcotest.(check (array int)) "mutual favorites paired"
+      [| 1; 0; 3; 2; 5; 4 |] partner
+  | None -> Alcotest.fail "expected a stable matching"
+
+let test_roommates_unsolvable_instance () =
+  (* Classic 4-person unsolvable instance: persons 0,1,2 each rank person 3
+     last and form a cyclic preference among themselves. *)
+  let inst =
+    SM.Roommates.make_exn
+      [| [ 1; 2; 3 ]; [ 2; 0; 3 ]; [ 0; 1; 3 ]; [ 0; 1; 2 ] |]
+  in
+  Alcotest.(check bool) "no stable matching" true (SM.Roommates.solve inst = None);
+  Alcotest.(check int) "brute force agrees" 0
+    (List.length (SM.Roommates.all_stable_brute inst))
+
+let test_roommates_differential () =
+  (* Differential test against brute force: solver finds a stable matching
+     iff one exists, and its output is stable. *)
+  let rng = Rng.make 47 in
+  for n = 4 to 8 do
+    if n mod 2 = 0 then
+      for _ = 1 to 120 do
+        let inst = SM.Roommates.random rng n in
+        let brute = SM.Roommates.all_stable_brute inst in
+        match SM.Roommates.solve inst with
+        | Some partner ->
+          Alcotest.(check bool) "solver output stable" true
+            (SM.Roommates.is_stable inst partner);
+          Alcotest.(check bool) "brute force agrees solvable" true (brute <> [])
+        | None -> Alcotest.(check int) "brute force agrees unsolvable" 0 (List.length brute)
+      done
+  done
+
+let test_roommates_rejects_odd_n () =
+  Alcotest.(check bool) "odd n rejected" true
+    (Result.is_error (SM.Roommates.make [| [ 1; 2 ]; [ 0; 2 ]; [ 0; 1 ] |]))
+
+(* --- Incomplete lists & ties ------------------------------------------- *)
+
+let test_smi_basic () =
+  (* L0 accepts only R0; L1 accepts both; R0 prefers L1; R1 accepts only
+     L1. Extended GS: L1 takes R0 (R0 prefers L1), L0 stays single —
+     wait: L0 proposes R0 first... final stable outcome must leave L0
+     unmatched only if no mutually-acceptable partner is free; here R1
+     doesn't accept L0, and R0 prefers L1, so L0 is single. *)
+  let inst =
+    SM.Incomplete.make_exn
+      ~left:[| [ 0 ]; [ 0; 1 ] |]
+      ~right:[| [ 1; 0 ]; [ 1 ] |]
+  in
+  let m = SM.Incomplete.solve inst in
+  Alcotest.(check bool) "stable" true (SM.Incomplete.is_stable inst m);
+  Alcotest.(check (list int)) "L1 matched, L0 single" [ 1 ]
+    (SM.Incomplete.matched_left m)
+
+let test_smi_non_mutual_ignored () =
+  (* L0 lists R0 but R0 does not list L0: the pair can never match nor
+     block. *)
+  let inst = SM.Incomplete.make_exn ~left:[| [ 0 ] |] ~right:[| [] |] in
+  let m = SM.Incomplete.solve inst in
+  Alcotest.(check bool) "stable" true (SM.Incomplete.is_stable inst m);
+  Alcotest.(check (list int)) "nobody matched" [] (SM.Incomplete.matched_left m)
+
+let test_smi_rejects_bad_lists () =
+  Alcotest.(check bool) "duplicate" true
+    (Result.is_error (SM.Incomplete.make ~left:[| [ 0; 0 ] |] ~right:[| [] |]));
+  Alcotest.(check bool) "out of range" true
+    (Result.is_error (SM.Incomplete.make ~left:[| [ 3 ] |] ~right:[| [] |]))
+
+let test_smi_solver_stable_random () =
+  let rng = Rng.make 53 in
+  for _ = 1 to 150 do
+    let inst = SM.Incomplete.random rng ~k:6 ~acceptance:0.6 in
+    let m = SM.Incomplete.solve inst in
+    if not (SM.Incomplete.is_stable inst m) then Alcotest.fail "unstable output"
+  done
+
+let test_smi_rural_hospitals () =
+  (* Gale-Sotomayor: every stable matching of an SMI instance matches the
+     same set of parties. Checked against brute-force enumeration. *)
+  let rng = Rng.make 59 in
+  for _ = 1 to 60 do
+    let inst = SM.Incomplete.random rng ~k:4 ~acceptance:0.7 in
+    let all = SM.Incomplete.all_stable_brute inst in
+    Alcotest.(check bool) "at least one stable matching" true (all <> []);
+    let solved = SM.Incomplete.solve inst in
+    let reference = SM.Incomplete.matched_left solved, SM.Incomplete.matched_right solved in
+    List.iter
+      (fun m ->
+        Alcotest.(check (pair (list int) (list int)))
+          "same matched sets" reference
+          (SM.Incomplete.matched_left m, SM.Incomplete.matched_right m))
+      all
+  done
+
+let test_smi_solve_in_brute_set () =
+  let rng = Rng.make 61 in
+  for _ = 1 to 40 do
+    let inst = SM.Incomplete.random rng ~k:4 ~acceptance:0.8 in
+    let m = SM.Incomplete.solve inst in
+    let all = SM.Incomplete.all_stable_brute inst in
+    Alcotest.(check bool) "solver output among stable matchings" true
+      (List.exists (fun m' -> m'.SM.Incomplete.l2r = m.SM.Incomplete.l2r) all)
+  done
+
+let test_ties_weakly_stable () =
+  let rng = Rng.make 67 in
+  for _ = 1 to 80 do
+    (* Random tiered preferences: partition 0..k-1 into tiers. *)
+    let k = 5 in
+    let tiers () =
+      Array.init k (fun _ ->
+          let order = Rng.permutation rng k in
+          (* Split into groups of random sizes. *)
+          let rec chop = function
+            | [] -> []
+            | xs ->
+              let n = 1 + Rng.int rng (List.length xs) in
+              Util.take n xs :: chop (List.filteri (fun i _ -> i >= n) xs)
+          in
+          chop order)
+    in
+    let left = tiers () and right = tiers () in
+    match SM.Incomplete.solve_with_ties rng ~left ~right with
+    | Ok m ->
+      Alcotest.(check bool) "weakly stable" true
+        (SM.Incomplete.is_weakly_stable ~left ~right m)
+    | Error e -> Alcotest.fail e
+  done
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "stable_matching"
+    [
+      ( "prefs",
+        [
+          Alcotest.test_case "basics" `Quick test_prefs_basics;
+          Alcotest.test_case "rejects non-permutations" `Quick
+            test_prefs_rejects_non_permutation;
+          Alcotest.test_case "codec roundtrip" `Quick test_prefs_codec_roundtrip;
+          Alcotest.test_case "codec rejects malformed" `Quick
+            test_prefs_codec_rejects_malformed;
+          Alcotest.test_case "similar keeps permutation" `Quick
+            test_prefs_similar_is_permutation;
+        ] );
+      ( "gale-shapley",
+        [
+          Alcotest.test_case "textbook instance" `Quick test_gs_textbook_instance;
+          Alcotest.test_case "worst-case proposal count" `Quick
+            test_gs_worst_case_proposals;
+          Alcotest.test_case "deterministic" `Quick test_gs_deterministic;
+          Alcotest.test_case "right-proposing stable" `Quick
+            test_gs_right_proposing_stable;
+          Alcotest.test_case "proposer-optimal acceptor-pessimal" `Slow
+            test_gs_proposer_optimal_acceptor_pessimal;
+          qcheck prop_gs_always_stable;
+          qcheck prop_gs_right_stable;
+          qcheck prop_similar_profiles_stable;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "blocking pair detection" `Quick
+            test_blocking_pair_detection;
+          Alcotest.test_case "unmatched singles block" `Quick
+            test_partial_unmatched_mutually_acceptable_blocks;
+          Alcotest.test_case "consider filters" `Quick
+            test_partial_respects_consider_filters;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "meet/join stable" `Slow test_lattice_meet_join_stable;
+          Alcotest.test_case "enumeration matches brute force" `Slow
+            test_all_stable_matches_brute_force;
+          Alcotest.test_case "contains both optima" `Quick
+            test_all_stable_contains_both_optima;
+          Alcotest.test_case "egalitarian optimum" `Slow test_egalitarian_minimizes;
+          Alcotest.test_case "minimum regret optimum" `Slow
+            test_minimum_regret_minimizes;
+          Alcotest.test_case "identical prefs: unique matching" `Quick
+            test_worst_case_has_unique_stable_matching;
+        ] );
+      ( "truthfulness",
+        [
+          Alcotest.test_case "roth manipulation exists" `Quick
+            test_roth_instance_manipulation;
+          Alcotest.test_case "proposers cannot gain" `Slow test_proposers_cannot_gain;
+        ] );
+      ( "incomplete-and-ties",
+        [
+          Alcotest.test_case "basic SMI instance" `Quick test_smi_basic;
+          Alcotest.test_case "non-mutual acceptability ignored" `Quick
+            test_smi_non_mutual_ignored;
+          Alcotest.test_case "rejects bad lists" `Quick test_smi_rejects_bad_lists;
+          Alcotest.test_case "solver always stable" `Slow test_smi_solver_stable_random;
+          Alcotest.test_case "rural hospitals theorem" `Slow test_smi_rural_hospitals;
+          Alcotest.test_case "solver output in brute-force set" `Slow
+            test_smi_solve_in_brute_set;
+          Alcotest.test_case "ties: weak stability" `Slow test_ties_weakly_stable;
+        ] );
+      ( "roommates",
+        [
+          Alcotest.test_case "mutual favorites instance" `Quick
+            test_roommates_mutual_favorites;
+          Alcotest.test_case "unsolvable instance" `Quick
+            test_roommates_unsolvable_instance;
+          Alcotest.test_case "differential vs brute force" `Slow
+            test_roommates_differential;
+          Alcotest.test_case "odd n rejected" `Quick test_roommates_rejects_odd_n;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the three communication topologies (Fig. 1). *)
+
+open Bsm_prelude
+module Topology = Bsm_topology.Topology
+
+let l = Party_id.left
+let r = Party_id.right
+
+let test_fully_connected () =
+  let t = Topology.Fully_connected in
+  Alcotest.(check bool) "L-L" true (Topology.connected t (l 0) (l 1));
+  Alcotest.(check bool) "R-R" true (Topology.connected t (r 0) (r 1));
+  Alcotest.(check bool) "L-R" true (Topology.connected t (l 0) (r 0));
+  Alcotest.(check bool) "no self loop" false (Topology.connected t (l 0) (l 0))
+
+let test_one_sided () =
+  let t = Topology.One_sided in
+  Alcotest.(check bool) "L-L blocked" false (Topology.connected t (l 0) (l 1));
+  Alcotest.(check bool) "R-R allowed" true (Topology.connected t (r 0) (r 1));
+  Alcotest.(check bool) "L-R allowed" true (Topology.connected t (l 0) (r 1));
+  Alcotest.(check bool) "R-L allowed" true (Topology.connected t (r 1) (l 0))
+
+let test_bipartite () =
+  let t = Topology.Bipartite in
+  Alcotest.(check bool) "L-L blocked" false (Topology.connected t (l 0) (l 1));
+  Alcotest.(check bool) "R-R blocked" false (Topology.connected t (r 0) (r 1));
+  Alcotest.(check bool) "L-R allowed" true (Topology.connected t (l 2) (r 0))
+
+let test_symmetry () =
+  (* Channels are bidirectional in every topology. *)
+  let k = 4 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "symmetric %s" (Topology.to_string t))
+                (Topology.connected t u v) (Topology.connected t v u))
+            (Party_id.all ~k))
+        (Party_id.all ~k))
+    Topology.all
+
+let test_strictly_increasing_strength () =
+  (* bipartite ⊑ one-sided ⊑ fully-connected, strictly. *)
+  let k = 2 in
+  let edges t =
+    List.concat_map
+      (fun u -> List.filter (Topology.connected t u) (Party_id.all ~k))
+      (Party_id.all ~k)
+    |> List.length
+  in
+  Alcotest.(check bool) "bipartite < one-sided" true
+    (edges Topology.Bipartite < edges Topology.One_sided);
+  Alcotest.(check bool) "one-sided < full" true
+    (edges Topology.One_sided < edges Topology.Fully_connected);
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Topology.weaker_or_equal a b then
+            List.iter
+              (fun u ->
+                List.iter
+                  (fun v ->
+                    if Topology.connected a u v then
+                      Alcotest.(check bool) "edge preserved" true
+                        (Topology.connected b u v))
+                  (Party_id.all ~k))
+              (Party_id.all ~k))
+        Topology.all)
+    Topology.all
+
+let test_neighbors () =
+  let k = 3 in
+  Alcotest.(check int) "bipartite L0 has k neighbors" k
+    (List.length (Topology.neighbors Topology.Bipartite ~k (l 0)));
+  Alcotest.(check int) "one-sided R0 has 2k-1 neighbors" ((2 * k) - 1)
+    (List.length (Topology.neighbors Topology.One_sided ~k (r 0)));
+  Alcotest.(check int) "one-sided L0 has k neighbors" k
+    (List.length (Topology.neighbors Topology.One_sided ~k (l 0)));
+  Alcotest.(check int) "full has 2k-1" ((2 * k) - 1)
+    (List.length (Topology.neighbors Topology.Fully_connected ~k (l 0)))
+
+let test_disconnected_sides () =
+  Alcotest.(check int) "full: none" 0
+    (List.length (Topology.disconnected_sides Topology.Fully_connected));
+  Alcotest.(check (list string)) "one-sided: L" [ "L" ]
+    (List.map Side.to_string (Topology.disconnected_sides Topology.One_sided));
+  Alcotest.(check int) "bipartite: both" 2
+    (List.length (Topology.disconnected_sides Topology.Bipartite))
+
+let test_render_mentions_channels () =
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "one-sided blocks L-L" true
+    (contains (Topology.render Topology.One_sided ~k:2) "L-L channels: none");
+  Alcotest.(check bool) "bipartite blocks R-R" true
+    (contains (Topology.render Topology.Bipartite ~k:2) "R-R channels: none");
+  Alcotest.(check bool) "full is complete" true
+    (contains (Topology.render Topology.Fully_connected ~k:2) "L-L channels: complete")
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "edges",
+        [
+          Alcotest.test_case "fully connected" `Quick test_fully_connected;
+          Alcotest.test_case "one-sided" `Quick test_one_sided;
+          Alcotest.test_case "bipartite" `Quick test_bipartite;
+          Alcotest.test_case "symmetry" `Quick test_symmetry;
+          Alcotest.test_case "strict strength order" `Quick
+            test_strictly_increasing_strength;
+        ] );
+      ( "derived",
+        [
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "disconnected sides" `Quick test_disconnected_sides;
+          Alcotest.test_case "render" `Quick test_render_mentions_channels;
+        ] );
+    ]

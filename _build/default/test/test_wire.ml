@@ -1,0 +1,141 @@
+(* Tests for the binary wire format: roundtrips (including property-based),
+   canonical encoding, and the malformed-input paths byzantine messages
+   exercise. *)
+
+open Bsm_prelude
+module Wire = Bsm_wire.Wire
+
+let roundtrip codec value = Wire.decode codec (Wire.encode codec value)
+
+let check_roundtrip name codec eq value =
+  match roundtrip codec value with
+  | Ok v when eq v value -> ()
+  | Ok _ -> Alcotest.failf "%s: decoded to a different value" name
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+(* --- primitives ------------------------------------------------------------ *)
+
+let test_uint_roundtrip () =
+  List.iter
+    (fun n -> check_roundtrip "uint" Wire.uint Int.equal n)
+    [ 0; 1; 127; 128; 300; 16383; 16384; 1 lsl 30; max_int ]
+
+let test_uint_rejects_negative () =
+  match Wire.encode Wire.uint (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoded a negative uint"
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n -> check_roundtrip "int" Wire.int Int.equal n)
+    [ 0; 1; -1; 63; -64; 64; -65; 1000000; -1000000; max_int; min_int ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> check_roundtrip "string" Wire.string String.equal s)
+    [ ""; "a"; String.make 1000 'x'; "\x00\xff\x80 binary" ]
+
+let test_bool_roundtrip () =
+  check_roundtrip "bool" Wire.bool Bool.equal true;
+  check_roundtrip "bool" Wire.bool Bool.equal false
+
+let test_bool_rejects_junk () =
+  Alcotest.(check bool) "bad byte" true (Result.is_error (Wire.decode Wire.bool "\x07"))
+
+(* --- combinators ------------------------------------------------------------ *)
+
+let test_list_roundtrip () =
+  check_roundtrip "list" (Wire.list Wire.int) (List.equal Int.equal) [];
+  check_roundtrip "list" (Wire.list Wire.int) (List.equal Int.equal) [ 1; -2; 3 ]
+
+let test_option_pair_triple () =
+  check_roundtrip "option none" (Wire.option Wire.string) ( = ) None;
+  check_roundtrip "option some" (Wire.option Wire.string) ( = ) (Some "x");
+  check_roundtrip "pair" (Wire.pair Wire.int Wire.string) ( = ) (-5, "y");
+  check_roundtrip "triple" (Wire.triple Wire.bool Wire.int Wire.string) ( = )
+    (true, 9, "z")
+
+let test_trailing_bytes_rejected () =
+  let bytes = Wire.encode Wire.uint 5 ^ "extra" in
+  Alcotest.(check bool) "trailing" true (Result.is_error (Wire.decode Wire.uint bytes))
+
+let test_truncated_rejected () =
+  let bytes = Wire.encode (Wire.pair Wire.string Wire.string) ("hello", "world") in
+  let truncated = String.sub bytes 0 (String.length bytes - 3) in
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Wire.decode (Wire.pair Wire.string Wire.string) truncated))
+
+let test_variant_unknown_tag_rejected () =
+  (* party_id's side is a uint-coded enum: value 9 is invalid. *)
+  let e = Wire.Enc.create () in
+  Wire.Enc.uint e 9;
+  Wire.Enc.uint e 0;
+  Alcotest.(check bool) "unknown side" true
+    (Result.is_error (Wire.decode Wire.party_id (Wire.Enc.to_string e)))
+
+let test_canonical_encoding () =
+  (* Equal values encode to equal bytes (no nondeterminism anywhere). *)
+  let v = [ Some (Party_id.left 3, "payload"); None ] in
+  let codec = Wire.list (Wire.option (Wire.pair Wire.party_id Wire.string)) in
+  Alcotest.(check string) "canonical" (Wire.encode codec v) (Wire.encode codec v)
+
+(* --- random fuzzing ---------------------------------------------------------- *)
+
+let nested_codec =
+  Wire.list (Wire.pair Wire.party_id (Wire.option (Wire.list Wire.int)))
+
+let gen_value rng =
+  List.init (Rng.int rng 6) (fun _ ->
+      ( Party_id.make (if Rng.bool rng then Side.Left else Side.Right) (Rng.int rng 50),
+        if Rng.bool rng then None
+        else Some (List.init (Rng.int rng 5) (fun _ -> Rng.int rng 2000 - 1000)) ))
+
+let prop_nested_roundtrip =
+  QCheck.Test.make ~name:"nested codec roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let v = gen_value (Rng.make seed) in
+      match roundtrip nested_codec v with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let prop_decoder_never_crashes_on_garbage =
+  (* Decoders must return Error, never raise, on arbitrary bytes — this is
+     the byzantine-input path of every protocol. *)
+  QCheck.Test.make ~name:"garbage never crashes decoders" ~count:500
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.make seed in
+      let garbage =
+        String.init (Rng.int rng 60) (fun _ -> Char.chr (Rng.int rng 256))
+      in
+      match Wire.decode nested_codec garbage with
+      | Ok _ | Error _ -> true)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "uint roundtrip" `Quick test_uint_roundtrip;
+          Alcotest.test_case "uint rejects negative" `Quick test_uint_rejects_negative;
+          Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "bool roundtrip" `Quick test_bool_roundtrip;
+          Alcotest.test_case "bool rejects junk" `Quick test_bool_rejects_junk;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "list" `Quick test_list_roundtrip;
+          Alcotest.test_case "option/pair/triple" `Quick test_option_pair_triple;
+          Alcotest.test_case "trailing bytes rejected" `Quick test_trailing_bytes_rejected;
+          Alcotest.test_case "truncated rejected" `Quick test_truncated_rejected;
+          Alcotest.test_case "unknown variant tag rejected" `Quick
+            test_variant_unknown_tag_rejected;
+          Alcotest.test_case "canonical encoding" `Quick test_canonical_encoding;
+        ] );
+      ( "fuzz",
+        [ qcheck prop_nested_roundtrip; qcheck prop_decoder_never_crashes_on_garbage ] );
+    ]
