@@ -1,0 +1,33 @@
+.PHONY: all build test bench smoke fmt ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full experiment tables + microbenchmarks; writes BENCH_sweeps.json.
+bench:
+	dune exec bench/main.exe
+
+# Fast tier-1 exercise of the domain pool: one small parallel sweep,
+# asserted bit-identical to its sequential run.
+smoke:
+	dune exec test/test_sweep.exe
+
+# Format check. Skipped (with a notice) when ocamlformat is not
+# installed, as on the bench container; the version pin lives in
+# .ocamlformat.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not found; skipping format check"; \
+	fi
+
+ci: build test fmt
+
+clean:
+	dune clean

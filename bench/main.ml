@@ -14,6 +14,15 @@
    - microbenchmarks (Bechamel): wall-clock costs of the core algorithms
      and full protocol executions.
 
+   Every table is a sweep of independent protocol executions, so each is
+   run twice: sequentially, then in parallel across a domain pool
+   (`Bsm_harness.Sweep` over `Bsm_runtime.Pool`). The two result sets
+   must be identical — the harness fails loudly if they diverge — and
+   both wall-clocks are recorded in BENCH_sweeps.json so the perf
+   trajectory is tracked across PRs. Parallelism comes from the BSM_JOBS
+   environment variable or the --jobs flag (default: the machine's
+   recommended domain count).
+
    EXPERIMENTS.md records paper-vs-measured for each table. *)
 
 open Bsm_prelude
@@ -21,15 +30,92 @@ module SM = Bsm_stable_matching
 module Core = Bsm_core
 module H = Bsm_harness
 module Engine = Bsm_runtime.Engine
+module Pool = Bsm_runtime.Pool
 module Topology = Bsm_topology.Topology
 module Crypto = Bsm_crypto.Crypto
 
 let setting ~k ~topology ~auth ~tl ~tr =
   Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
 
+(* ------------------------------------------------- sweep bookkeeping -- *)
+
+type sweep_record = {
+  sweep_table : string;
+  sweep_cells : int;
+  sweep_k_range : string;
+  sweep_seq_ms : float;
+  sweep_par_ms : float;
+}
+
+let sweep_records : sweep_record list ref = ref []
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  v, (Unix.gettimeofday () -. t0) *. 1000.
+
+(* Run a sweep twice — sequentially, then across the pool — assert the
+   results are bit-identical (cells must return plain data), record both
+   wall-clocks, and return the results. *)
+let sweep ~pool ~table ~k_range f cells =
+  let seq, seq_ms = time_ms (fun () -> List.map f cells) in
+  let par, par_ms = time_ms (fun () -> H.Sweep.map ~pool f cells) in
+  if seq <> par then
+    failwith (table ^ ": parallel sweep diverged from the sequential results");
+  sweep_records :=
+    {
+      sweep_table = table;
+      sweep_cells = List.length cells;
+      sweep_k_range = k_range;
+      sweep_seq_ms = seq_ms;
+      sweep_par_ms = par_ms;
+    }
+    :: !sweep_records;
+  par
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_sweeps_json ~jobs path =
+  let records = List.rev !sweep_records in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"jobs\": %d,\n  \"recommended_domains\": %d,\n" jobs
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"sweeps\": [\n";
+  List.iteri
+    (fun i r ->
+      let speedup =
+        if r.sweep_par_ms > 0. then r.sweep_seq_ms /. r.sweep_par_ms else 0.
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"table\": \"%s\", \"cells\": %d, \"k_range\": \"%s\", \
+            \"sequential_ms\": %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f}%s\n"
+           (json_escape r.sweep_table) r.sweep_cells
+           (json_escape r.sweep_k_range) r.sweep_seq_ms r.sweep_par_ms speedup
+           (if i = List.length records - 1 then "" else ",")))
+    records;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 (* ------------------------------------------------------------------ T1 -- *)
 
-let table_t1 () =
+let table_t1 ~pool () =
   let k = 3 in
   let table =
     Table.make
@@ -41,54 +127,78 @@ let table_t1 () =
       ~header:
         [ "topology"; "auth"; "theorem"; "cells"; "solvable"; "validated"; "impossible" ]
   in
+  let combos =
+    List.concat_map
+      (fun topology ->
+        List.map
+          (fun auth -> topology, auth)
+          [ Core.Setting.Unauthenticated; Core.Setting.Authenticated ])
+      Topology.all
+  in
+  let cells =
+    List.concat_map
+      (fun (topology, auth) ->
+        List.concat_map
+          (fun tl ->
+            List.map (fun tr -> topology, auth, tl, tr) (Util.range 0 (k + 1)))
+          (Util.range 0 (k + 1)))
+      combos
+  in
+  let results =
+    sweep ~pool ~table:"T1 solvability matrix" ~k_range:"k=3"
+      (fun (topology, auth, tl, tr) ->
+        let s = setting ~k ~topology ~auth ~tl ~tr in
+        let verdict = Core.Solvability.decide s in
+        let validated =
+          verdict.Core.Solvability.solvable
+          &&
+          let case =
+            H.Sweep.case
+              ~profile_seed:((tl * 100) + tr)
+              ~scenario_seed:tl ~adversary:H.Sweep.Random_coalition s
+          in
+          H.Scenario.ok (H.Scenario.run (H.Sweep.scenario_of_case case))
+        in
+        verdict.Core.Solvability.solvable, validated, verdict.Core.Solvability.theorem)
+      cells
+  in
+  let tagged = List.combine cells results in
   List.iter
-    (fun topology ->
-      List.iter
-        (fun auth ->
-          let cells = ref 0 and solvable = ref 0 and validated = ref 0 in
-          let theorem = ref "" in
-          for tl = 0 to k do
-            for tr = 0 to k do
-              incr cells;
-              let s = setting ~k ~topology ~auth ~tl ~tr in
-              let verdict = Core.Solvability.decide s in
-              theorem := verdict.Core.Solvability.theorem;
-              if verdict.Core.Solvability.solvable then begin
-                incr solvable;
-                let rng = Rng.make ((tl * 100) + tr) in
-                let profile = SM.Profile.random rng k in
-                let byzantine =
-                  H.Adversaries.random_coalition rng ~setting:s ~seed:tl ~profile
-                in
-                let report =
-                  H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed:tl s profile)
-                in
-                if H.Scenario.ok report then incr validated
-              end
-            done
-          done;
-          Table.add_row table
-            [
-              Topology.to_string topology;
-              Core.Setting.auth_to_string auth;
-              !theorem;
-              string_of_int !cells;
-              string_of_int !solvable;
-              string_of_int !validated;
-              string_of_int (!cells - !solvable);
-            ])
-        [ Core.Setting.Unauthenticated; Core.Setting.Authenticated ])
-    Topology.all;
+    (fun (topology, auth) ->
+      let mine =
+        List.filter_map
+          (fun ((t, a, _, _), r) -> if t = topology && a = auth then Some r else None)
+          tagged
+      in
+      let cells_n = List.length mine in
+      let solvable = List.length (List.filter (fun (s, _, _) -> s) mine) in
+      let validated = List.length (List.filter (fun (_, v, _) -> v) mine) in
+      let theorem =
+        match List.rev mine with
+        | (_, _, theorem) :: _ -> theorem
+        | [] -> ""
+      in
+      Table.add_row table
+        [
+          Topology.to_string topology;
+          Core.Setting.auth_to_string auth;
+          theorem;
+          string_of_int cells_n;
+          string_of_int solvable;
+          string_of_int validated;
+          string_of_int (cells_n - solvable);
+        ])
+    combos;
   Table.print table
 
 (* ------------------------------------------------------------------ T2 -- *)
 
-let honest_run s =
-  let rng = Rng.make (17 * s.Core.Setting.k) in
-  let profile = SM.Profile.random rng s.Core.Setting.k in
-  H.Scenario.run (H.Scenario.make_exn s profile)
+(* An honest run of a setting, profile drawn from the conventional
+   17·k seed — now phrased as a sweep cell. *)
+let honest_case s = H.Sweep.case ~profile_seed:(17 * s.Core.Setting.k) s
+let honest_run s = H.Scenario.run (H.Sweep.scenario_of_case (honest_case s))
 
-let table_t2 () =
+let table_t2 ~pool () =
   let table =
     Table.make
       ~title:
@@ -112,24 +222,24 @@ let table_t2 () =
         ~tl:third ~tr:k;
     ]
   in
-  List.iter
-    (fun k ->
-      List.iter
-        (fun s ->
-          let report = honest_run s in
-          Table.add_row table
-            [
-              Format.asprintf "%a" Core.Setting.pp s;
-              string_of_int report.H.Scenario.plan.Core.Select.engine_rounds;
-              string_of_int report.H.Scenario.metrics.Engine.rounds_used;
-            ])
-        (cases k))
-    [ 2; 4; 6 ];
+  let cells = List.concat_map cases [ 2; 4; 6 ] in
+  let rows =
+    sweep ~pool ~table:"T2 round complexity" ~k_range:"k=2..6"
+      (fun s ->
+        let report = honest_run s in
+        [
+          Format.asprintf "%a" Core.Setting.pp s;
+          string_of_int report.H.Scenario.plan.Core.Select.engine_rounds;
+          string_of_int report.H.Scenario.metrics.Engine.rounds_used;
+        ])
+      cells
+  in
+  List.iter (Table.add_row table) rows;
   Table.print table
 
 (* ------------------------------------------------------------------ T3 -- *)
 
-let table_t3_gs () =
+let table_t3_gs ~pool () =
   let table =
     Table.make
       ~title:
@@ -137,34 +247,37 @@ let table_t3_gs () =
          worst case (identical preferences)"
       ~header:[ "k"; "random (mean of 5)"; "worst case"; "k(k+1)/2" ]
   in
-  List.iter
-    (fun k ->
-      let rng = Rng.make k in
-      let random_mean =
-        let total = ref 0 in
-        for _ = 1 to 5 do
-          let _, stats = SM.Gale_shapley.run_with_stats (SM.Profile.random rng k) in
-          total := !total + stats.SM.Gale_shapley.proposals
-        done;
-        !total / 5
-      in
-      let _, worst = SM.Gale_shapley.run_with_stats (SM.Profile.worst_case k) in
-      Table.add_row table
+  let rows =
+    sweep ~pool ~table:"T3a Gale-Shapley proposals" ~k_range:"k=10..160"
+      (fun k ->
+        let rng = Rng.make k in
+        let random_mean =
+          let total = ref 0 in
+          for _ = 1 to 5 do
+            let _, stats = SM.Gale_shapley.run_with_stats (SM.Profile.random rng k) in
+            total := !total + stats.SM.Gale_shapley.proposals
+          done;
+          !total / 5
+        in
+        let _, worst = SM.Gale_shapley.run_with_stats (SM.Profile.worst_case k) in
         [
           string_of_int k;
           string_of_int random_mean;
           string_of_int worst.SM.Gale_shapley.proposals;
           string_of_int (k * (k + 1) / 2);
         ])
-    [ 10; 20; 40; 80; 160 ];
+      [ 10; 20; 40; 80; 160 ]
+  in
+  List.iter (Table.add_row table) rows;
   Table.print table
 
-let table_t3_protocols () =
+let table_t3_protocols ~pool () =
   let table =
     Table.make
       ~title:
         "T3b: protocol communication cost per honest execution (predicted = \
-         closed-form model in Bsm_core.Complexity)"
+         closed-form model in Bsm_core.Complexity; bytes = delivered payload \
+         bytes)"
       ~header:[ "setting"; "k"; "messages"; "predicted"; "bytes"; "bytes/party" ]
   in
   let cases k =
@@ -178,26 +291,27 @@ let table_t3_protocols () =
         ~tl:third ~tr:k;
     ]
   in
-  List.iter
-    (fun k ->
-      List.iter
-        (fun s ->
-          let report = honest_run s in
-          let m = report.H.Scenario.metrics in
-          Table.add_row table
-            [
-              Format.asprintf "%a" Core.Setting.pp s;
-              string_of_int k;
-              string_of_int m.Engine.messages_sent;
-              string_of_int (Core.Complexity.predicted_messages s);
-              string_of_int m.Engine.bytes_sent;
-              string_of_int (m.Engine.bytes_sent / (2 * k));
-            ])
-        (cases k))
-    [ 2; 4; 6; 8 ];
+  let cells = List.concat_map cases [ 2; 4; 6; 8 ] in
+  let rows =
+    sweep ~pool ~table:"T3b protocol communication" ~k_range:"k=2..8"
+      (fun s ->
+        let k = s.Core.Setting.k in
+        let report = honest_run s in
+        let m = report.H.Scenario.metrics in
+        [
+          Format.asprintf "%a" Core.Setting.pp s;
+          string_of_int k;
+          string_of_int m.Engine.messages_sent;
+          string_of_int (Core.Complexity.predicted_messages s);
+          string_of_int m.Engine.bytes_sent;
+          string_of_int (m.Engine.bytes_sent / (2 * k));
+        ])
+      cells
+  in
+  List.iter (Table.add_row table) rows;
   Table.print table
 
-let table_t3_distributed_gs () =
+let table_t3_distributed_gs ~pool () =
   let table =
     Table.make
       ~title:
@@ -206,23 +320,32 @@ let table_t3_distributed_gs () =
          identical preferences"
       ~header:[ "k"; "profile"; "proposals"; "messages"; "active rounds <= 2k^2+2" ]
   in
-  List.iter
-    (fun k ->
-      let row name profile =
+  let cells =
+    List.concat_map
+      (fun k -> [ k, `Random; k, `Correlated; k, `Identical ])
+      [ 8; 16; 32 ]
+  in
+  let rows =
+    sweep ~pool ~table:"T3c distributed Gale-Shapley" ~k_range:"k=8..32"
+      (fun (k, kind) ->
+        let name, profile =
+          match kind with
+          | `Random -> "random", SM.Profile.random (Rng.make k) k
+          | `Correlated ->
+            "correlated (5 swaps)", SM.Profile.similar (Rng.make k) ~swaps:5 k
+          | `Identical -> "identical (worst case)", SM.Profile.worst_case k
+        in
         let _, metrics, proposals = Core.Distributed_gs.run profile in
-        Table.add_row table
-          [
-            string_of_int k;
-            name;
-            string_of_int proposals;
-            string_of_int metrics.Engine.messages_sent;
-            string_of_int metrics.Engine.rounds_used;
-          ]
-      in
-      row "random" (SM.Profile.random (Rng.make k) k);
-      row "correlated (5 swaps)" (SM.Profile.similar (Rng.make k) ~swaps:5 k);
-      row "identical (worst case)" (SM.Profile.worst_case k))
-    [ 8; 16; 32 ];
+        [
+          string_of_int k;
+          name;
+          string_of_int proposals;
+          string_of_int metrics.Engine.messages_sent;
+          string_of_int metrics.Engine.rounds_used;
+        ])
+      cells
+  in
+  List.iter (Table.add_row table) rows;
   Table.print table
 
 (* ------------------------------------------------------------------ A1 -- *)
@@ -241,7 +364,7 @@ let run_programs ~k ~topology programs =
     res.Engine.parties;
   res.Engine.metrics
 
-let table_a1 () =
+let table_a1 ~pool () =
   let table =
     Table.make
       ~title:
@@ -249,32 +372,32 @@ let table_a1 () =
          tL = floor((k-1)/3)); Pi_bSM pays rounds and bytes for surviving tR = k"
       ~header:[ "k"; "mechanism"; "tolerates"; "rounds"; "messages"; "bytes" ]
   in
-  List.iter
-    (fun k ->
-      let third = max 0 ((k - 1) / 3) in
-      let rng = Rng.make (k * 7) in
-      let profile = SM.Profile.random rng k in
-      let pki = Crypto.Pki.setup ~k ~seed:k in
-      let bb_setting =
-        setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
-          ~tl:third ~tr:(k - 1)
-      in
-      let bb_metrics =
-        run_programs ~k ~topology:Topology.Bipartite (fun p ->
-            Core.Bb_based.program bb_setting ~pki ~input:(SM.Profile.prefs profile p)
-              ~self:p)
-      in
-      let pi_setting =
-        setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
-          ~tl:third ~tr:k
-      in
-      let pi_metrics =
-        run_programs ~k ~topology:Topology.Bipartite (fun p ->
-            Core.Pi_bsm.program pi_setting ~pki ~computing_side:Side.Left
-              ~input:(SM.Profile.prefs profile p) ~self:p)
-      in
-      let row name tolerates (m : Engine.metrics) =
-        Table.add_row table
+  let row_pairs =
+    sweep ~pool ~table:"A1 BB pipeline vs Pi_bSM" ~k_range:"k=3..6"
+      (fun k ->
+        let third = max 0 ((k - 1) / 3) in
+        let rng = Rng.make (k * 7) in
+        let profile = SM.Profile.random rng k in
+        let pki = Crypto.Pki.setup ~k ~seed:k in
+        let bb_setting =
+          setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+            ~tl:third ~tr:(k - 1)
+        in
+        let bb_metrics =
+          run_programs ~k ~topology:Topology.Bipartite (fun p ->
+              Core.Bb_based.program bb_setting ~pki
+                ~input:(SM.Profile.prefs profile p) ~self:p)
+        in
+        let pi_setting =
+          setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+            ~tl:third ~tr:k
+        in
+        let pi_metrics =
+          run_programs ~k ~topology:Topology.Bipartite (fun p ->
+              Core.Pi_bsm.program pi_setting ~pki ~computing_side:Side.Left
+                ~input:(SM.Profile.prefs profile p) ~self:p)
+        in
+        let row name tolerates (m : Engine.metrics) =
           [
             string_of_int k;
             name;
@@ -283,15 +406,19 @@ let table_a1 () =
             string_of_int m.Engine.messages_sent;
             string_of_int m.Engine.bytes_sent;
           ]
-      in
-      row "BB pipeline (Lemma 1)" "tR < k" bb_metrics;
-      row "Pi_bSM (Sec 5.2)" "tR = k" pi_metrics)
-    [ 3; 4; 6 ];
+        in
+        [
+          row "BB pipeline (Lemma 1)" "tR < k" bb_metrics;
+          row "Pi_bSM (Sec 5.2)" "tR = k" pi_metrics;
+        ])
+      [ 3; 4; 6 ]
+  in
+  List.iter (List.iter (Table.add_row table)) row_pairs;
   Table.print table
 
 (* ------------------------------------------------------------------ A2 -- *)
 
-let table_a2 () =
+let table_a2 ~pool () =
   let table =
     Table.make
       ~title:
@@ -299,41 +426,47 @@ let table_a2 () =
          the one-sided topology (BB pipeline underneath)"
       ~header:[ "k"; "channel simulation"; "needs"; "rounds"; "messages"; "bytes" ]
   in
-  List.iter
-    (fun k ->
-      let third = max 0 ((k - 1) / 3) and half = max 0 ((k - 1) / 2) in
-      let majority =
-        honest_run
-          (setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Unauthenticated
-             ~tl:third ~tr:half)
-      in
-      let signed =
-        honest_run
-          (setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated
-             ~tl:k ~tr:(k - 1))
-      in
-      let row name needs (r : H.Scenario.report) =
+  let cells =
+    List.concat_map
+      (fun k ->
+        let third = max 0 ((k - 1) / 3) and half = max 0 ((k - 1) / 2) in
+        [
+          ( k,
+            "majority proxy",
+            "tR < k/2",
+            setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Unauthenticated
+              ~tl:third ~tr:half );
+          ( k,
+            "signature proxy",
+            "tR < k",
+            setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated
+              ~tl:k ~tr:(k - 1) );
+        ])
+      [ 3; 5; 7 ]
+  in
+  let rows =
+    sweep ~pool ~table:"A2 channel simulation" ~k_range:"k=3..7"
+      (fun (k, name, needs, s) ->
+        let r = honest_run s in
         let m = r.H.Scenario.metrics in
-        Table.add_row table
-          [
-            string_of_int k;
-            name;
-            needs;
-            string_of_int m.Engine.rounds_used;
-            string_of_int m.Engine.messages_sent;
-            string_of_int m.Engine.bytes_sent;
-          ]
-      in
-      row "majority proxy" "tR < k/2" majority;
-      row "signature proxy" "tR < k" signed)
-    [ 3; 5; 7 ];
+        [
+          string_of_int k;
+          name;
+          needs;
+          string_of_int m.Engine.rounds_used;
+          string_of_int m.Engine.messages_sent;
+          string_of_int m.Engine.bytes_sent;
+        ])
+      cells
+  in
+  List.iter (Table.add_row table) rows;
   Table.print table
 
 (* ------------------------------------------------------------------ A3 -- *)
 
 module Attacks = Bsm_attacks
 
-let table_a3 () =
+let table_a3 ~pool () =
   let table =
     Table.make
       ~title:
@@ -345,24 +478,28 @@ let table_a3 () =
   let k = 4 in
   let topology = Topology.Fully_connected in
   let runs = 30 in
-  let count protocol =
-    let bad = ref 0 in
-    for seed = 1 to runs do
-      let rng = Rng.make seed in
-      let favorites = Attacks.Evaluate.random_favorites rng ~k in
-      let byzantine =
-        [
-          Party_id.left 3, Attacks.Naive.equivocating_announcer ~topology ~k;
-          Party_id.right 2, Attacks.Naive.equivocating_announcer ~topology ~k;
-        ]
-      in
-      if Attacks.Evaluate.run ~topology ~k ~favorites ~byzantine protocol <> [] then
-        incr bad
-    done;
-    !bad
+  let seeds = Util.range 1 (runs + 1) in
+  let count name protocol =
+    let violated =
+      sweep ~pool
+        ~table:(Printf.sprintf "A3 equivocation (%s)" name)
+        ~k_range:"k=4"
+        (fun seed ->
+          let rng = Rng.make seed in
+          let favorites = Attacks.Evaluate.random_favorites rng ~k in
+          let byzantine =
+            [
+              Party_id.left 3, Attacks.Naive.equivocating_announcer ~topology ~k;
+              Party_id.right 2, Attacks.Naive.equivocating_announcer ~topology ~k;
+            ]
+          in
+          Attacks.Evaluate.run ~topology ~k ~favorites ~byzantine protocol <> [])
+        seeds
+    in
+    List.length (List.filter Fun.id violated)
   in
   let row name protocol =
-    let bad = count protocol in
+    let bad = count name protocol in
     Table.add_row table
       [
         name;
@@ -380,7 +517,7 @@ let table_a3 () =
 
 (* ------------------------------------------------------------------ A4 -- *)
 
-let table_a4 () =
+let table_a4 ~pool () =
   let table =
     Table.make
       ~title:
@@ -390,33 +527,48 @@ let table_a4 () =
       ~header:[ "tL"; "kings"; "rounds"; "messages"; "bytes mean"; "bytes sd" ]
   in
   let k = 7 in
+  let tls = [ 0; 1; 2 ] in
+  let cells =
+    List.concat_map (fun tl -> List.map (fun seed -> tl, seed) (Util.range 1 6)) tls
+  in
+  let results =
+    sweep ~pool ~table:"A4 Pi_bSM vs budget" ~k_range:"k=7"
+      (fun (tl, seed) ->
+        let s =
+          setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+            ~tl ~tr:k
+        in
+        let case =
+          H.Sweep.case ~profile_seed:(seed * 37) ~scenario_seed:seed s
+        in
+        let m =
+          (H.Scenario.run (H.Sweep.scenario_of_case case)).H.Scenario.metrics
+        in
+        m.Engine.rounds_used, m.Engine.messages_sent, m.Engine.bytes_sent)
+      cells
+  in
+  let tagged = List.combine cells results in
   List.iter
     (fun tl ->
-      let s =
-        setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated ~tl
-          ~tr:k
+      let mine =
+        List.filter_map
+          (fun ((tl', _), r) -> if tl' = tl then Some r else None)
+          tagged
       in
-      let runs =
-        List.map
-          (fun seed ->
-            let rng = Rng.make (seed * 37) in
-            let profile = SM.Profile.random rng k in
-            let report = H.Scenario.run (H.Scenario.make_exn ~seed s profile) in
-            report.H.Scenario.metrics)
-          (Util.range 1 6)
+      let rounds, messages, _ = List.hd mine in
+      let bytes =
+        Stats.summarize (List.map (fun (_, _, b) -> float_of_int b) mine)
       in
-      let first = List.hd runs in
-      let bytes = Stats.summarize (List.map (fun m -> float_of_int m.Engine.bytes_sent) runs) in
       Table.add_row table
         [
           string_of_int tl;
           string_of_int (tl + 1);
-          string_of_int first.Engine.rounds_used;
-          string_of_int first.Engine.messages_sent;
+          string_of_int rounds;
+          string_of_int messages;
           Printf.sprintf "%.0f" bytes.Stats.mean;
           Printf.sprintf "%.0f" bytes.Stats.stddev;
         ])
-    [ 0; 1; 2 ];
+    tls;
   Table.print table
 
 (* ---------------------------------------------------- microbenchmarks -- *)
@@ -542,17 +694,44 @@ let run_microbenchmarks () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   Table.print table
 
+(* ------------------------------------------------------------- driver -- *)
+
+let jobs_from_argv () =
+  let rec scan = function
+    | "--jobs" :: v :: _ | "-j" :: v :: _ -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> failwith (Printf.sprintf "--jobs %s: expected a positive integer" v))
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
+  let jobs =
+    match jobs_from_argv () with
+    | Some n -> n
+    | None -> Pool.default_jobs ()
+  in
   print_endline "byzantine stable matching — experiment harness";
+  Printf.printf "sweep parallelism: %d job(s) (BSM_JOBS or --jobs to override, %d domain(s) recommended)\n"
+    jobs
+    (Domain.recommended_domain_count ());
   print_newline ();
-  table_t1 ();
-  table_t2 ();
-  table_t3_gs ();
-  table_t3_protocols ();
-  table_t3_distributed_gs ();
-  table_a1 ();
-  table_a2 ();
-  table_a3 ();
-  table_a4 ();
+  Pool.with_pool ~jobs (fun pool ->
+      table_t1 ~pool ();
+      table_t2 ~pool ();
+      table_t3_gs ~pool ();
+      table_t3_protocols ~pool ();
+      table_t3_distributed_gs ~pool ();
+      table_a1 ~pool ();
+      table_a2 ~pool ();
+      table_a3 ~pool ();
+      table_a4 ~pool ());
   run_microbenchmarks ();
+  write_sweeps_json ~jobs "BENCH_sweeps.json";
+  Printf.printf
+    "wrote BENCH_sweeps.json (%d sweeps; every parallel sweep verified \
+     bit-identical to its sequential run)\n"
+    (List.length !sweep_records);
   print_endline "done. See EXPERIMENTS.md for the paper-vs-measured discussion."

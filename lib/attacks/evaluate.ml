@@ -39,6 +39,11 @@ let run ~topology ~k ~favorites ~byzantine (protocol : Protocol_under_test.t) =
   in
   Core.Problem.check_simplified ~favorites outcome
 
+let run_batch ?pool ~topology ~k ~cases protocol =
+  Bsm_harness.Sweep.map ?pool
+    (fun (favorites, byzantine) -> run ~topology ~k ~favorites ~byzantine protocol)
+    cases
+
 let random_favorites rng ~k =
   let table =
     List.map

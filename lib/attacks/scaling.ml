@@ -100,3 +100,18 @@ let shrink ~big_k ~small_k (protocol : Protocol_under_test.t) =
     rounds = protocol.Protocol_under_test.rounds;
     program;
   }
+
+let stress ?pool ~topology ~big_k ~small_ks ~seeds protocol =
+  let cells =
+    List.concat_map (fun small_k -> List.map (fun seed -> small_k, seed) seeds)
+      small_ks
+  in
+  Bsm_harness.Sweep.map ?pool
+    (fun (small_k, seed) ->
+      let small = shrink ~big_k ~small_k protocol in
+      let favorites = Evaluate.random_favorites (Rng.make seed) ~k:small_k in
+      let violations =
+        Evaluate.run ~topology ~k:small_k ~favorites ~byzantine:[] small
+      in
+      small_k, seed, violations)
+    cells

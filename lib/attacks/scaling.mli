@@ -21,3 +21,18 @@ val shrink : big_k:int -> small_k:int -> Protocol_under_test.t -> Protocol_under
 (** [tolerated ~big_k ~small_k t] is [⌊t / ⌈big_k/small_k⌉⌋] — the
     corruption budget Lemma 3 grants the shrunken protocol. *)
 val tolerated : big_k:int -> small_k:int -> int -> int
+
+(** [stress ?pool ~topology ~big_k ~small_ks ~seeds protocol] sweeps the
+    shrunken protocol over every [small_k × seed] cell: each cell
+    shrinks independently, draws honest favorites from [Rng.make seed]
+    and returns [(small_k, seed, violations)] — a correct protocol must
+    yield no violations anywhere. Cells run across [pool]'s domains when
+    given, with results identical to the sequential path. *)
+val stress :
+  ?pool:Bsm_runtime.Pool.t ->
+  topology:Bsm_topology.Topology.t ->
+  big_k:int ->
+  small_ks:int list ->
+  seeds:int list ->
+  Protocol_under_test.t ->
+  (int * int * Bsm_core.Problem.violation list) list

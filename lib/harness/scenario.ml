@@ -99,6 +99,11 @@ let run_ssm ?max_rounds ~favorites t =
     plan;
   }
 
+let run_all ?pool ?max_rounds ts =
+  match pool with
+  | None -> List.map (fun t -> run ?max_rounds t) ts
+  | Some pool -> Bsm_runtime.Pool.map pool (fun t -> run ?max_rounds t) ts
+
 let ok report = report.violations = []
 
 let pp_report ppf report =

@@ -1,0 +1,48 @@
+open Bsm_prelude
+module SM = Bsm_stable_matching
+module Core = Bsm_core
+module Engine = Bsm_runtime.Engine
+module Pool = Bsm_runtime.Pool
+
+type adversary =
+  | Honest
+  | Random_coalition
+  | Scripted of (Party_id.t * Engine.program) list
+
+type case = {
+  label : string;
+  setting : Core.Setting.t;
+  profile_seed : int;
+  scenario_seed : int;
+  adversary : adversary;
+}
+
+let case ?label ?(profile_seed = 0) ?(scenario_seed = 0) ?(adversary = Honest)
+    setting =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Format.asprintf "%a" Core.Setting.pp setting
+  in
+  { label; setting; profile_seed; scenario_seed; adversary }
+
+let scenario_of_case c =
+  let rng = Rng.make c.profile_seed in
+  let profile = SM.Profile.random rng c.setting.Core.Setting.k in
+  let byzantine =
+    match c.adversary with
+    | Honest -> []
+    | Scripted coalition -> coalition
+    | Random_coalition ->
+      Adversaries.random_coalition rng ~setting:c.setting ~seed:c.scenario_seed
+        ~profile
+  in
+  Scenario.make_exn ~byzantine ~seed:c.scenario_seed c.setting profile
+
+let map ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some pool -> Pool.map pool f xs
+
+let run_cases ?pool ?max_rounds cases =
+  map ?pool (fun c -> c, Scenario.run ?max_rounds (scenario_of_case c)) cases

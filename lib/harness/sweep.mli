@@ -1,0 +1,64 @@
+(** Deterministic multicore sweeps of scenario grids.
+
+    The experiment tables (T1–T3, A1–A4) and the attack evaluations all
+    have the same shape: a list of cells, each an independent protocol
+    execution determined entirely by plain data — a setting, a profile
+    seed and an adversary choice. This module expresses such sweeps as a
+    parallel map over {!Bsm_runtime.Pool} with per-cell isolation: every
+    cell derives its own [Rng.make] chain and PKI from its seeds, shares
+    nothing mutable with its neighbours, and therefore produces results
+    bit-identical to a sequential [List.map] of the same cells (the
+    tier-1 suite asserts this).
+
+    Layering: [Pool] (runtime) supplies ordered parallel map;
+    {!Scenario.run_all} batches scenario executions; this module adds
+    the cell vocabulary the benches sweep over. *)
+
+open Bsm_prelude
+module Core := Bsm_core
+module Engine := Bsm_runtime.Engine
+module Pool := Bsm_runtime.Pool
+
+(** Who corrupts the run. [Random_coalition] draws a maximal admissible
+    coalition with {!Adversaries.random_coalition}, continuing the
+    profile seed's Rng chain (so profile and coalition are one
+    deterministic draw, as the benches have always done). *)
+type adversary =
+  | Honest
+  | Random_coalition
+  | Scripted of (Party_id.t * Engine.program) list
+
+type case = {
+  label : string;
+  setting : Core.Setting.t;
+  profile_seed : int;
+      (** seeds [Rng.make] for the preference profile (and the coalition
+          draw under [Random_coalition]) *)
+  scenario_seed : int;  (** PKI derivation, {!Scenario.t}'s [seed] *)
+  adversary : adversary;
+}
+
+(** [case ?label ?profile_seed ?scenario_seed ?adversary setting] —
+    seeds default to [0], adversary to [Honest], label to the setting
+    rendered by [Core.Setting.pp]. *)
+val case :
+  ?label:string ->
+  ?profile_seed:int ->
+  ?scenario_seed:int ->
+  ?adversary:adversary ->
+  Core.Setting.t ->
+  case
+
+(** Materialize the cell: profile from [Rng.make profile_seed], then the
+    adversary's coalition from the same chain. *)
+val scenario_of_case : case -> Scenario.t
+
+(** [map ?pool f xs] — ordered map over independent cells; sequential
+    [List.map] when [pool] is absent, {!Pool.map} otherwise. [f] must be
+    self-contained (own Rng per call, no shared mutable state). *)
+val map : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run_cases ?pool ?max_rounds cases] executes every case and pairs it
+    with its report, in input order. *)
+val run_cases :
+  ?pool:Pool.t -> ?max_rounds:int -> case list -> (case * Scenario.report) list

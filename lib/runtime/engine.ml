@@ -214,17 +214,15 @@ let run cfg ~programs =
             m "r%d: dropped %a -> %a (no channel)" !round Party_id.pp src Party_id.pp
               dst)
       end
+      else if cfg.faults.drop ~round:!round ~src ~dst then begin
+        incr dropped_fault;
+        record src dst (String.length data) `Omitted
+      end
       else begin
+        incr messages_delivered;
         bytes_sent := !bytes_sent + String.length data;
-        if cfg.faults.drop ~round:!round ~src ~dst then begin
-          incr dropped_fault;
-          record src dst (String.length data) `Omitted
-        end
-        else begin
-          incr messages_delivered;
-          record src dst (String.length data) `Delivered;
-          (cell_of dst).inbox <- { src; data } :: (cell_of dst).inbox
-        end
+        record src dst (String.length data) `Delivered;
+        (cell_of dst).inbox <- { src; data } :: (cell_of dst).inbox
       end
     in
     iter_cells (fun cell ->
@@ -290,5 +288,14 @@ let run cfg ~programs =
       };
   }
 
+let find_result_opt res p =
+  List.find_opt (fun (r : party_result) -> Party_id.equal r.id p) res.parties
+
 let find_result res p =
-  List.find (fun (r : party_result) -> Party_id.equal r.id p) res.parties
+  match find_result_opt res p with
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine.find_result: party %s not in roster of %d parties"
+         (Party_id.to_string p)
+         (List.length res.parties))

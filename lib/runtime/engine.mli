@@ -15,7 +15,16 @@
     pseudocode: [send] queues messages for the current round and
     [next_round] ends the round, returning the new round's inbox. Byzantine
     parties are simply fibers running arbitrary programs. Execution is
-    deterministic. *)
+    deterministic.
+
+    Concurrency: [run] touches no global mutable state — every counter,
+    fiber, inbox and trace lives in the call's own frame, and effect
+    handlers are per-domain — so independent runs may execute on
+    different domains simultaneously (this is what {!Pool} and the
+    harness sweep layer rely on). The only module-level value is the
+    [Logs] source, which is created once at load time; the default nop
+    reporter makes concurrent [log] calls safe, but a custom reporter
+    must itself be domain-safe when sweeps run in parallel. *)
 
 open Bsm_prelude
 
@@ -113,7 +122,12 @@ type metrics = {
   messages_delivered : int;
   messages_dropped_topology : int;  (** sent along non-existent channels *)
   messages_dropped_fault : int;  (** omitted by the fault model *)
-  bytes_sent : int;  (** payload bytes over existing channels *)
+  bytes_sent : int;
+      (** payload bytes of {e delivered} messages — the communication the
+          network actually carried. Messages dropped by the topology or
+          omitted by the fault model contribute to their drop counters
+          but never to [bytes_sent], so [bytes_sent] and
+          [messages_delivered] describe the same message set. *)
 }
 
 type result = {
@@ -128,5 +142,9 @@ type result = {
     consulted once per roster party. *)
 val run : config -> programs:(Party_id.t -> program) -> result
 
-(** [find_result res p] looks up one party's result. Raises [Not_found]. *)
+(** [find_result res p] looks up one party's result. Raises
+    [Invalid_argument] naming the party and the roster size when [p] is
+    not in the roster. *)
 val find_result : result -> Party_id.t -> party_result
+
+val find_result_opt : result -> Party_id.t -> party_result option

@@ -1,0 +1,152 @@
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "BSM_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "BSM_JOBS=%S: expected a positive integer" s))
+
+(* Workers block until a task is queued or the pool closes; the queue is
+   FIFO so tasks start in submission order. *)
+let worker_loop t =
+  let rec take () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closed then None
+    else begin
+      Condition.wait t.work_available t.mutex;
+      take ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let task = take () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let take_task t =
+  Mutex.lock t.mutex;
+  let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  task
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    (* Slots are written at distinct indices from distinct domains — no
+       two tasks share a cell, so plain writes are race-free. *)
+    let slots = Array.make n Pending in
+    let batch_mutex = Mutex.create () in
+    let batch_progress = Condition.create () in
+    let remaining = ref n in
+    let run_task i () =
+      let outcome =
+        match f items.(i) with
+        | v -> Done v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      slots.(i) <- outcome;
+      Mutex.lock batch_mutex;
+      decr remaining;
+      Condition.broadcast batch_progress;
+      Mutex.unlock batch_mutex
+    in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.push (run_task i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    (* The submitting domain is the pool's jobs-th lane: it drains the
+       queue alongside the workers, then sleeps until in-flight tasks
+       settle. With jobs = 1 there are no workers and this loop runs
+       every task inline, in index order — the sequential path. *)
+    let rec help () =
+      match take_task t with
+      | Some task ->
+        task ();
+        help ()
+      | None ->
+        Mutex.lock batch_mutex;
+        let finished = !remaining = 0 in
+        if not finished then Condition.wait batch_progress batch_mutex;
+        Mutex.unlock batch_mutex;
+        if not finished then help ()
+    in
+    help ();
+    let first_failure = ref None in
+    for i = n - 1 downto 0 do
+      match slots.(i) with
+      | Raised (e, bt) -> first_failure := Some (e, bt)
+      | Done _ -> ()
+      | Pending -> assert false
+    done;
+    (match !first_failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Pending | Raised _ -> assert false)
+         slots)

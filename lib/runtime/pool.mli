@@ -1,0 +1,52 @@
+(** Fixed-size domain pool for deterministic parallel sweeps.
+
+    The benchmark and attack harnesses replay many independent protocol
+    executions ([Engine.run] is pure given its inputs: it touches no
+    global mutable state, and each run owns its fibers, counters and
+    trace). This pool spreads such runs across OCaml 5 domains while
+    keeping the results {e bit-identical} to the sequential path:
+
+    - {!map} returns results in input order, whatever order the tasks
+      actually finished in;
+    - task functions must be self-contained — derive any randomness from
+      a per-task [Rng.make seed] inside the function, never from shared
+      state (this is the same discipline the repository already follows:
+      nothing touches the global [Random] state);
+    - with [jobs = 1] no domain is spawned and tasks run inline, in
+      order, on the calling domain — the sequential path is not merely
+      equivalent but literally the same code path.
+
+    The pool is a work-stealing-free shared queue: [jobs - 1] worker
+    domains plus the submitting domain drain tasks FIFO. Do not call
+    {!map} from inside a task of the same pool (the inner map could then
+    starve waiting for workers that are all blocked on inner maps). *)
+
+type t
+
+(** [default_jobs ()] resolves the parallelism level: the [BSM_JOBS]
+    environment variable when set (must parse as a positive integer),
+    otherwise [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [create ?jobs ()] spawns [jobs - 1] worker domains ([jobs] defaults
+    to {!default_jobs}). Raises [Invalid_argument] when [jobs < 1]. *)
+val create : ?jobs:int -> unit -> t
+
+(** Parallelism level the pool was created with (including the
+    submitting domain). *)
+val jobs : t -> int
+
+(** [map pool f xs] applies [f] to every element of [xs], distributing
+    calls over the pool's domains, and returns the results {e in input
+    order}. If one or more calls raise, the exception of the
+    lowest-indexed failing element is re-raised (with its backtrace)
+    after all tasks have settled. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [shutdown pool] signals the workers to exit and joins them.
+    Idempotent. Calling {!map} after [shutdown] raises
+    [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] brackets [create]/[shutdown] around [f]. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

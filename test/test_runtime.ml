@@ -194,6 +194,44 @@ let test_self_send_dropped () =
 
 (* --- faults ------------------------------------------------------------ *)
 
+let test_bytes_exclude_omitted () =
+  (* L0's messages are omitted by the fault model, L1's delivered;
+     bytes_sent must count only the delivered payloads (the old engine
+     counted omitted bytes too, inflating communication tables). *)
+  let faults =
+    {
+      Engine.drop =
+        (fun ~round:_ ~src ~dst:_ -> Party_id.equal src (Party_id.left 0));
+    }
+  in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      env.Engine.send (Party_id.right 0) "dropped!!"
+    else if Party_id.equal id (Party_id.left 1) then
+      env.Engine.send (Party_id.right 0) "kept"
+    else if Party_id.equal id (Party_id.right 0) then
+      ignore (env.Engine.next_round ())
+  in
+  let res = run ~k:2 ~faults programs in
+  Alcotest.(check int) "both sends counted" 2 res.metrics.messages_sent;
+  Alcotest.(check int) "one delivered" 1 res.metrics.messages_delivered;
+  Alcotest.(check int) "one omitted" 1 res.metrics.messages_dropped_fault;
+  Alcotest.(check int) "only delivered bytes" 4 res.metrics.bytes_sent
+
+let test_bytes_exclude_topology_drops () =
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.left 1) "blocked";
+      env.Engine.send (Party_id.right 0) "ok"
+    end
+    else ignore (env.Engine.next_round ())
+  in
+  let cfg =
+    Engine.config ~k:2 ~link:(Engine.Of_topology Topology.Bipartite) ()
+  in
+  let res = Engine.run cfg ~programs in
+  Alcotest.(check int) "only delivered bytes" 2 res.Engine.metrics.bytes_sent
+
 let test_omission_fault_drops () =
   let faults =
     {
@@ -289,6 +327,109 @@ let test_trace_limit_respected () =
   Alcotest.(check int) "capped at 10" 10 (List.length res.Engine.trace);
   Alcotest.(check int) "metrics still complete" 50 res.Engine.metrics.messages_sent
 
+let test_trace_chronological () =
+  (* L0 sends one message per round for 5 rounds; the trace must list the
+     events in round order 0,1,2,3,4. *)
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      for _ = 1 to 5 do
+        env.Engine.send (Party_id.right 0) "tick";
+        ignore (env.Engine.next_round ())
+      done
+    else
+      for _ = 1 to 5 do
+        ignore (env.Engine.next_round ())
+      done
+  in
+  let cfg =
+    Engine.config ~k:1 ~trace_limit:100 ~max_rounds:10
+      ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let rounds = List.map (fun e -> e.Engine.event_round) res.Engine.trace in
+  Alcotest.(check (list int)) "rounds in order" [ 0; 1; 2; 3; 4 ] rounds
+
+let test_trace_limit_keeps_first_events () =
+  (* With a limit of 2, the two earliest events (rounds 0 and 1) must
+     survive — truncation drops the tail, never the head. *)
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      for _ = 1 to 5 do
+        env.Engine.send (Party_id.right 0) "tick";
+        ignore (env.Engine.next_round ())
+      done
+    else
+      for _ = 1 to 5 do
+        ignore (env.Engine.next_round ())
+      done
+  in
+  let cfg =
+    Engine.config ~k:1 ~trace_limit:2 ~max_rounds:10
+      ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let rounds = List.map (fun e -> e.Engine.event_round) res.Engine.trace in
+  Alcotest.(check (list int)) "first two rounds kept" [ 0; 1 ] rounds
+
+let test_trace_fate_per_event () =
+  (* Fates must be attached to the right events, not merely all present:
+     the message to R0 is delivered, to L1 blocked by the bipartite
+     topology (No_channel), to R1 omitted by the fault model. *)
+  let faults =
+    { Engine.drop = (fun ~round:_ ~src:_ ~dst -> Party_id.equal dst (Party_id.right 1)) }
+  in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.right 0) "ok";
+      env.Engine.send (Party_id.left 1) "blocked";
+      env.Engine.send (Party_id.right 1) "omitted"
+    end
+    else ignore (env.Engine.next_round ())
+  in
+  let cfg =
+    Engine.config ~k:2 ~faults ~trace_limit:100
+      ~link:(Engine.Of_topology Topology.Bipartite) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let fate_of dst =
+    match
+      List.find_opt
+        (fun e -> Party_id.equal e.Engine.event_dst dst)
+        res.Engine.trace
+    with
+    | Some e -> e.Engine.event_fate
+    | None -> Alcotest.failf "no trace event for %s" (Party_id.to_string dst)
+  in
+  let fate =
+    Alcotest.testable
+      (fun ppf f ->
+        Format.pp_print_string ppf
+          (match f with
+          | `Delivered -> "delivered"
+          | `No_channel -> "no-channel"
+          | `Omitted -> "omitted"))
+      ( = )
+  in
+  Alcotest.check fate "R0 delivered" `Delivered (fate_of (Party_id.right 0));
+  Alcotest.check fate "L1 no channel" `No_channel (fate_of (Party_id.left 1));
+  Alcotest.check fate "R1 omitted" `Omitted (fate_of (Party_id.right 1))
+
+let test_find_result_out_of_roster () =
+  let res = run ~k:1 (fun _ _ -> ()) in
+  Alcotest.(check bool)
+    "find_result_opt misses" true
+    (Engine.find_result_opt res (Party_id.left 9) = None);
+  let contains_substring needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  match Engine.find_result res (Party_id.left 9) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "names the party" true (contains_substring "L9" msg);
+    Alcotest.(check bool) "names the roster size" true (contains_substring "2" msg)
+
 let test_trace_off_by_default () =
   let programs id env =
     if Party_id.equal id (Party_id.left 0) then env.Engine.send (Party_id.right 0) "x"
@@ -349,7 +490,12 @@ let () =
             test_out_of_roster_send_dropped;
         ] );
       ( "faults",
-        [ Alcotest.test_case "omission drops" `Quick test_omission_fault_drops ] );
+        [
+          Alcotest.test_case "omission drops" `Quick test_omission_fault_drops;
+          Alcotest.test_case "bytes exclude omitted" `Quick test_bytes_exclude_omitted;
+          Alcotest.test_case "bytes exclude topology drops" `Quick
+            test_bytes_exclude_topology_drops;
+        ] );
       ( "ordering",
         [
           Alcotest.test_case "inbox sorted by sender" `Quick
@@ -358,11 +504,18 @@ let () =
             test_per_sender_order_preserved;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "nested engines" `Quick test_nested_engines;
+          Alcotest.test_case "find_result out of roster" `Quick
+            test_find_result_out_of_roster;
         ] );
       ( "trace",
         [
           Alcotest.test_case "records all fates" `Quick test_trace_records_fates;
           Alcotest.test_case "limit respected" `Quick test_trace_limit_respected;
           Alcotest.test_case "off by default" `Quick test_trace_off_by_default;
+          Alcotest.test_case "chronological order" `Quick test_trace_chronological;
+          Alcotest.test_case "truncation keeps first events" `Quick
+            test_trace_limit_keeps_first_events;
+          Alcotest.test_case "fate attached to the right event" `Quick
+            test_trace_fate_per_event;
         ] );
     ]

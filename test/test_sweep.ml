@@ -1,0 +1,206 @@
+(* Tests for the deterministic multicore sweep runner: the domain pool's
+   ordering/exception semantics, and bit-identical parallel vs sequential
+   results for scenario sweeps, attack evaluation batches and the Lemma 3
+   scaling stress. This is also the tier-1 smoke test that exercises the
+   pool under `dune runtest`. *)
+
+open Bsm_prelude
+module Core = Bsm_core
+module SM = Bsm_stable_matching
+module H = Bsm_harness
+module A = Bsm_attacks
+module Engine = Bsm_runtime.Engine
+module Pool = Bsm_runtime.Pool
+module Topology = Bsm_topology.Topology
+
+let setting ~k ~topology ~auth ~tl ~tr =
+  Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
+
+(* --- pool semantics ----------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      Alcotest.(check (list int))
+        "ordered" (List.map (fun i -> i * i) xs)
+        (Pool.map pool (fun i -> i * i) xs))
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun i -> i) []);
+      Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map pool (fun i -> i) [ 7 ]))
+
+let test_map_sequential_when_one_job () =
+  (* jobs = 1 spawns no domain: tasks run inline on the caller, in input
+     order — observable through a (caller-only) side effect. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let order = ref [] in
+      let _ = Pool.map pool (fun i -> order := i :: !order) [ 1; 2; 3; 4 ] in
+      Alcotest.(check (list int)) "ran in order" [ 1; 2; 3; 4 ] (List.rev !order))
+
+let test_map_propagates_first_failure () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      match
+        Pool.map pool
+          (fun i -> if i mod 3 = 2 then failwith (string_of_int i) else i)
+          (List.init 10 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest failing index wins" "2" msg)
+
+let test_map_after_shutdown_raises () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  match Pool.map pool (fun i -> i) [ 1; 2 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_jobs_accessor () =
+  Pool.with_pool ~jobs:2 (fun pool -> Alcotest.(check int) "jobs" 2 (Pool.jobs pool))
+
+(* --- parallel sweeps are bit-identical to sequential -------------------- *)
+
+(* A report rendered to plain data: everything pp_report shows plus the
+   raw metrics, so equality means byte-identical tables downstream. *)
+let fingerprint (report : H.Scenario.report) =
+  Format.asprintf "%a" H.Scenario.pp_report report, report.H.Scenario.metrics
+
+let sweep_cases =
+  [
+    H.Sweep.case ~profile_seed:11 ~scenario_seed:1
+      (setting ~k:3 ~topology:Topology.Fully_connected
+         ~auth:Core.Setting.Unauthenticated ~tl:0 ~tr:3);
+    H.Sweep.case ~profile_seed:23 ~scenario_seed:2
+      ~adversary:H.Sweep.Random_coalition
+      (setting ~k:3 ~topology:Topology.Fully_connected
+         ~auth:Core.Setting.Unauthenticated ~tl:0 ~tr:1);
+    H.Sweep.case ~profile_seed:37 ~scenario_seed:3
+      ~adversary:H.Sweep.Random_coalition
+      (setting ~k:3 ~topology:Topology.Fully_connected
+         ~auth:Core.Setting.Authenticated ~tl:3 ~tr:3);
+    H.Sweep.case ~profile_seed:41 ~scenario_seed:4
+      (setting ~k:2 ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+         ~tl:0 ~tr:2);
+    H.Sweep.case ~profile_seed:53 ~scenario_seed:5
+      ~adversary:H.Sweep.Random_coalition
+      (setting ~k:2 ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated
+         ~tl:2 ~tr:1);
+  ]
+
+let test_sweep_parallel_equals_sequential () =
+  let sequential =
+    List.map (fun (_, r) -> fingerprint r) (H.Sweep.run_cases sweep_cases)
+  in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        List.map (fun (_, r) -> fingerprint r) (H.Sweep.run_cases ~pool sweep_cases))
+  in
+  List.iteri
+    (fun i ((seq_pp, seq_m), (par_pp, par_m)) ->
+      Alcotest.(check string)
+        (Printf.sprintf "case %d report identical" i)
+        seq_pp par_pp;
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d metrics identical" i)
+        true (seq_m = par_m))
+    (List.combine sequential parallel)
+
+let test_sweep_repeated_runs_identical () =
+  (* The same parallel sweep twice: domain scheduling must not leak into
+     results. *)
+  let run () =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        List.map (fun (_, r) -> fingerprint r) (H.Sweep.run_cases ~pool sweep_cases))
+  in
+  Alcotest.(check bool) "two parallel runs identical" true (run () = run ())
+
+let test_scenario_run_all_parallel () =
+  let scenarios = List.map H.Sweep.scenario_of_case sweep_cases in
+  let sequential = List.map fingerprint (H.Scenario.run_all scenarios) in
+  let parallel =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        List.map fingerprint (H.Scenario.run_all ~pool scenarios))
+  in
+  Alcotest.(check bool) "run_all identical" true (sequential = parallel)
+
+let test_evaluate_batch_parallel () =
+  let k = 3 in
+  let topology = Topology.Fully_connected in
+  let cases =
+    List.map
+      (fun seed ->
+        let rng = Rng.make seed in
+        let favorites = A.Evaluate.random_favorites rng ~k in
+        let byzantine =
+          [ Party_id.left 2, A.Naive.equivocating_announcer ~topology ~k ]
+        in
+        favorites, byzantine)
+      (Util.range 1 7)
+  in
+  let protocol =
+    A.Protocol_under_test.thresholded
+      ~setting:
+        (setting ~k ~topology ~auth:Core.Setting.Unauthenticated ~tl:1 ~tr:1)
+  in
+  let sequential = A.Evaluate.run_batch ~topology ~k ~cases protocol in
+  let parallel =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        A.Evaluate.run_batch ~pool ~topology ~k ~cases protocol)
+  in
+  Alcotest.(check bool) "violation lists identical" true (sequential = parallel);
+  Alcotest.(check int) "six cases evaluated" 6 (List.length parallel);
+  List.iter
+    (fun vs -> Alcotest.(check bool) "in-threshold protocol clean" true (vs = []))
+    parallel
+
+let test_scaling_stress_parallel () =
+  let big =
+    A.Protocol_under_test.thresholded
+      ~setting:
+        (setting ~k:4 ~topology:Topology.Fully_connected
+           ~auth:Core.Setting.Unauthenticated ~tl:1 ~tr:1)
+  in
+  let stress pool =
+    A.Scaling.stress ?pool ~topology:Topology.Fully_connected ~big_k:4
+      ~small_ks:[ 2; 4 ] ~seeds:[ 1; 2 ] big
+  in
+  let sequential = stress None in
+  let parallel = Pool.with_pool ~jobs:2 (fun pool -> stress (Some pool)) in
+  Alcotest.(check bool) "stress results identical" true (sequential = parallel);
+  List.iter
+    (fun (small_k, seed, violations) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no violation at small_k=%d seed=%d" small_k seed)
+        true (violations = []))
+    parallel
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "empty and singleton" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "jobs=1 runs inline in order" `Quick
+            test_map_sequential_when_one_job;
+          Alcotest.test_case "first failure propagates" `Quick
+            test_map_propagates_first_failure;
+          Alcotest.test_case "map after shutdown raises" `Quick
+            test_map_after_shutdown_raises;
+          Alcotest.test_case "jobs accessor" `Quick test_jobs_accessor;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel sweep == sequential sweep" `Quick
+            test_sweep_parallel_equals_sequential;
+          Alcotest.test_case "parallel sweep repeatable" `Quick
+            test_sweep_repeated_runs_identical;
+          Alcotest.test_case "Scenario.run_all parallel == sequential" `Quick
+            test_scenario_run_all_parallel;
+          Alcotest.test_case "Evaluate.run_batch parallel == sequential" `Quick
+            test_evaluate_batch_parallel;
+          Alcotest.test_case "Scaling.stress parallel == sequential" `Quick
+            test_scaling_stress_parallel;
+        ] );
+    ]
