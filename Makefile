@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke fmt ci clean
+.PHONY: all build test bench bench-quick smoke fmt ci clean
 
 all: build
 
@@ -11,6 +11,12 @@ test:
 # Full experiment tables + microbenchmarks; writes BENCH_sweeps.json.
 bench:
 	dune exec bench/main.exe
+
+# Smallest k per table, no microbenchmarks; writes
+# BENCH_sweeps.quick.json. Finishes in seconds — used by ci to keep the
+# sweep pipeline (engine, pool, GC accounting, JSON writer) exercised.
+bench-quick:
+	dune exec bench/main.exe -- --quick
 
 # Fast tier-1 exercise of the domain pool: one small parallel sweep,
 # asserted bit-identical to its sequential run.
@@ -27,7 +33,7 @@ fmt:
 	  echo "ocamlformat not found; skipping format check"; \
 	fi
 
-ci: build test fmt
+ci: build test bench-quick fmt
 
 clean:
 	dune clean

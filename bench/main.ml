@@ -39,27 +39,27 @@ let setting ~k ~topology ~auth ~tl ~tr =
 
 (* ------------------------------------------------- sweep bookkeeping -- *)
 
+(* `--quick` trims every table to its smallest k (and fewest seeds) and
+   skips the microbenchmarks: a < 30 s end-to-end exercise of the whole
+   perf plumbing, wired into `make ci` as `make bench-quick`. *)
+let quick = ref false
+
 type sweep_record = {
   sweep_table : string;
   sweep_cells : int;
   sweep_k_range : string;
-  sweep_seq_ms : float;
-  sweep_par_ms : float;
+  sweep_seq : H.Sweep.measurement;
+  sweep_par : H.Sweep.measurement;
 }
 
 let sweep_records : sweep_record list ref = ref []
 
-let time_ms f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  v, (Unix.gettimeofday () -. t0) *. 1000.
-
 (* Run a sweep twice — sequentially, then across the pool — assert the
    results are bit-identical (cells must return plain data), record both
-   wall-clocks, and return the results. *)
+   wall-clocks and GC deltas, and return the results. *)
 let sweep ~pool ~table ~k_range f cells =
-  let seq, seq_ms = time_ms (fun () -> List.map f cells) in
-  let par, par_ms = time_ms (fun () -> H.Sweep.map ~pool f cells) in
+  let seq, seq_m = H.Sweep.measure (fun () -> List.map f cells) in
+  let par, par_m = H.Sweep.measure (fun () -> H.Sweep.map ~pool f cells) in
   if seq <> par then
     failwith (table ^ ": parallel sweep diverged from the sequential results");
   sweep_records :=
@@ -67,8 +67,8 @@ let sweep ~pool ~table ~k_range f cells =
       sweep_table = table;
       sweep_cells = List.length cells;
       sweep_k_range = k_range;
-      sweep_seq_ms = seq_ms;
-      sweep_par_ms = par_ms;
+      sweep_seq = seq_m;
+      sweep_par = par_m;
     }
     :: !sweep_records;
   par
@@ -87,6 +87,13 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let json_of_measurement prefix (m : H.Sweep.measurement) =
+  Printf.sprintf
+    "\"%s_minor_words\": %.0f, \"%s_major_words\": %.0f, \"%s_minor_gcs\": %d, \
+     \"%s_major_gcs\": %d"
+    prefix m.H.Sweep.minor_words prefix m.H.Sweep.major_words prefix
+    m.H.Sweep.minor_collections prefix m.H.Sweep.major_collections
+
 let write_sweeps_json ~jobs path =
   let records = List.rev !sweep_records in
   let buf = Buffer.create 2048 in
@@ -97,15 +104,19 @@ let write_sweeps_json ~jobs path =
   Buffer.add_string buf "  \"sweeps\": [\n";
   List.iteri
     (fun i r ->
-      let speedup =
-        if r.sweep_par_ms > 0. then r.sweep_seq_ms /. r.sweep_par_ms else 0.
-      in
+      let seq_ms = r.sweep_seq.H.Sweep.wall_ms in
+      let par_ms = r.sweep_par.H.Sweep.wall_ms in
+      let speedup = if par_ms > 0. then seq_ms /. par_ms else 0. in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"table\": \"%s\", \"cells\": %d, \"k_range\": \"%s\", \
-            \"sequential_ms\": %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f}%s\n"
+            \"sequential_ms\": %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f,\n\
+           \     %s,\n\
+           \     %s}%s\n"
            (json_escape r.sweep_table) r.sweep_cells
-           (json_escape r.sweep_k_range) r.sweep_seq_ms r.sweep_par_ms speedup
+           (json_escape r.sweep_k_range) seq_ms par_ms speedup
+           (json_of_measurement "seq" r.sweep_seq)
+           (json_of_measurement "par" r.sweep_par)
            (if i = List.length records - 1 then "" else ",")))
     records;
   Buffer.add_string buf "  ]\n}\n";
@@ -222,7 +233,7 @@ let table_t2 ~pool () =
         ~tl:third ~tr:k;
     ]
   in
-  let cells = List.concat_map cases [ 2; 4; 6 ] in
+  let cells = List.concat_map cases (if !quick then [ 2 ] else [ 2; 4; 6 ]) in
   let rows =
     sweep ~pool ~table:"T2 round complexity" ~k_range:"k=2..6"
       (fun s ->
@@ -266,7 +277,7 @@ let table_t3_gs ~pool () =
           string_of_int worst.SM.Gale_shapley.proposals;
           string_of_int (k * (k + 1) / 2);
         ])
-      [ 10; 20; 40; 80; 160 ]
+      (if !quick then [ 10 ] else [ 10; 20; 40; 80; 160 ])
   in
   List.iter (Table.add_row table) rows;
   Table.print table
@@ -291,7 +302,7 @@ let table_t3_protocols ~pool () =
         ~tl:third ~tr:k;
     ]
   in
-  let cells = List.concat_map cases [ 2; 4; 6; 8 ] in
+  let cells = List.concat_map cases (if !quick then [ 2 ] else [ 2; 4; 6; 8 ]) in
   let rows =
     sweep ~pool ~table:"T3b protocol communication" ~k_range:"k=2..8"
       (fun s ->
@@ -323,7 +334,7 @@ let table_t3_distributed_gs ~pool () =
   let cells =
     List.concat_map
       (fun k -> [ k, `Random; k, `Correlated; k, `Identical ])
-      [ 8; 16; 32 ]
+      (if !quick then [ 8 ] else [ 8; 16; 32 ])
   in
   let rows =
     sweep ~pool ~table:"T3c distributed Gale-Shapley" ~k_range:"k=8..32"
@@ -411,7 +422,7 @@ let table_a1 ~pool () =
           row "BB pipeline (Lemma 1)" "tR < k" bb_metrics;
           row "Pi_bSM (Sec 5.2)" "tR = k" pi_metrics;
         ])
-      [ 3; 4; 6 ]
+      (if !quick then [ 3 ] else [ 3; 4; 6 ])
   in
   List.iter (List.iter (Table.add_row table)) row_pairs;
   Table.print table
@@ -442,7 +453,7 @@ let table_a2 ~pool () =
             setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated
               ~tl:k ~tr:(k - 1) );
         ])
-      [ 3; 5; 7 ]
+      (if !quick then [ 3 ] else [ 3; 5; 7 ])
   in
   let rows =
     sweep ~pool ~table:"A2 channel simulation" ~k_range:"k=3..7"
@@ -477,7 +488,7 @@ let table_a3 ~pool () =
   in
   let k = 4 in
   let topology = Topology.Fully_connected in
-  let runs = 30 in
+  let runs = if !quick then 5 else 30 in
   let seeds = Util.range 1 (runs + 1) in
   let count name protocol =
     let violated =
@@ -527,10 +538,9 @@ let table_a4 ~pool () =
       ~header:[ "tL"; "kings"; "rounds"; "messages"; "bytes mean"; "bytes sd" ]
   in
   let k = 7 in
-  let tls = [ 0; 1; 2 ] in
-  let cells =
-    List.concat_map (fun tl -> List.map (fun seed -> tl, seed) (Util.range 1 6)) tls
-  in
+  let tls = if !quick then [ 0 ] else [ 0; 1; 2 ] in
+  let seeds = Util.range 1 (if !quick then 4 else 6) in
+  let cells = List.concat_map (fun tl -> List.map (fun seed -> tl, seed) seeds) tls in
   let results =
     sweep ~pool ~table:"A4 Pi_bSM vs budget" ~k_range:"k=7"
       (fun (tl, seed) ->
@@ -708,15 +718,19 @@ let jobs_from_argv () =
   scan (Array.to_list Sys.argv)
 
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  quick := Array.exists (String.equal "--quick") Sys.argv;
   let jobs =
     match jobs_from_argv () with
     | Some n -> n
     | None -> Pool.default_jobs ()
   in
   print_endline "byzantine stable matching — experiment harness";
-  Printf.printf "sweep parallelism: %d job(s) (BSM_JOBS or --jobs to override, %d domain(s) recommended)\n"
+  Printf.printf "sweep parallelism: %d job(s) (BSM_JOBS or --jobs to override, %d domain(s) recommended)%s\n"
     jobs
-    (Domain.recommended_domain_count ());
+    (Domain.recommended_domain_count ())
+    (if !quick then "; --quick: smallest k per table, no microbenchmarks" else "");
   print_newline ();
   Pool.with_pool ~jobs (fun pool ->
       table_t1 ~pool ();
@@ -728,10 +742,14 @@ let () =
       table_a2 ~pool ();
       table_a3 ~pool ();
       table_a4 ~pool ());
-  run_microbenchmarks ();
-  write_sweeps_json ~jobs "BENCH_sweeps.json";
+  if not !quick then run_microbenchmarks ();
+  (* Quick runs exercise the JSON writer without clobbering the tracked
+     full-size numbers. *)
+  let json_path = if !quick then "BENCH_sweeps.quick.json" else "BENCH_sweeps.json" in
+  write_sweeps_json ~jobs json_path;
   Printf.printf
-    "wrote BENCH_sweeps.json (%d sweeps; every parallel sweep verified \
+    "wrote %s (%d sweeps with GC deltas; every parallel sweep verified \
      bit-identical to its sequential run)\n"
+    json_path
     (List.length !sweep_records);
   print_endline "done. See EXPERIMENTS.md for the paper-vs-measured discussion."

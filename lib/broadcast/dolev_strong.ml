@@ -60,8 +60,10 @@ end
 let make p ~signer ~sender ~input ~default =
   let self = Crypto.Signer.id signer in
   let extracted = ref [] in
+  (* Reused across this machine's messages; the machine is single-fiber. *)
+  let enc = Wire.Enc.create () in
   let to_all chain =
-    let payload = Wire.encode Chain.codec chain in
+    let payload = Wire.encode_into enc Chain.codec chain in
     List.filter_map
       (fun dst -> if Party_id.equal dst self then None else Some (dst, payload))
       p.participants

@@ -46,8 +46,10 @@ let make p ~self ~sender ~input =
   let everyone = Party_set.of_list p.participants in
   let possibly_corrupt = Adversary_structure.possibly_corrupt p.structure in
   let complement s = Party_set.diff everyone s in
+  (* Reused across this machine's messages; the machine is single-fiber. *)
+  let enc = Wire.Enc.create () in
   let to_all msg =
-    let payload = Wire.encode codec msg in
+    let payload = Wire.encode_into enc codec msg in
     List.filter_map
       (fun dst -> if Party_id.equal dst self then None else Some (dst, payload))
       p.participants

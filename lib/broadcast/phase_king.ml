@@ -85,8 +85,11 @@ let make_with_peek p ~self ~input =
   let everyone_set = Party_set.of_list all in
   let complement s = Party_set.diff everyone_set s in
   let possibly_corrupt = Adversary_structure.possibly_corrupt structure in
+  (* One encoder per machine, reused for every outgoing message: the
+     machine is single-fiber, so no two encodes overlap. *)
+  let enc = Wire.Enc.create () in
   let to_all msg =
-    let payload = Wire.encode Msg.codec msg in
+    let payload = Wire.encode_into enc Msg.codec msg in
     List.filter_map
       (fun dst -> if Party_id.equal dst self then None else Some (dst, payload))
       all

@@ -9,8 +9,10 @@ let make (p : Phase_king.params) ~self ~input =
   let output = ref None in
   let everyone_set = Party_set.of_list p.participants in
   let possibly_corrupt = Adversary_structure.possibly_corrupt p.structure in
+  (* Reused across this machine's messages; the machine is single-fiber. *)
+  let enc = Wire.Enc.create () in
   let to_all msg =
-    let payload = Wire.encode Phase_king.Msg.codec msg in
+    let payload = Wire.encode_into enc Phase_king.Msg.codec msg in
     List.filter_map
       (fun dst -> if Party_id.equal dst self then None else Some (dst, payload))
       p.participants

@@ -71,17 +71,32 @@ let signing_bytes p = Wire.encode payload_codec { p with signature = None }
 
 (* --- forwarding duty ---------------------------------------------------- *)
 
-let forward_payload (env : Engine.env) ~topology ~from p =
+let request_tag = '\001'
+
+(* A [Forward] differs from the [Request] it answers only in the leading
+   variant tag, so a forwarder can reuse the received bytes wholesale —
+   flip one byte instead of walking the codec again. The receiver decodes
+   the same payload either way (and the signature check re-encodes
+   canonically), so behavior is unchanged. *)
+let forward_frame data =
+  let b = Bytes.of_string data in
+  Bytes.set b 0 '\002';
+  Bytes.unsafe_to_string b
+
+let forward_payload (env : Engine.env) ~topology ~from ~data p =
   if
     Party_id.equal from p.src
     && Topology.connected topology env.self p.dst
     && not (Party_id.equal p.dst env.self)
-  then env.send p.dst (Wire.encode relay_codec (Forward p))
+  then env.send p.dst (forward_frame data)
 
 let forward_duty (env : Engine.env) ~topology (e : Engine.envelope) =
-  match Wire.decode relay_codec e.data with
-  | Ok (Request p) -> forward_payload env ~topology ~from:e.src p
-  | Ok (Direct _ | Forward _) | Error _ -> ()
+  (* Only Request frames matter here, and most traffic is Direct — check
+     the leading tag byte before paying for a full decode. *)
+  if String.length e.data > 0 && e.data.[0] = request_tag then
+    match Wire.decode relay_codec e.data with
+    | Ok (Request p) -> forward_payload env ~topology ~from:e.src ~data:e.data p
+    | Ok (Direct _ | Forward _) | Error _ -> ()
 
 (* --- the virtual net ----------------------------------------------------- *)
 
@@ -124,17 +139,17 @@ let virtual_net (env : Engine.env) ~topology ~auth =
         (fun (e : Engine.envelope) ->
           match Wire.decode relay_codec e.data with
           | Ok (Direct body) -> direct := (e.src, body) :: !direct
-          | Ok (Request p) -> forward_payload env ~topology ~from:e.src p
+          | Ok (Request p) -> forward_payload env ~topology ~from:e.src ~data:e.data p
           | Ok (Forward p) -> forwards := (e.src, p) :: !forwards
           | Error _ -> ())
         inbox
     done;
     let fresh p =
       Party_id.equal p.dst self && p.vround = !vround
-      && not (Hashtbl.mem delivered (Party_id.to_string p.src, p.id))
+      && not (Hashtbl.mem delivered (p.src, p.id))
     in
     let deliver p =
-      Hashtbl.replace delivered (Party_id.to_string p.src, p.id) ();
+      Hashtbl.replace delivered (p.src, p.id) ();
       p.src, p.body
     in
     let relayed =

@@ -152,7 +152,14 @@ let relay_program (setting : Setting.t) ~computing_side ~input (env : Engine.env
     List.iter
       (fun (e : Engine.envelope) ->
         Channels.forward_duty env ~topology:setting.topology e;
-        if Side.equal (Party_id.side e.src) computing_side then
+        (* Suggest frames start with tag 4; everything else on this inbox
+           is relay traffic (tags 0-2) or Prefs (3) — skip those without
+           decoding. *)
+        if
+          Side.equal (Party_id.side e.src) computing_side
+          && String.length e.data > 0
+          && e.data.[0] = '\004'
+        then
           match Wire.decode Msg.codec e.data with
           | Ok (Msg.Suggest partner) -> suggestions := (e.src, partner) :: !suggestions
           | Ok (Msg.Prefs _) | Error _ -> ())

@@ -46,3 +46,26 @@ let map ?pool f xs =
 
 let run_cases ?pool ?max_rounds cases =
   map ?pool (fun c -> c, Scenario.run ?max_rounds (scenario_of_case c)) cases
+
+type measurement = {
+  wall_ms : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let measure f =
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let g1 = Gc.quick_stat () in
+  ( v,
+    {
+      wall_ms;
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    } )

@@ -62,3 +62,20 @@ val map : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
     with its report, in input order. *)
 val run_cases :
   ?pool:Pool.t -> ?max_rounds:int -> case list -> (case * Scenario.report) list
+
+(** Wall-clock and GC cost of one sweep, from [Gc.quick_stat] deltas
+    around the run. Words are OCaml words (8 bytes on 64-bit). On OCaml 5
+    the counters are per-domain: for a parallel sweep they cover the
+    submitting domain only (its share of the cells plus orchestration),
+    so compare like with like — sequential vs sequential across PRs, and
+    parallel allocation trends only qualitatively. *)
+type measurement = {
+  wall_ms : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+(** [measure f] runs [f ()] and reports its cost. *)
+val measure : (unit -> 'a) -> 'a * measurement

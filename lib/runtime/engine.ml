@@ -106,39 +106,106 @@ type fiber_state =
   | Finished
   | Failed of string
 
+(* Growable (destination, payload) vector reused across rounds: sends
+   append, delivery scans [0 .. len-1] in natural send order (no list
+   reversal), then the round resets [len] keeping the capacity. *)
+type outbox = {
+  mutable out_dsts : Party_id.t array;
+  mutable out_data : payload array;
+  mutable out_len : int;
+}
+
+(* One inbox bucket per sender: payloads in send order. Delivery fills
+   buckets; the resume step walks senders in dense roster order, which
+   yields exactly the old sorted-by-sender, per-sender-order-preserving
+   inbox without any per-round sort. *)
+type bucket = {
+  mutable bkt_data : payload array;
+  mutable bkt_len : int;
+}
+
 type cell = {
   id : Party_id.t;
+  outbox : outbox;
+  buckets : bucket array; (* 2k slots, indexed by sender dense id *)
+  mutable inbox_count : int; (* messages across all buckets this round *)
   mutable state : fiber_state;
-  mutable outbox : (Party_id.t * payload) list; (* reversed send order *)
-  mutable inbox : envelope list; (* reversed arrival order *)
   mutable out : payload option;
 }
+
+let no_strings : payload array = [||]
+
+let outbox_push ob dst data =
+  let cap = Array.length ob.out_data in
+  if ob.out_len = cap then begin
+    let cap' = max 8 (2 * cap) in
+    let dsts' = Array.make cap' dst and data' = Array.make cap' "" in
+    Array.blit ob.out_dsts 0 dsts' 0 ob.out_len;
+    Array.blit ob.out_data 0 data' 0 ob.out_len;
+    ob.out_dsts <- dsts';
+    ob.out_data <- data'
+  end;
+  ob.out_dsts.(ob.out_len) <- dst;
+  ob.out_data.(ob.out_len) <- data;
+  ob.out_len <- ob.out_len + 1
+
+let bucket_push b data =
+  let cap = Array.length b.bkt_data in
+  if b.bkt_len = cap then begin
+    let data' = Array.make (max 4 (2 * cap)) "" in
+    Array.blit b.bkt_data 0 data' 0 b.bkt_len;
+    b.bkt_data <- data'
+  end;
+  b.bkt_data.(b.bkt_len) <- data;
+  b.bkt_len <- b.bkt_len + 1
 
 let run cfg ~programs =
   let k = cfg.k in
   let roster = Party_id.all ~k in
+  let roster_arr = Array.of_list roster in
   let connected =
     match cfg.link with
     | Of_topology t -> Topology.connected t
     | Custom f -> fun u v -> (not (Party_id.equal u v)) && f u v
   in
   let cells =
-    Array.of_list
-      (List.map
-         (fun id -> { id; state = Finished; outbox = []; inbox = []; out = None })
-         roster)
+    Array.map
+      (fun id ->
+        {
+          id;
+          outbox = { out_dsts = [||]; out_data = no_strings; out_len = 0 };
+          buckets =
+            Array.init (2 * k) (fun _ -> { bkt_data = no_strings; bkt_len = 0 });
+          inbox_count = 0;
+          state = Finished;
+          out = None;
+        })
+      roster_arr
   in
   let cell_of id = cells.(Party_id.to_dense ~k id) in
   let iter_cells f = Array.iter f cells in
   let round = ref 0 in
-  let trace = ref [] in
+  (* Flat trace buffer: the trace keeps the {e first} [trace_limit] events,
+     so a fixed-size array filled left to right replaces the old cons list
+     (one allocation up front instead of one cons per event). *)
+  let trace_buf =
+    if cfg.trace_limit <= 0 then [||]
+    else
+      Array.make cfg.trace_limit
+        {
+          event_round = 0;
+          event_src = Party_id.left 0;
+          event_dst = Party_id.left 0;
+          event_bytes = 0;
+          event_fate = `Delivered;
+        }
+  in
   let trace_count = ref 0 in
   let record event_src event_dst event_bytes event_fate =
     if !trace_count < cfg.trace_limit then begin
-      incr trace_count;
-      trace :=
-        { event_round = !round; event_src; event_dst; event_bytes; event_fate }
-        :: !trace
+      trace_buf.(!trace_count) <-
+        { event_round = !round; event_src; event_dst; event_bytes; event_fate };
+      incr trace_count
     end
   in
   let messages_sent = ref 0 in
@@ -166,7 +233,7 @@ let run cfg ~programs =
               Some
                 (fun (cont : (a, _) continuation) ->
                   incr messages_sent;
-                  cell.outbox <- (dst, data) :: cell.outbox;
+                  outbox_push cell.outbox dst data;
                   continue cont ())
             | Next_round ->
               Some
@@ -204,30 +271,74 @@ let run cfg ~programs =
       let program = programs cell.id in
       drive cell (fun () -> program (env_of cell.id)));
 
-  (* Deliver this round's traffic, then resume waiting fibers. *)
+  (* Deliver this round's traffic into the receivers' per-sender buckets,
+     then resume waiting fibers. *)
   let deliver () =
-    let deliver_message src (dst, data) =
-      if Party_id.index dst >= k || not (connected src dst) then begin
-        incr dropped_topology;
-        record src dst (String.length data) `No_channel;
-        Log.debug (fun m ->
-            m "r%d: dropped %a -> %a (no channel)" !round Party_id.pp src Party_id.pp
-              dst)
-      end
-      else if cfg.faults.drop ~round:!round ~src ~dst then begin
-        incr dropped_fault;
-        record src dst (String.length data) `Omitted
-      end
-      else begin
-        incr messages_delivered;
-        bytes_sent := !bytes_sent + String.length data;
-        record src dst (String.length data) `Delivered;
-        (cell_of dst).inbox <- { src; data } :: (cell_of dst).inbox
-      end
-    in
     iter_cells (fun cell ->
-        List.iter (deliver_message cell.id) (List.rev cell.outbox);
-        cell.outbox <- [])
+        let ob = cell.outbox in
+        if ob.out_len > 0 then begin
+          let src = cell.id in
+          let src_dense = Party_id.to_dense ~k src in
+          for i = 0 to ob.out_len - 1 do
+            let dst = ob.out_dsts.(i) in
+            let data = ob.out_data.(i) in
+            let len = String.length data in
+            let dst_index = Party_id.index dst in
+            if dst_index < 0 then
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.deliver_message: destination %s has a negative index \
+                    (corrupt Party_id)"
+                   (Party_id.to_string dst));
+            if dst_index >= k || not (connected src dst) then begin
+              incr dropped_topology;
+              record src dst len `No_channel;
+              Log.debug (fun m ->
+                  m "r%d: dropped %a -> %a (no channel)" !round Party_id.pp src
+                    Party_id.pp dst)
+            end
+            else if cfg.faults.drop ~round:!round ~src ~dst then begin
+              incr dropped_fault;
+              record src dst len `Omitted
+            end
+            else begin
+              incr messages_delivered;
+              bytes_sent := !bytes_sent + len;
+              record src dst len `Delivered;
+              let target = cell_of dst in
+              bucket_push target.buckets.(src_dense) data;
+              target.inbox_count <- target.inbox_count + 1
+            end
+          done;
+          (* Reset, dropping payload references so delivered strings are not
+             retained past the round by the reused storage. *)
+          Array.fill ob.out_data 0 ob.out_len "";
+          ob.out_len <- 0
+        end)
+  in
+
+  (* Collect [cell]'s buckets into the inbox list the fiber sees: senders
+     in dense roster order (= sorted by [Party_id.compare]), send order
+     preserved within each sender — the invariant the old
+     [List.stable_sort] established, now true by construction. *)
+  let collect_inbox cell =
+    if cell.inbox_count = 0 then []
+    else begin
+      let acc = ref [] in
+      for sender = 2 * k - 1 downto 0 do
+        let b = cell.buckets.(sender) in
+        if b.bkt_len > 0 then begin
+          let src = roster_arr.(sender) in
+          for i = b.bkt_len - 1 downto 0 do
+            acc := { src; data = b.bkt_data.(i) } :: !acc
+          done;
+          Array.fill b.bkt_data 0 b.bkt_len "";
+          b.bkt_len <- 0
+        end
+      done;
+      cell.inbox_count <- 0;
+      !acc
+    end
   in
 
   let some_waiting () =
@@ -246,14 +357,7 @@ let run cfg ~programs =
       (fun cell ->
         match cell.state with
         | Waiting cont ->
-          (* Stable inbox order: sort by sender, preserving per-sender send
-             order (the list was built reversed, so re-reverse first). *)
-          let inbox =
-            List.stable_sort
-              (fun a b -> Party_id.compare a.src b.src)
-              (List.rev cell.inbox)
-          in
-          cell.inbox <- [];
+          let inbox = collect_inbox cell in
           (* Resuming re-enters the deep handler installed by [drive], which
              updates [cell.state] on park / return / raise; pre-set Finished
              for the plain-return path before any effect fires. *)
@@ -262,8 +366,18 @@ let run cfg ~programs =
         | Finished | Failed _ -> ())
   done;
   (* Flush messages sent in the final round so accounting covers them even
-     though no fiber is left to read them. *)
+     though no fiber is left to read them. [round] was last incremented
+     before those fibers ran, so the flushed events carry the round their
+     messages were sent in — the same convention as in-loop deliveries,
+     keeping trace rounds monotone up to [rounds_used]. *)
   deliver ();
+  assert (
+    let ok = ref true in
+    for i = 0 to !trace_count - 1 do
+      let r = trace_buf.(i).event_round in
+      if r > !round || (i > 0 && r < trace_buf.(i - 1).event_round) then ok := false
+    done;
+    !ok);
 
   let party_result cell =
     let status =
@@ -276,7 +390,7 @@ let run cfg ~programs =
   in
   {
     parties = List.map party_result (Array.to_list cells);
-    trace = List.rev !trace;
+    trace = List.init !trace_count (fun i -> trace_buf.(i));
     metrics =
       {
         rounds_used = !round;

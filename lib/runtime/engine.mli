@@ -45,7 +45,12 @@ type env = {
   round : unit -> int;  (** current round, starting at 0 *)
   send : Party_id.t -> payload -> unit;
       (** queue a message for delivery at the start of the next round;
-          silently dropped if no channel exists *)
+          silently dropped if no channel exists. A destination outside
+          the roster [L0..Lk-1, R0..Rk-1] counts as a non-existent
+          channel, except that a [Party_id.t] with a negative index
+          (impossible through the public [Party_id] API — it would mean
+          memory corruption or unsafe casts) raises [Invalid_argument]
+          at delivery time rather than being dropped. *)
   next_round : unit -> envelope list;
       (** finish the current round; returns the next round's inbox, sorted
           by sender (send order preserved per sender) *)
@@ -134,8 +139,12 @@ type result = {
   parties : party_result list;  (** roster order: L0..Lk-1, R0..Rk-1 *)
   metrics : metrics;
   trace : event list;
-      (** chronological, at most [trace_limit] events; empty when tracing
-          is off *)
+      (** chronological, at most [trace_limit] events (the {e first} so
+          many — truncation drops the tail); empty when tracing is off.
+          Each event carries the round its message was {e sent} in, so
+          rounds are non-decreasing along the list and never exceed
+          [metrics.rounds_used]; the final round's sends (flushed after
+          the last round ends) appear with [event_round = rounds_used]. *)
 }
 
 (** [run cfg ~programs] executes one synchronous protocol. [programs] is

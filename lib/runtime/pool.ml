@@ -1,3 +1,7 @@
+let src = Logs.Src.create "bsm.pool" ~doc:"fixed-size domain pool"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type task = unit -> unit
 
 type t = {
@@ -9,12 +13,26 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+(* BSM_JOBS beyond the hardware's recommended domain count makes every
+   sweep slower (domains time-share cores and fight over the minor heaps),
+   so oversubscription is clamped, with a warning. Explicit [~jobs]
+   arguments are not clamped: tests deliberately oversubscribe. *)
 let default_jobs () =
+  let recommended = Domain.recommended_domain_count () in
   match Sys.getenv_opt "BSM_JOBS" with
-  | None -> Domain.recommended_domain_count ()
+  | None -> recommended
   | Some s -> (
     match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
+    | Some n when n >= 1 ->
+      if n > recommended then begin
+        Log.warn (fun m ->
+            m
+              "BSM_JOBS=%d oversubscribes this machine (%d domain(s) \
+               recommended); clamping to %d"
+              n recommended recommended);
+        recommended
+      end
+      else n
     | Some _ | None ->
       invalid_arg (Printf.sprintf "BSM_JOBS=%S: expected a positive integer" s))
 
@@ -82,6 +100,12 @@ let take_task t =
   Mutex.unlock t.mutex;
   task
 
+(* One queue entry per contiguous index range instead of one per item:
+   a sweep of [n] cells costs O(chunks) = O(4 * jobs) lock acquisitions
+   rather than O(n). Chunks are deliberately smaller than [n / jobs] so a
+   slow cell (the largest k of a sweep) cannot serialize the tail. *)
+let chunk_size ~jobs n = max 1 (n / (4 * jobs))
+
 let map t f xs =
   match xs with
   | [] -> []
@@ -92,19 +116,27 @@ let map t f xs =
     (* Slots are written at distinct indices from distinct domains — no
        two tasks share a cell, so plain writes are race-free. *)
     let slots = Array.make n Pending in
+    let chunk = chunk_size ~jobs:t.jobs n in
+    let chunks = (n + chunk - 1) / chunk in
     let batch_mutex = Mutex.create () in
-    let batch_progress = Condition.create () in
-    let remaining = ref n in
-    let run_task i () =
-      let outcome =
-        match f items.(i) with
-        | v -> Done v
-        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
-      in
-      slots.(i) <- outcome;
+    let batch_done = Condition.create () in
+    let remaining = ref chunks in
+    (* Items stay independent inside a chunk: each gets its own outcome
+       slot, so one raising item neither skips its chunk-mates nor masks a
+       lower-indexed failure elsewhere. *)
+    let run_chunk lo hi () =
+      for i = lo to hi do
+        slots.(i) <-
+          (match f items.(i) with
+          | v -> Done v
+          | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+      done;
       Mutex.lock batch_mutex;
       decr remaining;
-      Condition.broadcast batch_progress;
+      (* Only the submitting domain ever waits on [batch_done], and only
+         the last chunk can release it — signal once instead of
+         broadcasting on every completion. *)
+      if !remaining = 0 then Condition.signal batch_done;
       Mutex.unlock batch_mutex
     in
     Mutex.lock t.mutex;
@@ -112,15 +144,19 @@ let map t f xs =
       Mutex.unlock t.mutex;
       invalid_arg "Pool.map: pool is shut down"
     end;
-    for i = 0 to n - 1 do
-      Queue.push (run_task i) t.queue
+    for c = 0 to chunks - 1 do
+      let lo = c * chunk in
+      let hi = min (lo + chunk - 1) (n - 1) in
+      Queue.push (run_chunk lo hi) t.queue;
+      (* Wake one worker per chunk; a signal with no waiter is lost, but
+         then every worker is already awake and draining the queue. *)
+      Condition.signal t.work_available
     done;
-    Condition.broadcast t.work_available;
     Mutex.unlock t.mutex;
     (* The submitting domain is the pool's jobs-th lane: it drains the
-       queue alongside the workers, then sleeps until in-flight tasks
+       queue alongside the workers, then sleeps until in-flight chunks
        settle. With jobs = 1 there are no workers and this loop runs
-       every task inline, in index order — the sequential path. *)
+       every chunk inline, in index order — the sequential path. *)
     let rec help () =
       match take_task t with
       | Some task ->
@@ -129,7 +165,7 @@ let map t f xs =
       | None ->
         Mutex.lock batch_mutex;
         let finished = !remaining = 0 in
-        if not finished then Condition.wait batch_progress batch_mutex;
+        if not finished then Condition.wait batch_done batch_mutex;
         Mutex.unlock batch_mutex;
         if not finished then help ()
     in

@@ -25,7 +25,12 @@ type t
 
 (** [default_jobs ()] resolves the parallelism level: the [BSM_JOBS]
     environment variable when set (must parse as a positive integer),
-    otherwise [Domain.recommended_domain_count ()]. *)
+    otherwise [Domain.recommended_domain_count ()]. A [BSM_JOBS] value
+    above the recommended domain count is clamped to it (and a warning
+    is logged on the [bsm.pool] source): oversubscribed domains
+    time-share cores and contend on minor heaps, making every sweep
+    slower. Explicit [?jobs] arguments to {!create}/{!with_pool} are
+    taken verbatim, clamp-free. *)
 val default_jobs : unit -> int
 
 (** [create ?jobs ()] spawns [jobs - 1] worker domains ([jobs] defaults
@@ -40,7 +45,14 @@ val jobs : t -> int
     calls over the pool's domains, and returns the results {e in input
     order}. If one or more calls raise, the exception of the
     lowest-indexed failing element is re-raised (with its backtrace)
-    after all tasks have settled. *)
+    after all tasks have settled.
+
+    Work is submitted as contiguous index-range chunks of size
+    [max 1 (n / (4 * jobs))] — one queue entry and one condition signal
+    per chunk — so the shared lock is taken O(jobs) times per call, not
+    O(n). Elements remain independent: each gets its own outcome slot,
+    so a raising element neither skips its chunk-mates nor masks a
+    lower-indexed failure in another chunk. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [shutdown pool] signals the workers to exit and joins them.

@@ -10,6 +10,10 @@ module Enc = struct
   let create () = Buffer.create 64
   let to_string = Buffer.contents
 
+  (* Forget the written bytes but keep the underlying storage, so one
+     encoder can serve a whole protocol run without reallocating. *)
+  let reset = Buffer.clear
+
   (* LEB128 over the full word, treating it as unsigned ([lsr], no sign
      check) so that zigzagged extreme values survive. *)
   let raw t n =
@@ -97,10 +101,48 @@ type 'a t = {
   read : Dec.t -> 'a;
 }
 
-let encode c v =
-  let e = Enc.create () in
+let encode_into e c v =
+  Enc.reset e;
   c.write e v;
   Enc.to_string e
+
+(* [encode] serves every protocol's per-message serialization, so it reuses
+   one scratch encoder per domain instead of allocating a fresh [Buffer.t]
+   (struct + backing bytes) each call. The slot is emptied while in use: a
+   nested [encode] (a codec whose argument was itself encoded mid-write)
+   falls back to a fresh buffer rather than clobbering the outer one.
+   Domain-local storage keeps parallel sweeps race-free. *)
+type scratch = { mutable spare : Enc.t option }
+
+let scratch_key = Domain.DLS.new_key (fun () -> { spare = None })
+
+(* Don't let one huge message pin a large buffer for the domain's
+   lifetime. *)
+let scratch_retain_limit = 1 lsl 16
+
+let give_back slot e =
+  if Buffer.length e <= scratch_retain_limit then begin
+    Enc.reset e;
+    slot.spare <- Some e
+  end
+
+let encode c v =
+  let slot = Domain.DLS.get scratch_key in
+  let e =
+    match slot.spare with
+    | Some e ->
+      slot.spare <- None;
+      e
+    | None -> Enc.create ()
+  in
+  match c.write e v with
+  | () ->
+    let s = Enc.to_string e in
+    give_back slot e;
+    s
+  | exception exn ->
+    give_back slot e;
+    raise exn
 
 let decode_exn c s =
   let d = Dec.of_string s in

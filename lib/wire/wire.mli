@@ -22,6 +22,11 @@ module Enc : sig
   (** Encoded bytes so far. *)
   val to_string : t -> string
 
+  (** [reset e] forgets the written bytes but keeps the underlying
+      storage, so one encoder can be reused across many messages without
+      reallocating. *)
+  val reset : t -> unit
+
   (** Unsigned varint; raises [Invalid_argument] on negative input. *)
   val uint : t -> int -> unit
 
@@ -57,8 +62,17 @@ type 'a t = {
   read : Dec.t -> 'a;
 }
 
-(** [encode c v] is the canonical byte string for [v]. *)
+(** [encode c v] is the canonical byte string for [v]. Allocation-lean:
+    serialization goes through a per-domain scratch encoder that is reused
+    across calls (nested calls fall back to a fresh buffer), so the only
+    per-call allocation is the returned string itself. *)
 val encode : 'a t -> 'a -> string
+
+(** [encode_into e c v] is {!encode} through a caller-owned encoder: [e]
+    is {!Enc.reset}, [v] is written, and the bytes are returned. Hot loops
+    that serialize many messages (the broadcast machines) keep one encoder
+    per machine and reuse it for every message. *)
+val encode_into : Enc.t -> 'a t -> 'a -> string
 
 (** [decode c s] decodes a full message; any leftover bytes or malformed
     content yields [Error]. *)

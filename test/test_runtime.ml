@@ -414,6 +414,159 @@ let test_trace_fate_per_event () =
   Alcotest.check fate "L1 no channel" `No_channel (fate_of (Party_id.left 1));
   Alcotest.check fate "R1 omitted" `Omitted (fate_of (Party_id.right 1))
 
+(* The engine used to build each inbox by consing arrivals and re-sorting
+   with List.stable_sort every round; it now fills per-sender buckets and
+   concatenates them in dense roster order. This property test replays
+   random send schedules over random topologies and fault models and
+   checks every delivered inbox against the old sort-based algorithm,
+   computed independently from the same schedule. *)
+let test_bucket_order_matches_sort_reference () =
+  let topologies =
+    Topology.[ Fully_connected; Bipartite; One_sided ]
+  in
+  List.iter
+    (fun seed ->
+      let rng = Rng.make (7000 + (31 * seed)) in
+      let k = 1 + Rng.int rng 3 in
+      let n = 2 * k in
+      let topology = Rng.choose rng topologies in
+      let fault_salt = Rng.int rng 1000 in
+      let drop ~round ~src ~dst =
+        Hashtbl.hash (fault_salt, round, Party_id.to_dense ~k src, Party_id.to_dense ~k dst)
+        mod 4
+        = 0
+      in
+      let rounds = 3 + Rng.int rng 3 in
+      (* schedule.(sender).(r) = (dst, payload) list in send order; includes
+         self-sends and same-side sends so the topology paths fire. *)
+      let schedule =
+        Array.init n (fun s ->
+            let srng = Rng.make ((seed * 997) + s) in
+            Array.init rounds (fun r ->
+                List.init (Rng.int srng 4) (fun i ->
+                    let dst = Party_id.of_dense ~k (Rng.int srng n) in
+                    dst, Printf.sprintf "s%d-r%d-%d" s r i)))
+      in
+      (* observed.(receiver).(r) = inbox delivered for the sends of round r *)
+      let observed = Array.make_matrix n rounds [] in
+      let programs id (env : Engine.env) =
+        let me = Party_id.to_dense ~k id in
+        for r = 0 to rounds - 1 do
+          List.iter (fun (dst, m) -> env.Engine.send dst m) schedule.(me).(r);
+          let inbox = env.Engine.next_round () in
+          observed.(me).(r) <-
+            List.map (fun e -> e.Engine.src, e.Engine.data) inbox
+        done
+      in
+      let cfg =
+        Engine.config ~k ~link:(Engine.Of_topology topology)
+          ~faults:{ Engine.drop } ()
+      in
+      ignore (Engine.run cfg ~programs);
+      (* Reference: the pre-bucket algorithm — cons arrivals while iterating
+         senders in dense order, reverse, stable-sort by sender. *)
+      for r = 0 to rounds - 1 do
+        let arrivals = Array.make n [] in
+        for s = 0 to n - 1 do
+          let src = Party_id.of_dense ~k s in
+          List.iter
+            (fun (dst, m) ->
+              if
+                Topology.connected topology src dst
+                && not (drop ~round:r ~src ~dst)
+              then begin
+                let d = Party_id.to_dense ~k dst in
+                arrivals.(d) <- (src, m) :: arrivals.(d)
+              end)
+            schedule.(s).(r)
+        done;
+        for d = 0 to n - 1 do
+          let expected =
+            List.stable_sort
+              (fun (a, _) (b, _) -> Party_id.compare a b)
+              (List.rev arrivals.(d))
+          in
+          if expected <> observed.(d).(r) then
+            Alcotest.failf
+              "seed %d: receiver %s round %d: bucket order diverged from the \
+               sort reference"
+              seed
+              (Party_id.to_string (Party_id.of_dense ~k d))
+              r
+        done
+      done)
+    (Util.range 0 25)
+
+let test_trace_final_flush_round () =
+  (* A party that sends in its final round and returns without another
+     next_round: the post-loop flush must record those events with the
+     round they were sent in (= rounds_used), so trace rounds stay
+     monotone and bounded by rounds_used. *)
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.right 0) "r0";
+      ignore (env.Engine.next_round ());
+      env.Engine.send (Party_id.right 0) "final"
+    end
+    else ignore (env.Engine.next_round ())
+  in
+  let cfg =
+    Engine.config ~k:1 ~trace_limit:10
+      ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let rounds = List.map (fun e -> e.Engine.event_round) res.Engine.trace in
+  Alcotest.(check (list int)) "flushed event carries its send round" [ 0; 1 ] rounds;
+  Alcotest.(check int)
+    "last trace round = rounds_used" res.Engine.metrics.rounds_used
+    (List.fold_left max 0 rounds)
+
+let test_trace_rounds_monotone_at_cutoff () =
+  (* Out-of-rounds cutoff: every round 0..max_rounds sends, including the
+     partial final round flushed after the loop; trace rounds must be the
+     contiguous 0..rounds_used. *)
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      while true do
+        env.Engine.send (Party_id.right 0) "x";
+        ignore (env.Engine.next_round ())
+      done
+    else
+      while true do
+        ignore (env.Engine.next_round ())
+      done
+  in
+  let cfg =
+    Engine.config ~k:1 ~max_rounds:3 ~trace_limit:100
+      ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let rounds = List.map (fun e -> e.Engine.event_round) res.Engine.trace in
+  Alcotest.(check (list int)) "contiguous through the flush" [ 0; 1; 2; 3 ] rounds;
+  Alcotest.(check int) "rounds_used" 3 res.Engine.metrics.rounds_used
+
+let test_negative_index_dst_rejected () =
+  (* Party_id's constructors refuse negative indices, so a negative index
+     can only mean memory corruption or an engine bug; deliver must fail
+     loudly instead of indexing arrays with it. Forged via Obj.magic — the
+     only way to build one. *)
+  let evil : Party_id.t = Obj.magic (Side.Left, -3) in
+  Alcotest.(check int) "forged id has a negative index" (-3) (Party_id.index evil);
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then env.Engine.send evil "junk"
+  in
+  let cfg =
+    Engine.config ~k:1 ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  match Engine.run cfg ~programs with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "descriptive" true
+      (String.length msg > 0
+      && String.length msg >= 6
+      && String.sub msg 0 6 = "Engine")
+
 let test_find_result_out_of_roster () =
   let res = run ~k:1 (fun _ _ -> ()) in
   Alcotest.(check bool)
@@ -502,6 +655,10 @@ let () =
             test_inbox_sorted_by_sender;
           Alcotest.test_case "per-sender order preserved" `Quick
             test_per_sender_order_preserved;
+          Alcotest.test_case "bucket order matches sort reference" `Quick
+            test_bucket_order_matches_sort_reference;
+          Alcotest.test_case "negative-index destination rejected" `Quick
+            test_negative_index_dst_rejected;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "nested engines" `Quick test_nested_engines;
           Alcotest.test_case "find_result out of roster" `Quick
@@ -517,5 +674,9 @@ let () =
             test_trace_limit_keeps_first_events;
           Alcotest.test_case "fate attached to the right event" `Quick
             test_trace_fate_per_event;
+          Alcotest.test_case "final flush carries its send round" `Quick
+            test_trace_final_flush_round;
+          Alcotest.test_case "monotone through out-of-rounds cutoff" `Quick
+            test_trace_rounds_monotone_at_cutoff;
         ] );
     ]

@@ -59,6 +59,93 @@ let test_map_after_shutdown_raises () =
 let test_jobs_accessor () =
   Pool.with_pool ~jobs:2 (fun pool -> Alcotest.(check int) "jobs" 2 (Pool.jobs pool))
 
+(* --- chunked map stress -------------------------------------------------- *)
+
+let test_map_large_input_ordered () =
+  (* Many more items than chunks: ordering must survive the chunked
+     submission path. *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 500 Fun.id in
+      Alcotest.(check (list int))
+        "ordered" (List.map (fun i -> i * 7) xs)
+        (Pool.map pool (fun i -> i * 7) xs))
+
+let test_map_jobs_exceed_items () =
+  (* More lanes than work: chunks degenerate to single items and the idle
+     workers must neither deadlock nor duplicate. *)
+  Pool.with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check (list int))
+        "three items" [ 0; 2; 4 ]
+        (Pool.map pool (fun i -> 2 * i) [ 0; 1; 2 ]))
+
+exception Outer of string
+
+let nested_raise i =
+  (* An exception raised from within another exception's handler — the
+     rethrown one must be what map reports. *)
+  try failwith (string_of_int i) with Failure msg -> raise (Outer msg)
+
+let test_map_nested_exceptions () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      match
+        Pool.map pool
+          (fun i -> if i mod 4 = 3 then nested_raise i else i)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Outer"
+      | exception Outer msg ->
+        Alcotest.(check string) "lowest failing index, rethrown exception" "3" msg)
+
+let test_map_exceptions_jobs1 () =
+  (* The inline sequential path must have the same exception semantics as
+     the parallel one: all items still run, lowest index wins. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let ran = ref 0 in
+      (match
+         Pool.map pool
+           (fun i ->
+             incr ran;
+             if i >= 5 then failwith (string_of_int i))
+           (List.init 10 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest failing index" "5" msg);
+      Alcotest.(check int) "every item still ran" 10 !ran)
+
+let test_map_usable_after_failure () =
+  (* A failing map must not poison the pool: workers stay alive and the
+     next map succeeds. *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (match Pool.map pool (fun _ -> failwith "boom") [ 1; 2; 3 ] with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ());
+      Alcotest.(check (list int))
+        "pool still works" [ 2; 4; 6 ]
+        (Pool.map pool (fun i -> 2 * i) [ 1; 2; 3 ]))
+
+let test_default_jobs_clamped () =
+  (* BSM_JOBS beyond the recommended domain count is clamped (running more
+     domains than cores made every sweep slower); in-range values and the
+     malformed error path are unchanged. *)
+  let original = Sys.getenv_opt "BSM_JOBS" in
+  let recommended = Domain.recommended_domain_count () in
+  (* [Unix] has no unsetenv: restore an unset variable to a value with the
+     same meaning (the recommended count) rather than "" (malformed). *)
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "BSM_JOBS"
+        (Option.value original ~default:(string_of_int recommended)))
+    (fun () ->
+      Unix.putenv "BSM_JOBS" (string_of_int (recommended + 7));
+      Alcotest.(check int) "oversubscription clamped" recommended (Pool.default_jobs ());
+      Unix.putenv "BSM_JOBS" "1";
+      Alcotest.(check int) "in-range value kept" 1 (Pool.default_jobs ());
+      Unix.putenv "BSM_JOBS" "nope";
+      match Pool.default_jobs () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
 (* --- parallel sweeps are bit-identical to sequential -------------------- *)
 
 (* A report rendered to plain data: everything pp_report shows plus the
@@ -189,6 +276,16 @@ let () =
           Alcotest.test_case "map after shutdown raises" `Quick
             test_map_after_shutdown_raises;
           Alcotest.test_case "jobs accessor" `Quick test_jobs_accessor;
+          Alcotest.test_case "large input stays ordered" `Quick
+            test_map_large_input_ordered;
+          Alcotest.test_case "jobs exceed items" `Quick test_map_jobs_exceed_items;
+          Alcotest.test_case "nested exceptions" `Quick test_map_nested_exceptions;
+          Alcotest.test_case "exceptions on jobs=1 path" `Quick
+            test_map_exceptions_jobs1;
+          Alcotest.test_case "pool usable after failed map" `Quick
+            test_map_usable_after_failure;
+          Alcotest.test_case "BSM_JOBS oversubscription clamped" `Quick
+            test_default_jobs_clamped;
         ] );
       ( "determinism",
         [

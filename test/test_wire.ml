@@ -79,6 +79,44 @@ let test_canonical_encoding () =
   let codec = Wire.list (Wire.option (Wire.pair Wire.party_id Wire.string)) in
   Alcotest.(check string) "canonical" (Wire.encode codec v) (Wire.encode codec v)
 
+(* --- encoder reuse ---------------------------------------------------------- *)
+
+let test_encode_into_matches_encode () =
+  (* One caller-owned encoder reused across messages must produce the same
+     bytes as a fresh encode, and returned strings must stay intact when
+     the encoder is reused. *)
+  let codec = Wire.pair Wire.party_id Wire.string in
+  let enc = Wire.Enc.create () in
+  let values = [ Party_id.left 0, "alpha"; Party_id.right 7, ""; Party_id.left 3, "z" ] in
+  let reused = List.map (fun v -> Wire.encode_into enc codec v) values in
+  let fresh = List.map (fun v -> Wire.encode codec v) values in
+  List.iteri
+    (fun i (r, f) -> Alcotest.(check string) (Printf.sprintf "message %d" i) f r)
+    (List.combine reused fresh)
+
+let test_enc_reset_clears () =
+  let e = Wire.Enc.create () in
+  Wire.Enc.string e "junk to forget";
+  Wire.Enc.reset e;
+  Wire.Enc.uint e 5;
+  Alcotest.(check string) "only the post-reset bytes" (Wire.encode Wire.uint 5)
+    (Wire.Enc.to_string e)
+
+let test_nested_encode_safe () =
+  (* A codec whose [write] itself calls [encode] mid-write: the per-domain
+     scratch encoder must not be clobbered by the nested call. *)
+  let nested =
+    {
+      Wire.write = (fun e v -> Wire.Enc.string e (Wire.encode Wire.uint v));
+      read = (fun d -> Wire.decode_exn Wire.uint (Wire.Dec.string d));
+    }
+  in
+  List.iter
+    (fun n -> check_roundtrip "nested encode" nested Int.equal n)
+    [ 0; 127; 128; 1 lsl 20 ];
+  (* and the scratch path still works for plain encodes afterwards *)
+  check_roundtrip "plain encode after nested" Wire.uint Int.equal 300
+
 (* --- random fuzzing ---------------------------------------------------------- *)
 
 let nested_codec =
@@ -135,6 +173,13 @@ let () =
           Alcotest.test_case "unknown variant tag rejected" `Quick
             test_variant_unknown_tag_rejected;
           Alcotest.test_case "canonical encoding" `Quick test_canonical_encoding;
+        ] );
+      ( "encoder reuse",
+        [
+          Alcotest.test_case "encode_into matches encode" `Quick
+            test_encode_into_matches_encode;
+          Alcotest.test_case "reset clears" `Quick test_enc_reset_clears;
+          Alcotest.test_case "nested encode safe" `Quick test_nested_encode_safe;
         ] );
       ( "fuzz",
         [ qcheck prop_nested_roundtrip; qcheck prop_decoder_never_crashes_on_garbage ] );
