@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick smoke fmt ci clean
+.PHONY: all build test bench bench-quick chaos-quick smoke fmt ci clean
 
 all: build
 
@@ -18,6 +18,12 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
+# Chaos grid only (smallest k): fault schedules vs the bSM oracle.
+# Writes BENCH_chaos.quick.json and fails on any within-budget
+# violation. Deterministic in the chaos seeds.
+chaos-quick:
+	dune exec bench/main.exe -- --chaos-quick
+
 # Fast tier-1 exercise of the domain pool: one small parallel sweep,
 # asserted bit-identical to its sequential run.
 smoke:
@@ -33,7 +39,7 @@ fmt:
 	  echo "ocamlformat not found; skipping format check"; \
 	fi
 
-ci: build test bench-quick fmt
+ci: build test bench-quick chaos-quick fmt
 
 clean:
 	dune clean

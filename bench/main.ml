@@ -33,6 +33,7 @@ module Engine = Bsm_runtime.Engine
 module Pool = Bsm_runtime.Pool
 module Topology = Bsm_topology.Topology
 module Crypto = Bsm_crypto.Crypto
+module Chaos = Bsm_chaos
 
 let setting ~k ~topology ~auth ~tl ~tr =
   Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
@@ -581,6 +582,79 @@ let table_a4 ~pool () =
     tls;
   Table.print table
 
+(* ------------------------------------------------------------------ C1 -- *)
+
+(* The chaos grid: T-table settings × fault-schedule vocabulary, judged by
+   the bSM oracle. Within-budget cells must come back `ok` — a VIOLATION
+   is a protocol bug and fails the bench run (and hence `make ci`). The
+   JSON report is deterministic in the grid and chaos seeds (no
+   wall-clock), so the same seeds yield a bit-identical file. *)
+let table_chaos ~pool ~jobs () =
+  let cells, k_range =
+    if !quick then Chaos.Chaos_sweep.quick_grid (), "k=2"
+    else Chaos.Chaos_sweep.full_grid (), "k=2,4"
+  in
+  let outcomes =
+    sweep ~pool ~table:"C1 chaos grid" ~k_range
+      (fun c ->
+        {
+          Chaos.Chaos_sweep.cell = c;
+          oracle =
+            Chaos.Oracle.run ~seed:c.Chaos.Chaos_sweep.chaos_seed
+              ~schedule:c.Chaos.Chaos_sweep.schedule c.Chaos.Chaos_sweep.case;
+        })
+      cells
+  in
+  let table =
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "C1: chaos grid (%s) — fault schedules vs the bSM oracle; \
+            within-budget omissions must preserve all four honest-party \
+            properties (Thms 8-9), over-budget schedules degrade without \
+            crashing"
+           k_range)
+      ~header:[ "schedule"; "cells"; "ok"; "expected degradation"; "VIOLATIONS" ]
+  in
+  let schedules =
+    List.sort_uniq compare
+      (List.map
+         (fun (o : Chaos.Chaos_sweep.outcome) ->
+           Chaos.Schedule.describe o.Chaos.Chaos_sweep.cell.Chaos.Chaos_sweep.schedule)
+         outcomes)
+  in
+  List.iter
+    (fun sched ->
+      let mine =
+        List.filter
+          (fun (o : Chaos.Chaos_sweep.outcome) ->
+            String.equal sched
+              (Chaos.Schedule.describe
+                 o.Chaos.Chaos_sweep.cell.Chaos.Chaos_sweep.schedule))
+          outcomes
+      in
+      let s = Chaos.Chaos_sweep.summarize mine in
+      Table.add_row table
+        [
+          sched;
+          string_of_int s.Chaos.Chaos_sweep.cells;
+          string_of_int s.Chaos.Chaos_sweep.ok;
+          string_of_int s.Chaos.Chaos_sweep.degraded;
+          string_of_int s.Chaos.Chaos_sweep.violated;
+        ])
+    schedules;
+  Table.print table;
+  let total = Chaos.Chaos_sweep.summarize outcomes in
+  Format.printf "chaos summary: %a@." Chaos.Chaos_sweep.pp_summary total;
+  let json_path = if !quick then "BENCH_chaos.quick.json" else "BENCH_chaos.json" in
+  let oc = open_out json_path in
+  output_string oc (Chaos.Chaos_sweep.to_json ~jobs outcomes);
+  close_out oc;
+  Printf.printf "wrote %s (%d cells; deterministic in the chaos seeds)\n\n"
+    json_path total.Chaos.Chaos_sweep.cells;
+  if total.Chaos.Chaos_sweep.violated > 0 then
+    failwith "C1 chaos grid: within-budget bSM violations — protocol bug"
+
 (* ---------------------------------------------------- microbenchmarks -- *)
 
 open Bechamel
@@ -720,7 +794,8 @@ let jobs_from_argv () =
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
-  quick := Array.exists (String.equal "--quick") Sys.argv;
+  let chaos_only = Array.exists (String.equal "--chaos-quick") Sys.argv in
+  quick := chaos_only || Array.exists (String.equal "--quick") Sys.argv;
   let jobs =
     match jobs_from_argv () with
     | Some n -> n
@@ -733,23 +808,31 @@ let () =
     (if !quick then "; --quick: smallest k per table, no microbenchmarks" else "");
   print_newline ();
   Pool.with_pool ~jobs (fun pool ->
-      table_t1 ~pool ();
-      table_t2 ~pool ();
-      table_t3_gs ~pool ();
-      table_t3_protocols ~pool ();
-      table_t3_distributed_gs ~pool ();
-      table_a1 ~pool ();
-      table_a2 ~pool ();
-      table_a3 ~pool ();
-      table_a4 ~pool ());
+      if not chaos_only then begin
+        table_t1 ~pool ();
+        table_t2 ~pool ();
+        table_t3_gs ~pool ();
+        table_t3_protocols ~pool ();
+        table_t3_distributed_gs ~pool ();
+        table_a1 ~pool ();
+        table_a2 ~pool ();
+        table_a3 ~pool ();
+        table_a4 ~pool ()
+      end;
+      table_chaos ~pool ~jobs ());
   if not !quick then run_microbenchmarks ();
-  (* Quick runs exercise the JSON writer without clobbering the tracked
-     full-size numbers. *)
-  let json_path = if !quick then "BENCH_sweeps.quick.json" else "BENCH_sweeps.json" in
-  write_sweeps_json ~jobs json_path;
-  Printf.printf
-    "wrote %s (%d sweeps with GC deltas; every parallel sweep verified \
-     bit-identical to its sequential run)\n"
-    json_path
-    (List.length !sweep_records);
-  print_endline "done. See EXPERIMENTS.md for the paper-vs-measured discussion."
+  if chaos_only then print_endline "done (chaos grid only)."
+  else begin
+    (* Quick runs exercise the JSON writer without clobbering the tracked
+       full-size numbers. *)
+    let json_path =
+      if !quick then "BENCH_sweeps.quick.json" else "BENCH_sweeps.json"
+    in
+    write_sweeps_json ~jobs json_path;
+    Printf.printf
+      "wrote %s (%d sweeps with GC deltas; every parallel sweep verified \
+       bit-identical to its sequential run)\n"
+      json_path
+      (List.length !sweep_records);
+    print_endline "done. See EXPERIMENTS.md for the paper-vs-measured discussion."
+  end

@@ -4,6 +4,8 @@
      solvable    decide one setting (Theorems 2-7) and show the protocol plan
      matrix      the full solvability matrix for a given k (Table T1)
      run         execute a scenario with a random byzantine coalition
+                 (optionally under a fault schedule: --drop-rate, --crash)
+     chaos       the chaos grid: fault schedules vs the bSM oracle
      ssm         execute a simplified-stable-matching scenario
      attack      run an impossibility construction (Figures 2-4)
      topology    render the three communication models (Figure 1)
@@ -14,6 +16,7 @@ module SM = Bsm_stable_matching
 module Core = Bsm_core
 module H = Bsm_harness
 module A = Bsm_attacks
+module Chaos = Bsm_chaos
 module Topology = Bsm_topology.Topology
 open Cmdliner
 
@@ -142,8 +145,26 @@ let matrix_cmd =
 
 (* --- run --------------------------------------------------------------------- *)
 
+(* "L0@3" -> (L0, 3): crash party L0 from round 3 on. *)
+let crash_conv =
+  let parse s =
+    match String.index_opt s '@' with
+    | None -> Error (`Msg "expected PARTY@ROUND, e.g. L0@3")
+    | Some i -> (
+      let party = String.sub s 0 i in
+      let round = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt round with
+      | None -> Error (`Msg (Printf.sprintf "bad round %S" round))
+      | Some r when r < 0 -> Error (`Msg "negative crash round")
+      | Some r -> (
+        try Ok (Party_id.of_string party, r)
+        with Invalid_argument m -> Error (`Msg m)))
+  in
+  let print ppf (p, r) = Format.fprintf ppf "%a@@%d" Party_id.pp p r in
+  Arg.conv (parse, print)
+
 let run_cmd =
-  let run k topology auth tl tr seed verbose =
+  let run k topology auth tl tr seed verbose drop_rate crashes =
     let s = setting_of k topology auth tl tr in
     let rng = Rng.make seed in
     let profile = SM.Profile.random rng k in
@@ -151,7 +172,24 @@ let run_cmd =
     Format.printf "%a — %d byzantine parties: %s@." Core.Setting.pp s
       (List.length byzantine)
       (String.concat ", " (List.map (fun (p, _) -> Party_id.to_string p) byzantine));
-    let report = H.Scenario.run (H.Scenario.make_exn ~byzantine ~seed s profile) in
+    let schedule =
+      Chaos.Schedule.all
+        (Chaos.Schedule.bernoulli ~rate:drop_rate
+        :: List.map
+             (fun (p, at_round) -> Chaos.Schedule.crash p ~at_round)
+             crashes)
+    in
+    let faults =
+      if Chaos.Schedule.is_empty schedule then None
+      else begin
+        Format.printf "fault schedule: %a (chaos seed = run seed)@."
+          Chaos.Schedule.pp schedule;
+        Some (Chaos.Schedule.compile ~seed schedule)
+      end
+    in
+    let report =
+      H.Scenario.run ?faults (H.Scenario.make_exn ~byzantine ~seed s profile)
+    in
     if verbose then Format.printf "%a@." H.Scenario.pp_report report
     else begin
       Format.printf "plan: %s@." report.H.Scenario.plan.Core.Select.describe;
@@ -168,6 +206,14 @@ let run_cmd =
     Format.printf "cost: %d rounds, %d messages, %d bytes@."
       m.Bsm_runtime.Engine.rounds_used m.Bsm_runtime.Engine.messages_sent
       m.Bsm_runtime.Engine.bytes_sent;
+    Format.printf
+      "message fates: %d delivered, %d dropped by topology, %d dropped by faults@."
+      m.Bsm_runtime.Engine.messages_delivered
+      m.Bsm_runtime.Engine.messages_dropped_topology
+      m.Bsm_runtime.Engine.messages_dropped_fault;
+    List.iter
+      (fun (label, n) -> Format.printf "  %s: %d@." label n)
+      m.Bsm_runtime.Engine.messages_dropped_by_label;
     match report.H.Scenario.violations with
     | [] -> Format.printf "result: bSM achieved@."
     | vs ->
@@ -178,10 +224,85 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full report.")
   in
+  let drop_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop-rate" ]
+          ~doc:
+            "Drop every message independently with this probability (seeded by \
+             --seed; deterministic).")
+  in
+  let crashes =
+    Arg.(
+      value
+      & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"PARTY@ROUND"
+          ~doc:
+            "Crash $(docv) (e.g. L0@3): all its sends are dropped from that \
+             round on. Repeatable.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run one bSM execution with a random byzantine coalition at full budget.")
-    Term.(const run $ k_arg $ topology_arg $ auth_arg $ tl_arg $ tr_arg $ seed_arg $ verbose)
+    Term.(
+      const run $ k_arg $ topology_arg $ auth_arg $ tl_arg $ tr_arg $ seed_arg
+      $ verbose $ drop_rate $ crashes)
+
+(* --- chaos ------------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run full jobs =
+    let cells =
+      if full then Chaos.Chaos_sweep.full_grid ()
+      else Chaos.Chaos_sweep.quick_grid ()
+    in
+    let outcomes =
+      Bsm_runtime.Pool.with_pool ?jobs (fun pool ->
+          Chaos.Chaos_sweep.run_cells ~pool cells)
+    in
+    let table =
+      Table.make
+        ~title:
+          (Printf.sprintf
+             "chaos grid (%s): fault schedules vs the bSM oracle"
+             (if full then "full, k=2,4" else "quick, k=2"))
+        ~header:[ "case"; "schedule"; "seed"; "charged"; "verdict" ]
+    in
+    List.iter
+      (fun (o : Chaos.Chaos_sweep.outcome) ->
+        let c = o.Chaos.Chaos_sweep.cell in
+        let r = o.Chaos.Chaos_sweep.oracle in
+        Table.add_row table
+          [
+            c.Chaos.Chaos_sweep.case.H.Sweep.label;
+            Chaos.Schedule.describe c.Chaos.Chaos_sweep.schedule;
+            string_of_int c.Chaos.Chaos_sweep.chaos_seed;
+            Format.asprintf "%a" Party_set.pp r.Chaos.Oracle.charged;
+            Chaos.Oracle.verdict_to_string r.Chaos.Oracle.verdict;
+          ])
+      outcomes;
+    Table.print table;
+    let s = Chaos.Chaos_sweep.summarize outcomes in
+    Format.printf "%a@." Chaos.Chaos_sweep.pp_summary s;
+    if s.Chaos.Chaos_sweep.violated > 0 then exit 1
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Run the full grid (k = 2 and 4, three chaos seeds).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~doc:"Domains for the sweep (default: BSM_JOBS).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the chaos grid: T-table settings under deterministic fault \
+          schedules, judged by the bSM property oracle (Theorems 8-9).")
+    Term.(const run $ full $ jobs)
 
 (* --- attack ------------------------------------------------------------------ *)
 
@@ -489,6 +610,6 @@ let () =
   let info = Cmd.info "bsm" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [
-      solvable_cmd; matrix_cmd; run_cmd; ssm_cmd; attack_cmd; topology_cmd;
+      solvable_cmd; matrix_cmd; run_cmd; chaos_cmd; ssm_cmd; attack_cmd; topology_cmd;
       complexity_cmd; lattice_cmd; roommates_cmd; bsr_cmd; manipulate_cmd;
     ]))

@@ -1,0 +1,192 @@
+open Bsm_prelude
+module Core = Bsm_core
+module Engine = Bsm_runtime.Engine
+module Sweep = Bsm_harness.Sweep
+module Topology = Bsm_topology.Topology
+
+type cell = {
+  case : Sweep.case;
+  schedule : Schedule.t;
+  chaos_seed : int;
+}
+
+let cell ?(chaos_seed = 0) ~schedule case = { case; schedule; chaos_seed }
+
+let grid ~cases ~schedules ~seeds =
+  List.concat_map
+    (fun case ->
+      List.concat_map
+        (fun schedule ->
+          List.map (fun chaos_seed -> { case; schedule; chaos_seed }) seeds)
+        schedules)
+    cases
+
+type outcome = {
+  cell : cell;
+  oracle : Oracle.report;
+}
+
+let run_cells ?pool ?max_rounds cells =
+  Sweep.map ?pool
+    (fun c ->
+      {
+        cell = c;
+        oracle =
+          Oracle.run ?max_rounds ~seed:c.chaos_seed ~schedule:c.schedule c.case;
+      })
+    cells
+
+type summary = {
+  cells : int;
+  ok : int;
+  degraded : int;
+  violated : int;
+}
+
+let summarize outcomes =
+  let count v =
+    List.length (List.filter (fun o -> o.oracle.Oracle.verdict = v) outcomes)
+  in
+  {
+    cells = List.length outcomes;
+    ok = count Oracle.Ok;
+    degraded = count Oracle.Expected_degradation;
+    violated = count Oracle.Violation;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%d cells: %d ok, %d expected-degradation, %d VIOLATIONS"
+    s.cells s.ok s.degraded s.violated
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let set_to_string s =
+  "{" ^ String.concat "," (List.map Party_id.to_string (Party_set.elements s)) ^ "}"
+
+let to_json ~jobs outcomes =
+  let s = summarize outcomes in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": {\"cells\": %d, \"ok\": %d, \"expected_degradation\": %d, \
+        \"violation\": %d},\n"
+       s.cells s.ok s.degraded s.violated);
+  Buffer.add_string buf "  \"runs\": [\n";
+  let n = List.length outcomes in
+  List.iteri
+    (fun i o ->
+      let r = o.oracle in
+      let m = r.Oracle.metrics in
+      let by_label =
+        String.concat ", "
+          (List.map
+             (fun (l, c) -> Printf.sprintf "\"%s\": %d" (json_escape l) c)
+             m.Engine.messages_dropped_by_label)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"case\": \"%s\", \"schedule\": \"%s\", \"chaos_seed\": %d,\n\
+           \     \"verdict\": \"%s\", \"within_budget\": %b, \"charged\": \
+            \"%s\", \"corrupted\": \"%s\", \"violations\": %d,\n\
+           \     \"rounds\": %d, \"sent\": %d, \"delivered\": %d, \
+            \"dropped_topology\": %d, \"dropped_fault\": %d, \
+            \"dropped_by_label\": {%s}}%s\n"
+           (json_escape o.cell.case.Sweep.label)
+           (json_escape (Schedule.describe o.cell.schedule))
+           o.cell.chaos_seed
+           (json_escape (Oracle.verdict_to_string r.Oracle.verdict))
+           r.Oracle.within_budget
+           (json_escape (set_to_string r.Oracle.charged))
+           (json_escape (set_to_string r.Oracle.corrupted))
+           (List.length r.Oracle.violations)
+           m.Engine.rounds_used m.Engine.messages_sent m.Engine.messages_delivered
+           m.Engine.messages_dropped_topology m.Engine.messages_dropped_fault
+           by_label
+           (if i = n - 1 then "" else ",")))
+    outcomes;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+(* --- standard grids ------------------------------------------------------ *)
+
+let setting ~k ~topology ~auth ~tl ~tr =
+  Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
+
+(* One case per feasibility mechanism of the T-table, all with a spare
+   right-side budget (t_R = k) so that single-party omission schedules on
+   R0 stay admissible: Thm 2 (general phase king), Thm 5 (Dolev-Strong),
+   Thms 6/7 (both Π_bSM regimes with omission-tolerant Π_BA/Π_BB), plus a
+   full-budget random byzantine coalition on top of Thm 2. *)
+let t_cases ~k =
+  let third = max 0 ((k - 1) / 3) in
+  [
+    Sweep.case
+      ~profile_seed:((100 * k) + 1)
+      (setting ~k ~topology:Topology.Fully_connected
+         ~auth:Core.Setting.Unauthenticated ~tl:third ~tr:k);
+    Sweep.case
+      ~profile_seed:((100 * k) + 2)
+      (setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+         ~tl:k ~tr:k);
+    Sweep.case
+      ~profile_seed:((100 * k) + 3)
+      (setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+         ~tl:third ~tr:k);
+    Sweep.case
+      ~profile_seed:((100 * k) + 4)
+      (setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated
+         ~tl:third ~tr:k);
+    Sweep.case
+      ~profile_seed:((100 * k) + 5)
+      ~scenario_seed:k ~adversary:Sweep.Random_coalition
+      (setting ~k ~topology:Topology.Fully_connected
+         ~auth:Core.Setting.Unauthenticated ~tl:third ~tr:k);
+  ]
+
+(* The schedule vocabulary under test. The first five charge at most
+   {R0}, admissible in every t_cases setting; the last two are
+   unattributable (they charge the whole roster) and must come back as
+   expected degradation, never as a crash. *)
+let standard_schedules ~k =
+  let r0 = Party_id.right 0 in
+  let rest =
+    List.filter (fun p -> not (Party_id.equal p r0)) (Party_id.all ~k)
+  in
+  [
+    Schedule.never;
+    Schedule.send_omission ~rate:0.4 r0;
+    Schedule.receive_omission ~rate:0.4 r0;
+    Schedule.crash r0 ~at_round:1;
+    Schedule.partition ~from_round:1 ~until_round:4 [ r0 ] rest;
+    Schedule.bernoulli ~rate:0.15;
+    Schedule.union
+      (Schedule.blackout ~from_round:1 ~until_round:2)
+      (Schedule.restrict_to_side Side.Left (Schedule.bernoulli ~rate:0.1));
+  ]
+
+let quick_grid () =
+  let k = 2 in
+  grid ~cases:(t_cases ~k) ~schedules:(standard_schedules ~k) ~seeds:[ 1 ]
+
+let full_grid () =
+  List.concat_map
+    (fun k ->
+      grid ~cases:(t_cases ~k) ~schedules:(standard_schedules ~k)
+        ~seeds:[ 1; 2; 3 ])
+    [ 2; 4 ]

@@ -1,0 +1,62 @@
+(** Pool-parallel chaos sweeps: a [(case × schedule × seed)] grid of
+    oracle runs, with the same seq==par bit-identity guarantee as
+    {!Bsm_harness.Sweep} (each cell is pure given its seeds; results
+    compare structurally because {!Oracle.report} holds no closures).
+
+    [to_json] renders a deterministic report — no wall-clock inside —
+    so the same grid and seeds produce a bit-identical
+    [BENCH_chaos.json], replayable and diffable across machines. *)
+
+module Sweep := Bsm_harness.Sweep
+module Pool := Bsm_runtime.Pool
+
+type cell = {
+  case : Sweep.case;
+  schedule : Schedule.t;
+  chaos_seed : int;  (** seeds {!Schedule.compile} *)
+}
+
+val cell : ?chaos_seed:int -> schedule:Schedule.t -> Sweep.case -> cell
+
+(** [grid ~cases ~schedules ~seeds] — the full cross product, cases
+    outermost, seeds innermost. *)
+val grid :
+  cases:Sweep.case list ->
+  schedules:Schedule.t list ->
+  seeds:int list ->
+  cell list
+
+type outcome = {
+  cell : cell;
+  oracle : Oracle.report;
+}
+
+(** [run_cells ?pool cells] — every cell through {!Oracle.run}, in input
+    order; parallel across the pool's domains when [pool] is given. *)
+val run_cells : ?pool:Pool.t -> ?max_rounds:int -> cell list -> outcome list
+
+type summary = {
+  cells : int;
+  ok : int;
+  degraded : int;
+  violated : int;
+}
+
+val summarize : outcome list -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Deterministic JSON report (summary + one row per cell with verdict,
+    budget attribution and per-fate message counts). [jobs] is recorded
+    for provenance only. *)
+val to_json : jobs:int -> outcome list -> string
+
+(** The standard grids the bench, CLI and CI share: T-table settings
+    (Theorems 2, 5, 6, 7 — including both Π_bSM regimes) × the schedule
+    vocabulary (within-budget send/receive-omission, crash and partition
+    of R0, plus over-budget bernoulli drops and a blackout burst).
+    [quick_grid] is the smallest-k instance (a few seconds end-to-end,
+    wired into [make chaos-quick] / CI); [full_grid] adds k = 4 and two
+    more chaos seeds. *)
+val quick_grid : unit -> cell list
+
+val full_grid : unit -> cell list

@@ -1,0 +1,88 @@
+open Bsm_prelude
+module Core = Bsm_core
+module Engine = Bsm_runtime.Engine
+module H = Bsm_harness
+
+type verdict =
+  | Ok
+  | Expected_degradation
+  | Violation
+
+let verdict_to_string = function
+  | Ok -> "ok"
+  | Expected_degradation -> "expected-degradation"
+  | Violation -> "VIOLATION"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
+
+type report = {
+  verdict : verdict;
+  within_budget : bool;
+  charged : Party_set.t;
+  corrupted : Party_set.t;
+  violations : Core.Problem.violation list;
+  metrics : Engine.metrics;
+}
+
+let run ?max_rounds ~seed ~schedule (case : H.Sweep.case) =
+  let setting = case.H.Sweep.setting in
+  let scenario = H.Sweep.scenario_of_case case in
+  let faults = Schedule.compile ~seed schedule in
+  let sr = H.Scenario.run ?max_rounds ~faults scenario in
+  let charged = Schedule.charged ~k:setting.Core.Setting.k schedule in
+  let byzantine = sr.H.Scenario.outcome.Core.Problem.byzantine in
+  let corrupted = Party_set.union byzantine charged in
+  let within_budget =
+    Party_set.count_side Side.Left corrupted <= setting.Core.Setting.t_left
+    && Party_set.count_side Side.Right corrupted <= setting.Core.Setting.t_right
+  in
+  (* Re-judge the outcome with the charged parties moved into the corrupt
+     set: the properties are promised to parties that are neither
+     byzantine nor omission-faulty. *)
+  let outcome =
+    let open Core.Problem in
+    {
+      sr.H.Scenario.outcome with
+      byzantine = corrupted;
+      decisions =
+        List.filter
+          (fun (p, _) -> not (Party_set.mem p corrupted))
+          sr.H.Scenario.outcome.decisions;
+    }
+  in
+  let violations = Core.Problem.check outcome in
+  let verdict =
+    if not within_budget then Expected_degradation
+    else if violations = [] then Ok
+    else Violation
+  in
+  {
+    verdict;
+    within_budget;
+    charged;
+    corrupted;
+    violations;
+    metrics = sr.H.Scenario.metrics;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>verdict: %a (%s budget)@,charged: %a@,corrupted: %a@,\
+     messages: %d sent, %d delivered, %d topology-dropped, %d omitted@,"
+    pp_verdict r.verdict
+    (if r.within_budget then "within" else "over")
+    Party_set.pp r.charged Party_set.pp r.corrupted r.metrics.Engine.messages_sent
+    r.metrics.Engine.messages_delivered r.metrics.Engine.messages_dropped_topology
+    r.metrics.Engine.messages_dropped_fault;
+  (match r.metrics.Engine.messages_dropped_by_label with
+  | [] -> ()
+  | by_label ->
+    Format.fprintf ppf "omitted by component: @[<v>%a@]@,"
+      (Format.pp_print_list (fun ppf (l, n) -> Format.fprintf ppf "%s: %d" l n))
+      by_label);
+  match r.violations with
+  | [] -> Format.fprintf ppf "honest-party properties: all hold@]"
+  | vs ->
+    Format.fprintf ppf "honest-party violations:@,%a@]"
+      (Format.pp_print_list Core.Problem.pp_violation)
+      vs

@@ -1,0 +1,239 @@
+open Bsm_prelude
+module Engine = Bsm_runtime.Engine
+
+type atom =
+  | Bernoulli of float
+  | Crash of Party_id.t  (** window start is the crash round *)
+  | Send_omission of Party_id.t * float
+  | Receive_omission of Party_id.t * float
+  | Partition of Party_set.t * Party_set.t
+  | Blackout
+
+type t =
+  | Never
+  | Atom of {
+      atom : atom;
+      lo : int;
+      hi : int;  (** exclusive; [max_int] = unbounded *)
+    }
+  | Union of t * t
+  | During of int * int * t
+  | Restrict of Side.t * t
+
+let check_rate what rate =
+  if not (rate >= 0. && rate <= 1.) then
+    invalid_arg (Printf.sprintf "Schedule.%s: rate %g not in [0, 1]" what rate)
+
+let check_window what from_round until_round =
+  if from_round < 0 || until_round < from_round then
+    invalid_arg
+      (Printf.sprintf "Schedule.%s: bad round window [%d, %d)" what from_round
+         until_round)
+
+let never = Never
+let unbounded atom = Atom { atom; lo = 0; hi = max_int }
+
+let bernoulli ~rate =
+  check_rate "bernoulli" rate;
+  if rate = 0. then Never else unbounded (Bernoulli rate)
+
+let crash p ~at_round =
+  if at_round < 0 then invalid_arg "Schedule.crash: negative round";
+  Atom { atom = Crash p; lo = at_round; hi = max_int }
+
+let send_omission ~rate p =
+  check_rate "send_omission" rate;
+  if rate = 0. then Never else unbounded (Send_omission (p, rate))
+
+let receive_omission ~rate p =
+  check_rate "receive_omission" rate;
+  if rate = 0. then Never else unbounded (Receive_omission (p, rate))
+
+let partition ~from_round ~until_round a b =
+  check_window "partition" from_round until_round;
+  let a = Party_set.of_list a and b = Party_set.of_list b in
+  if Party_set.is_empty a || Party_set.is_empty b then Never
+  else Atom { atom = Partition (a, b); lo = from_round; hi = until_round }
+
+let blackout ~from_round ~until_round =
+  check_window "blackout" from_round until_round;
+  Atom { atom = Blackout; lo = from_round; hi = until_round }
+
+let union a b =
+  match a, b with
+  | Never, s | s, Never -> s
+  | a, b -> Union (a, b)
+
+let all ts = List.fold_left union Never ts
+
+let during ~from_round ~until_round s =
+  check_window "during" from_round until_round;
+  match s with
+  | Never -> Never
+  | s -> During (from_round, until_round, s)
+
+let restrict_to_side side s =
+  match s with
+  | Never -> Never
+  | s -> Restrict (side, s)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let pct rate = Printf.sprintf "%g%%" (100. *. rate)
+
+let set_to_string s =
+  "{" ^ String.concat "," (List.map Party_id.to_string (Party_set.elements s)) ^ "}"
+
+let window_to_string lo hi =
+  if lo = 0 && hi = max_int then ""
+  else if hi = max_int then Printf.sprintf ",r%d.." lo
+  else Printf.sprintf ",r%d..%d" lo (hi - 1)
+
+let atom_label atom lo hi =
+  match atom with
+  | Bernoulli rate -> Printf.sprintf "drop(%s%s)" (pct rate) (window_to_string lo hi)
+  | Crash p -> Printf.sprintf "crash(%s@%d)" (Party_id.to_string p) lo
+  | Send_omission (p, rate) ->
+    Printf.sprintf "send-omit(%s,%s%s)" (Party_id.to_string p) (pct rate)
+      (window_to_string lo hi)
+  | Receive_omission (p, rate) ->
+    Printf.sprintf "recv-omit(%s,%s%s)" (Party_id.to_string p) (pct rate)
+      (window_to_string lo hi)
+  | Partition (a, b) ->
+    Printf.sprintf "partition(%s|%s%s)" (set_to_string a) (set_to_string b)
+      (window_to_string lo hi)
+  | Blackout -> (
+    match window_to_string lo hi with
+    | "" -> "blackout(all)"
+    | w -> Printf.sprintf "blackout(%s)" (String.sub w 1 (String.length w - 1)))
+
+(* --- compilation --------------------------------------------------------- *)
+
+(* A schedule flattens to atoms with their effective window, sender-side
+   restriction, and a salt (pre-order position) that decorrelates the
+   probabilistic components. *)
+type flat = {
+  f_label : string;
+  f_salt : int;
+  f_lo : int;
+  f_hi : int;
+  f_side : Side.t option;
+  f_atom : atom;
+}
+
+let flatten t =
+  let next_salt = ref 0 in
+  let rec go lo hi side acc = function
+    | Never -> acc
+    | Atom { atom; lo = alo; hi = ahi } ->
+      let salt = !next_salt in
+      incr next_salt;
+      let lo = max lo alo and hi = min hi ahi in
+      if lo >= hi then acc
+      else
+        { f_label = atom_label atom lo hi; f_salt = salt; f_lo = lo; f_hi = hi;
+          f_side = side; f_atom = atom }
+        :: acc
+    | Union (a, b) -> go lo hi side (go lo hi side acc a) b
+    | During (dlo, dhi, s) -> go (max lo dlo) (min hi dhi) side acc s
+    | Restrict (s', s) ->
+      let side =
+        match side with
+        | None -> Some s'
+        | Some existing -> if Side.equal existing s' then side else
+            (* contradictory restrictions: nothing can match *)
+            None
+      in
+      (match side, s with
+      | None, _ -> acc (* contradictory; prune the subtree *)
+      | Some _, s -> go lo hi side acc s)
+  in
+  List.rev (go 0 max_int None [] t)
+
+let is_empty t = flatten t = []
+
+let describe t =
+  match flatten t with
+  | [] -> "none"
+  | flats ->
+    String.concat " + "
+      (List.map
+         (fun f ->
+           match f.f_side with
+           | None -> f.f_label
+           | Some s -> Printf.sprintf "%s-sends:%s" (Side.to_string s) f.f_label)
+         flats)
+
+let pp ppf t = Format.pp_print_string ppf (describe t)
+
+let party_key p =
+  (2 * Party_id.index p)
+  + (match Party_id.side p with Side.Left -> 0 | Side.Right -> 1)
+
+(* The stateless coin: uniform in [0,1) from (seed, salt, round, src, dst). *)
+let chance ~seed ~salt ~round ~src ~dst rate =
+  let h = Rng.mix64 (Int64.of_int seed) in
+  let h = Rng.mix64_absorb h salt in
+  let h = Rng.mix64_absorb h round in
+  let h = Rng.mix64_absorb h (party_key src) in
+  let h = Rng.mix64_absorb h (party_key dst) in
+  Rng.uniform_of_hash h < rate
+
+let hits ~seed f ~round ~src ~dst =
+  round >= f.f_lo
+  && round < f.f_hi
+  && (match f.f_side with
+     | None -> true
+     | Some s -> Side.equal (Party_id.side src) s)
+  &&
+  match f.f_atom with
+  | Bernoulli rate -> chance ~seed ~salt:f.f_salt ~round ~src ~dst rate
+  | Crash p -> Party_id.equal src p
+  | Send_omission (p, rate) ->
+    Party_id.equal src p && chance ~seed ~salt:f.f_salt ~round ~src ~dst rate
+  | Receive_omission (p, rate) ->
+    Party_id.equal dst p && chance ~seed ~salt:f.f_salt ~round ~src ~dst rate
+  | Partition (a, b) ->
+    (Party_set.mem src a && Party_set.mem dst b)
+    || (Party_set.mem src b && Party_set.mem dst a)
+  | Blackout -> true
+
+let compile ~seed t =
+  let flats = flatten t in
+  let drop ~round ~src ~dst =
+    List.exists (fun f -> hits ~seed f ~round ~src ~dst) flats
+  in
+  let label ~round ~src ~dst =
+    List.find_map
+      (fun f -> if hits ~seed f ~round ~src ~dst then Some f.f_label else None)
+      flats
+  in
+  Engine.fault_model ~label drop
+
+(* --- budget attribution -------------------------------------------------- *)
+
+let charged ~k t =
+  let side_roster side_opt =
+    match side_opt with
+    | None -> Party_set.full ~k
+    | Some s -> Party_set.of_list (Party_id.side_members s ~k)
+  in
+  let one side_opt p =
+    (* A party-specific sender atom filtered to the other side never
+       fires; don't charge it. *)
+    match side_opt with
+    | Some s when not (Side.equal (Party_id.side p) s) -> Party_set.empty
+    | _ -> Party_set.singleton p
+  in
+  List.fold_left
+    (fun acc f ->
+      let c =
+        match f.f_atom with
+        | Bernoulli _ | Blackout -> side_roster f.f_side
+        | Crash p | Send_omission (p, _) -> one f.f_side p
+        | Receive_omission (p, _) -> Party_set.singleton p
+        | Partition (a, b) ->
+          if Party_set.cardinal b < Party_set.cardinal a then b else a
+      in
+      Party_set.union acc c)
+    Party_set.empty (flatten t)

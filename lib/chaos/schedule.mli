@@ -1,0 +1,102 @@
+(** Composable, deterministic fault schedules.
+
+    A schedule is a declarative description of which messages the network
+    omits: the corruption classes of Theorems 8–9 (send-omission,
+    receive-omission), crashes, random per-link drops, partitions and
+    blackouts, closed under {!union}, {!during} and {!restrict_to_side}.
+
+    {b Seed/replay contract.} A schedule carries no state. {!compile}
+    turns it into an {!Bsm_runtime.Engine.fault_model} whose every
+    decision is a pure function of [(seed, component, round, src, dst)]
+    via a stateless splitmix64 hash ({!Bsm_prelude.Rng.mix64}) — no
+    mutable RNG anywhere. Consequently a compiled schedule is domain-safe
+    under {!Bsm_runtime.Pool} (parallel chaos sweeps are bit-identical to
+    sequential ones) and any run is replayable from [(schedule, seed)]
+    alone. Each probabilistic component mixes its own salt (its pre-order
+    position in the schedule term), so two components with the same rate
+    make independent decisions.
+
+    Round windows are half-open: [from_round] inclusive, [until_round]
+    exclusive. Rounds are engine rounds, starting at 0 (a message sent in
+    round [r] is consulted with [~round:r]). *)
+
+open Bsm_prelude
+module Engine := Bsm_runtime.Engine
+
+type t
+
+(** The empty schedule: drops nothing. *)
+val never : t
+
+(** [bernoulli ~rate] drops each message on each existing link
+    independently with probability [rate]. Raises [Invalid_argument]
+    unless [0 <= rate <= 1]. *)
+val bernoulli : rate:float -> t
+
+(** [crash p ~at_round] — from round [at_round] on, every message [p]
+    sends is omitted (the party keeps running; the network just stops
+    carrying its traffic — a crash as the rest of the system sees it). *)
+val crash : Party_id.t -> at_round:int -> t
+
+(** [send_omission ~rate p] — each message {e sent by} [p] is omitted
+    with probability [rate] (the send-omission corruption class of
+    Theorem 8). *)
+val send_omission : rate:float -> Party_id.t -> t
+
+(** [receive_omission ~rate p] — each message {e addressed to} [p] is
+    omitted with probability [rate] (the receive-omission corruption
+    class of Theorem 9). *)
+val receive_omission : rate:float -> Party_id.t -> t
+
+(** [partition ~from_round ~until_round a b] cuts every link between the
+    party sets [a] and [b] (both directions) during the window. Parties
+    appearing in both sets are effectively isolated from both. *)
+val partition :
+  from_round:int -> until_round:int -> Party_id.t list -> Party_id.t list -> t
+
+(** [blackout ~from_round ~until_round] — a burst outage: every message
+    on every link in the window is omitted. *)
+val blackout : from_round:int -> until_round:int -> t
+
+(** [union a b] drops a message iff [a] or [b] drops it. *)
+val union : t -> t -> t
+
+(** [all ts] is the n-ary {!union}. *)
+val all : t list -> t
+
+(** [during ~from_round ~until_round s] restricts [s] to the window
+    (intersected with any window [s] already carries). *)
+val during : from_round:int -> until_round:int -> t -> t
+
+(** [restrict_to_side side s] keeps only the drops of [s] whose {e
+    sender} is on [side]. *)
+val restrict_to_side : Side.t -> t -> t
+
+(** [is_empty s] — can [s] never drop anything (empty windows and
+    zero rates prune away)? *)
+val is_empty : t -> bool
+
+(** One-line rendering of the schedule ("crash(R0@1) + drop(15%)");
+    used as default labels in reports and BENCH_chaos.json. *)
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [compile ~seed s] — the pure fault model described above. Its
+    [drop_label] attributes each omission to the component that fired
+    (first match in pre-order), so engine traces and
+    [messages_dropped_by_label] name the schedule component responsible
+    for every omitted message. *)
+val compile : seed:int -> t -> Engine.fault_model
+
+(** [charged ~k s] — the parties whose omission-corruption accounts for
+    every drop [s] can produce: crashed / send-omission parties,
+    receive-omission parties, and the smaller block of each partition.
+    Unattributable components (positive-rate {!bernoulli}, {!blackout})
+    charge the whole roster — any corruption budget is blown, which is
+    exactly how the oracle classifies them. The oracle compares
+    [charged ∪ byzantine] against the setting's [(t_L, t_R)] budgets:
+    within budget, omission-faulty parties are a special case of
+    byzantine ones, so the honest-party guarantees of Theorems 8–9 must
+    survive. *)
+val charged : k:int -> t -> Party_set.t

@@ -38,7 +38,7 @@ type report = {
 
 let byzantine_set t = Party_set.of_list (List.map fst t.byzantine)
 
-let execute ?(max_rounds = 2000) t ~honest_program =
+let execute ?(max_rounds = 2000) ?faults t ~honest_program =
   let setting = t.setting in
   let k = setting.Core.Setting.k in
   let byz = byzantine_set t in
@@ -48,7 +48,7 @@ let execute ?(max_rounds = 2000) t ~honest_program =
     | None -> honest_program p
   in
   let cfg =
-    Engine.config ~max_rounds ~k
+    Engine.config ~max_rounds ?faults ~k
       ~link:(Engine.Of_topology setting.Core.Setting.topology) ()
   in
   let res = Engine.run cfg ~programs in
@@ -75,23 +75,23 @@ let execute ?(max_rounds = 2000) t ~honest_program =
   in
   outcome, res.Engine.metrics
 
-let run ?max_rounds t =
+let run ?max_rounds ?faults t =
   let plan = Core.Select.plan_exn t.setting in
   let pki = Crypto.Pki.setup ~k:t.setting.Core.Setting.k ~seed:t.seed in
   let honest_program p =
     plan.Core.Select.program ~pki ~input:(SM.Profile.prefs t.profile p) ~self:p
   in
-  let outcome, metrics = execute ?max_rounds t ~honest_program in
+  let outcome, metrics = execute ?max_rounds ?faults t ~honest_program in
   { outcome; violations = Core.Problem.check outcome; metrics; plan }
 
-let run_ssm ?max_rounds ~favorites t =
+let run_ssm ?max_rounds ?faults ~favorites t =
   let plan = Core.Select.plan_exn t.setting in
   let k = t.setting.Core.Setting.k in
   let pki = Crypto.Pki.setup ~k ~seed:t.seed in
   let honest_program p = Core.Ssm.program plan ~pki ~favorite:(favorites p) ~self:p in
   (* For evaluation, the true profile is the reduction's constructed one. *)
   let t = { t with profile = Core.Ssm.favorites_to_profile ~k favorites } in
-  let outcome, metrics = execute ?max_rounds t ~honest_program in
+  let outcome, metrics = execute ?max_rounds ?faults t ~honest_program in
   {
     outcome;
     violations = Core.Problem.check_simplified ~favorites outcome;

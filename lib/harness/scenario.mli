@@ -43,14 +43,20 @@ type report = {
 
 (** [run scenario] — selects the protocol (raising [Invalid_argument] when
     the setting is impossible), executes it, and checks all four bSM
-    properties. *)
-val run : ?max_rounds:int -> t -> report
+    properties. [faults] injects engine-level omissions on top of the
+    byzantine coalition (the chaos subsystem compiles its fault schedules
+    into this; see {!Bsm_chaos.Schedule}). *)
+val run : ?max_rounds:int -> ?faults:Engine.fault_model -> t -> report
 
 (** [run_ssm ~favorites scenario] — the sSM variant: inputs are single
     favorites (the profile is derived via the Lemma 2 reduction) and the
     evaluation uses simplified stability. *)
 val run_ssm :
-  ?max_rounds:int -> favorites:(Party_id.t -> Party_id.t) -> t -> report
+  ?max_rounds:int ->
+  ?faults:Engine.fault_model ->
+  favorites:(Party_id.t -> Party_id.t) ->
+  t ->
+  report
 
 (** [run_all ?pool scenarios] runs every scenario, in input order —
     sequentially without [pool], across the pool's domains with it.

@@ -29,3 +29,23 @@ let choose t = function
 let sample t m xs =
   if m > List.length xs then invalid_arg "Rng.sample: not enough elements";
   Util.take m (shuffle t xs)
+
+(* --- stateless mixing --------------------------------------------------- *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix64_absorb h x =
+  mix64 (Int64.logxor h (Int64.add (Int64.of_int x) golden_gamma))
+
+let uniform_of_hash h =
+  (* Top 53 bits, the double-precision mantissa width. *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53

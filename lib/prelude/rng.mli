@@ -31,3 +31,24 @@ val choose : t -> 'a list -> 'a
 (** [sample t m xs] picks [m] distinct elements uniformly (in random
     order). Raises [Invalid_argument] if [m > List.length xs]. *)
 val sample : t -> int -> 'a list -> 'a list
+
+(** {2 Stateless mixing}
+
+    A keyed 64-bit hash for components that need randomness {e without}
+    a mutable generator: the output is a pure function of the inputs, so
+    it is domain-safe under parallel sweeps and bit-replayable from the
+    key alone. The chaos fault schedules hash [(seed, round, src, dst)]
+    through these to decide each drop. *)
+
+(** [mix64 z] is the splitmix64 finalizer: a bijective avalanche mixer
+    (every input bit flips each output bit with probability ~1/2). *)
+val mix64 : int64 -> int64
+
+(** [mix64_absorb h x] folds the integer [x] into the hash state [h];
+    chain absorptions to hash a tuple, starting from [mix64 (of_int
+    seed)] or any other state. *)
+val mix64_absorb : int64 -> int -> int64
+
+(** [uniform_of_hash h] maps a hash to a float in [0, 1), using the top
+    53 bits of [h]. *)
+val uniform_of_hash : int64 -> float

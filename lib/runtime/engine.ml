@@ -32,9 +32,14 @@ type link =
   | Of_topology of Topology.t
   | Custom of (Party_id.t -> Party_id.t -> bool)
 
-type fault_model = { drop : round:int -> src:Party_id.t -> dst:Party_id.t -> bool }
+type fault_model = {
+  drop : round:int -> src:Party_id.t -> dst:Party_id.t -> bool;
+  drop_label : round:int -> src:Party_id.t -> dst:Party_id.t -> string option;
+}
 
-let no_faults = { drop = (fun ~round:_ ~src:_ ~dst:_ -> false) }
+let no_label ~round:_ ~src:_ ~dst:_ = None
+let fault_model ?(label = no_label) drop = { drop; drop_label = label }
+let no_faults = fault_model (fun ~round:_ ~src:_ ~dst:_ -> false)
 
 type event = {
   event_round : int;
@@ -42,6 +47,7 @@ type event = {
   event_dst : Party_id.t;
   event_bytes : int;
   event_fate : [ `Delivered | `No_channel | `Omitted ];
+  event_label : string option;
 }
 
 let pp_event ppf e =
@@ -51,8 +57,11 @@ let pp_event ppf e =
     | `No_channel -> "no-channel"
     | `Omitted -> "omitted"
   in
-  Format.fprintf ppf "r%d %a -> %a (%dB, %s)" e.event_round Party_id.pp e.event_src
+  Format.fprintf ppf "r%d %a -> %a (%dB, %s%s)" e.event_round Party_id.pp e.event_src
     Party_id.pp e.event_dst e.event_bytes fate
+    (match e.event_label with
+    | None -> ""
+    | Some l -> ": " ^ l)
 
 type config = {
   k : int;
@@ -83,6 +92,7 @@ type metrics = {
   messages_delivered : int;
   messages_dropped_topology : int;
   messages_dropped_fault : int;
+  messages_dropped_by_label : (string * int) list;
   bytes_sent : int;
 }
 
@@ -198,13 +208,21 @@ let run cfg ~programs =
           event_dst = Party_id.left 0;
           event_bytes = 0;
           event_fate = `Delivered;
+          event_label = None;
         }
   in
   let trace_count = ref 0 in
-  let record event_src event_dst event_bytes event_fate =
+  let record ?(label = None) event_src event_dst event_bytes event_fate =
     if !trace_count < cfg.trace_limit then begin
       trace_buf.(!trace_count) <-
-        { event_round = !round; event_src; event_dst; event_bytes; event_fate };
+        {
+          event_round = !round;
+          event_src;
+          event_dst;
+          event_bytes;
+          event_fate;
+          event_label = label;
+        };
       incr trace_count
     end
   in
@@ -212,6 +230,14 @@ let run cfg ~programs =
   let messages_delivered = ref 0 in
   let dropped_topology = ref 0 in
   let dropped_fault = ref 0 in
+  (* Per-label omission counts; a handful of schedule components at most,
+     so an assoc list beats a hash table. *)
+  let dropped_by_label : (string * int ref) list ref = ref [] in
+  let count_label l =
+    match List.assoc_opt l !dropped_by_label with
+    | Some r -> incr r
+    | None -> dropped_by_label := (l, ref 1) :: !dropped_by_label
+  in
   let bytes_sent = ref 0 in
 
   (* Runs [f ()] as [cell]'s fiber until it blocks on [Next_round],
@@ -299,7 +325,11 @@ let run cfg ~programs =
             end
             else if cfg.faults.drop ~round:!round ~src ~dst then begin
               incr dropped_fault;
-              record src dst len `Omitted
+              let label = cfg.faults.drop_label ~round:!round ~src ~dst in
+              (match label with
+              | Some l -> count_label l
+              | None -> ());
+              record ~label src dst len `Omitted
             end
             else begin
               incr messages_delivered;
@@ -398,6 +428,10 @@ let run cfg ~programs =
         messages_delivered = !messages_delivered;
         messages_dropped_topology = !dropped_topology;
         messages_dropped_fault = !dropped_fault;
+        messages_dropped_by_label =
+          List.sort
+            (fun (a, _) (b, _) -> String.compare a b)
+            (List.map (fun (l, r) -> l, !r) !dropped_by_label);
         bytes_sent = !bytes_sent;
       };
   }

@@ -75,9 +75,25 @@ type link =
 
 type fault_model = {
   drop : round:int -> src:Party_id.t -> dst:Party_id.t -> bool;
-      (** [drop] is consulted for every message on an existing channel;
-          [true] omits it. Models the omission failures of Section 5.2. *)
+      (** [drop] is consulted for every message on an {e existing}
+          channel; [true] omits it. Models the omission failures of
+          Section 5.2. Precedence is fixed: a message sent along a
+          non-existent channel is a topology drop and the fault model is
+          never consulted for it, so every message counts against
+          exactly one of [messages_dropped_topology] /
+          [messages_dropped_fault] (topology wins). *)
+  drop_label : round:int -> src:Party_id.t -> dst:Party_id.t -> string option;
+      (** consulted only after [drop] returned [true]; attributes the
+          omission to a fault-schedule component. The label lands on the
+          trace event and in [messages_dropped_by_label]. Must be pure
+          (runs may execute on any domain). *)
 }
+
+(** [fault_model ?label drop] — [label] defaults to no attribution. *)
+val fault_model :
+  ?label:(round:int -> src:Party_id.t -> dst:Party_id.t -> string option) ->
+  (round:int -> src:Party_id.t -> dst:Party_id.t -> bool) ->
+  fault_model
 
 val no_faults : fault_model
 
@@ -88,6 +104,8 @@ type event = {
   event_dst : Party_id.t;
   event_bytes : int;
   event_fate : [ `Delivered | `No_channel | `Omitted ];
+  event_label : string option;
+      (** fault-model attribution; only ever [Some] on [`Omitted] *)
 }
 
 val pp_event : Format.formatter -> event -> unit
@@ -127,6 +145,11 @@ type metrics = {
   messages_delivered : int;
   messages_dropped_topology : int;  (** sent along non-existent channels *)
   messages_dropped_fault : int;  (** omitted by the fault model *)
+  messages_dropped_by_label : (string * int) list;
+      (** fault omissions broken down by [drop_label] attribution,
+          sorted by label; unlabelled omissions are not listed, so the
+          counts sum to at most [messages_dropped_fault]. Empty when the
+          fault model never labels. *)
   bytes_sent : int;
       (** payload bytes of {e delivered} messages — the communication the
           network actually carried. Messages dropped by the topology or

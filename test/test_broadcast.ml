@@ -311,10 +311,7 @@ let test_pi_ba_weak_agreement_under_omissions () =
   for seed = 1 to 60 do
     let rng = Rng.make seed in
     let faults =
-      {
-        Engine.drop =
-          (fun ~round:_ ~src:_ ~dst:_ -> Rng.int rng 100 < 40);
-      }
+      Engine.fault_model (fun ~round:_ ~src:_ ~dst:_ -> Rng.int rng 100 < 40)
     in
     let res =
       run_protocol ~k ~faults

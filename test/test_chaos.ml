@@ -1,0 +1,359 @@
+(* Tests for the chaos subsystem: schedule compilation (determinism,
+   windows, side restriction, budget attribution), the bSM property
+   oracle's classification across the T-table settings, and the
+   pool-parallel chaos sweep's bit-identity and JSON determinism. *)
+
+open Bsm_prelude
+module Core = Bsm_core
+module Engine = Bsm_runtime.Engine
+module Pool = Bsm_runtime.Pool
+module H = Bsm_harness
+module Topology = Bsm_topology.Topology
+module Schedule = Bsm_chaos.Schedule
+module Oracle = Bsm_chaos.Oracle
+module Chaos_sweep = Bsm_chaos.Chaos_sweep
+
+let party_set = Alcotest.testable Party_set.pp Party_set.equal
+
+let setting ~k ~topology ~auth ~tl ~tr =
+  Core.Setting.make_exn ~k ~topology ~auth ~t_left:tl ~t_right:tr
+
+(* Decisions of a compiled model over a small (round, src, dst) cube, as
+   a replayable fingerprint. *)
+let decisions ~k model =
+  let parties = Party_id.all ~k in
+  List.concat_map
+    (fun round ->
+      List.concat_map
+        (fun src ->
+          List.filter_map
+            (fun dst ->
+              if Party_id.equal src dst then None
+              else
+                Some
+                  ( round,
+                    src,
+                    dst,
+                    model.Engine.drop ~round ~src ~dst,
+                    model.Engine.drop_label ~round ~src ~dst ))
+            parties)
+        parties)
+    (Util.range 0 6)
+
+(* --- schedule construction & compilation -------------------------------- *)
+
+let test_compile_deterministic () =
+  let sched =
+    Schedule.all
+      [
+        Schedule.bernoulli ~rate:0.3;
+        Schedule.crash (Party_id.left 1) ~at_round:2;
+        Schedule.partition ~from_round:1 ~until_round:4
+          [ Party_id.right 0 ]
+          [ Party_id.left 0; Party_id.left 1 ];
+      ]
+  in
+  let a = decisions ~k:3 (Schedule.compile ~seed:5 sched) in
+  let b = decisions ~k:3 (Schedule.compile ~seed:5 sched) in
+  Alcotest.(check bool) "same seed, same decisions" true (a = b)
+
+let test_compile_seed_sensitive () =
+  let sched = Schedule.bernoulli ~rate:0.5 in
+  let a = decisions ~k:3 (Schedule.compile ~seed:1 sched) in
+  let b = decisions ~k:3 (Schedule.compile ~seed:2 sched) in
+  Alcotest.(check bool) "different seed, different decisions" false (a = b)
+
+let test_crash_window () =
+  let p = Party_id.left 0 in
+  let model = Schedule.compile ~seed:0 (Schedule.crash p ~at_round:2) in
+  let dst = Party_id.right 0 in
+  Alcotest.(check bool) "alive before" false (model.Engine.drop ~round:1 ~src:p ~dst);
+  Alcotest.(check bool) "dead at crash round" true
+    (model.Engine.drop ~round:2 ~src:p ~dst);
+  Alcotest.(check bool) "dead forever" true
+    (model.Engine.drop ~round:1000 ~src:p ~dst);
+  Alcotest.(check bool) "others unaffected" false
+    (model.Engine.drop ~round:5 ~src:(Party_id.left 1) ~dst)
+
+let test_partition_symmetric_and_windowed () =
+  let a = [ Party_id.left 0 ] and b = [ Party_id.right 0; Party_id.right 1 ] in
+  let model =
+    Schedule.compile ~seed:0 (Schedule.partition ~from_round:1 ~until_round:3 a b)
+  in
+  let l0 = Party_id.left 0 and r0 = Party_id.right 0 in
+  Alcotest.(check bool) "a->b cut" true (model.Engine.drop ~round:1 ~src:l0 ~dst:r0);
+  Alcotest.(check bool) "b->a cut" true (model.Engine.drop ~round:2 ~src:r0 ~dst:l0);
+  Alcotest.(check bool) "window end exclusive" false
+    (model.Engine.drop ~round:3 ~src:l0 ~dst:r0);
+  Alcotest.(check bool) "within a side open" false
+    (model.Engine.drop ~round:1 ~src:r0 ~dst:(Party_id.right 1));
+  Alcotest.(check bool) "third parties open" false
+    (model.Engine.drop ~round:1 ~src:(Party_id.left 1) ~dst:r0)
+
+let test_during_and_restrict () =
+  let sched =
+    Schedule.during ~from_round:2 ~until_round:4
+      (Schedule.restrict_to_side Side.Left (Schedule.blackout ~from_round:0 ~until_round:100))
+  in
+  let model = Schedule.compile ~seed:0 sched in
+  let l0 = Party_id.left 0 and r0 = Party_id.right 0 in
+  Alcotest.(check bool) "left send in window cut" true
+    (model.Engine.drop ~round:2 ~src:l0 ~dst:r0);
+  Alcotest.(check bool) "right send in window open" false
+    (model.Engine.drop ~round:2 ~src:r0 ~dst:l0);
+  Alcotest.(check bool) "before window open" false
+    (model.Engine.drop ~round:1 ~src:l0 ~dst:r0);
+  Alcotest.(check bool) "after window open" false
+    (model.Engine.drop ~round:4 ~src:l0 ~dst:r0)
+
+let test_send_receive_omission_target () =
+  let p = Party_id.right 0 in
+  let send = Schedule.compile ~seed:3 (Schedule.send_omission ~rate:1.0 p) in
+  let recv = Schedule.compile ~seed:3 (Schedule.receive_omission ~rate:1.0 p) in
+  let l0 = Party_id.left 0 in
+  Alcotest.(check bool) "send-omit drops p's sends" true
+    (send.Engine.drop ~round:0 ~src:p ~dst:l0);
+  Alcotest.(check bool) "send-omit spares sends to p" false
+    (send.Engine.drop ~round:0 ~src:l0 ~dst:p);
+  Alcotest.(check bool) "recv-omit drops sends to p" true
+    (recv.Engine.drop ~round:0 ~src:l0 ~dst:p);
+  Alcotest.(check bool) "recv-omit spares p's sends" false
+    (recv.Engine.drop ~round:0 ~src:p ~dst:l0)
+
+let test_labels_name_the_component () =
+  let sched =
+    Schedule.union
+      (Schedule.crash (Party_id.right 0) ~at_round:1)
+      (Schedule.bernoulli ~rate:1.0)
+  in
+  let model = Schedule.compile ~seed:0 sched in
+  (* The first matching component in declaration order labels the drop. *)
+  Alcotest.(check (option string))
+    "crash label wins for R0" (Some "crash(R0@1)")
+    (model.Engine.drop_label ~round:2 ~src:(Party_id.right 0)
+       ~dst:(Party_id.left 0));
+  Alcotest.(check (option string))
+    "bernoulli labels the rest" (Some "drop(100%)")
+    (model.Engine.drop_label ~round:2 ~src:(Party_id.left 0)
+       ~dst:(Party_id.right 0))
+
+let test_empty_schedules () =
+  Alcotest.(check bool) "never empty" true (Schedule.is_empty Schedule.never);
+  Alcotest.(check bool) "rate-0 pruned" true
+    (Schedule.is_empty (Schedule.bernoulli ~rate:0.));
+  Alcotest.(check bool) "empty partition side pruned" true
+    (Schedule.is_empty
+       (Schedule.partition ~from_round:0 ~until_round:5 [] [ Party_id.left 0 ]));
+  Alcotest.(check bool) "contradictory restriction pruned" true
+    (Schedule.is_empty
+       (Schedule.restrict_to_side Side.Left
+          (Schedule.restrict_to_side Side.Right (Schedule.bernoulli ~rate:0.5))));
+  Alcotest.(check bool) "empty during pruned" true
+    (Schedule.is_empty
+       (Schedule.during ~from_round:5 ~until_round:5 (Schedule.bernoulli ~rate:0.5)));
+  Alcotest.(check string) "describe none" "none" (Schedule.describe Schedule.never)
+
+let test_invalid_arguments_rejected () =
+  let rejects f = Alcotest.(check bool) "rejected" true (
+    match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  rejects (fun () -> Schedule.bernoulli ~rate:1.5);
+  rejects (fun () -> Schedule.bernoulli ~rate:(-0.1));
+  rejects (fun () -> Schedule.send_omission ~rate:2. (Party_id.left 0));
+  rejects (fun () -> Schedule.crash (Party_id.left 0) ~at_round:(-1));
+  rejects (fun () -> Schedule.blackout ~from_round:3 ~until_round:1);
+  rejects (fun () ->
+      Schedule.during ~from_round:(-1) ~until_round:2 (Schedule.bernoulli ~rate:0.5))
+
+(* --- budget attribution -------------------------------------------------- *)
+
+let test_charged_attribution () =
+  let k = 3 in
+  let r0 = Party_id.right 0 in
+  let check name expected sched =
+    Alcotest.check party_set name expected (Schedule.charged ~k sched)
+  in
+  check "never" Party_set.empty Schedule.never;
+  check "crash" (Party_set.singleton r0) (Schedule.crash r0 ~at_round:1);
+  check "send omission" (Party_set.singleton r0)
+    (Schedule.send_omission ~rate:0.5 r0);
+  check "receive omission" (Party_set.singleton r0)
+    (Schedule.receive_omission ~rate:0.5 r0);
+  check "bernoulli charges everyone" (Party_set.full ~k)
+    (Schedule.bernoulli ~rate:0.1);
+  check "restricted bernoulli charges one side"
+    (Party_set.of_list (Party_id.side_members Side.Left ~k))
+    (Schedule.restrict_to_side Side.Left (Schedule.bernoulli ~rate:0.1));
+  check "partition charges the smaller block" (Party_set.singleton r0)
+    (Schedule.partition ~from_round:0 ~until_round:5 [ r0 ]
+       (Party_id.side_members Side.Left ~k));
+  check "restriction filters a mismatched sender atom" Party_set.empty
+    (Schedule.restrict_to_side Side.Left (Schedule.crash r0 ~at_round:0));
+  check "union accumulates"
+    (Party_set.of_list [ r0; Party_id.left 1 ])
+    (Schedule.union
+       (Schedule.crash r0 ~at_round:1)
+       (Schedule.send_omission ~rate:0.2 (Party_id.left 1)))
+
+(* --- the oracle across the T-table --------------------------------------- *)
+
+(* The four feasibility mechanisms under test, each with enough slack on
+   the right for one omission-faulty right party. *)
+let t_settings ~k =
+  let third = max 0 ((k - 1) / 3) in
+  [
+    setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Unauthenticated
+      ~tl:third ~tr:k;
+    setting ~k ~topology:Topology.Fully_connected ~auth:Core.Setting.Authenticated
+      ~tl:k ~tr:k;
+    setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
+      ~tl:third ~tr:k;
+    setting ~k ~topology:Topology.One_sided ~auth:Core.Setting.Authenticated
+      ~tl:third ~tr:k;
+  ]
+
+let within_budget_schedules ~k:_ =
+  let r0 = Party_id.right 0 in
+  [
+    Schedule.send_omission ~rate:0.4 r0;
+    Schedule.receive_omission ~rate:0.4 r0;
+    Schedule.crash r0 ~at_round:1;
+  ]
+
+let test_within_budget_omissions_are_ok () =
+  (* Theorems 8-9: an omission-faulty party within the corruption budget
+     costs nothing — every honest party still achieves bSM. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun sched ->
+          let case = H.Sweep.case ~profile_seed:11 s in
+          let r = Oracle.run ~seed:1 ~schedule:sched case in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s within budget"
+               case.H.Sweep.label (Schedule.describe sched))
+            true r.Oracle.within_budget;
+          match r.Oracle.verdict with
+          | Oracle.Ok -> ()
+          | v ->
+            Alcotest.failf "%s under %s: expected ok, got %s"
+              case.H.Sweep.label (Schedule.describe sched)
+              (Oracle.verdict_to_string v))
+        (within_budget_schedules ~k:s.Core.Setting.k))
+    (t_settings ~k:2 @ t_settings ~k:4)
+
+let test_over_budget_degrades_without_crash () =
+  (* Blanket loss charges the whole roster: over budget wherever tL < k,
+     and the run must come back classified, not raise. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun sched ->
+          let case = H.Sweep.case ~profile_seed:7 s in
+          let r = Oracle.run ~seed:3 ~schedule:sched case in
+          if s.Core.Setting.t_left < s.Core.Setting.k then begin
+            Alcotest.(check bool) "over budget" false r.Oracle.within_budget;
+            Alcotest.(check bool) "classified as degradation" true
+              (r.Oracle.verdict = Oracle.Expected_degradation)
+          end)
+        [
+          Schedule.bernoulli ~rate:0.3;
+          Schedule.blackout ~from_round:1 ~until_round:3;
+        ])
+    (t_settings ~k:2 @ t_settings ~k:4)
+
+let test_oracle_counts_fates () =
+  let s = List.hd (t_settings ~k:2) in
+  let case = H.Sweep.case ~profile_seed:11 s in
+  let sched = Schedule.crash (Party_id.right 0) ~at_round:1 in
+  let r = Oracle.run ~seed:1 ~schedule:sched case in
+  let m = r.Oracle.metrics in
+  let labelled =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 m.Engine.messages_dropped_by_label
+  in
+  Alcotest.(check bool) "some omissions" true (m.Engine.messages_dropped_fault > 0);
+  Alcotest.(check int) "every omission labelled" m.Engine.messages_dropped_fault
+    labelled;
+  Alcotest.(check int) "conservation"
+    m.Engine.messages_sent
+    (m.Engine.messages_delivered + m.Engine.messages_dropped_topology
+   + m.Engine.messages_dropped_fault)
+
+(* --- chaos sweeps --------------------------------------------------------- *)
+
+let test_quick_grid_par_equals_seq () =
+  let cells = Chaos_sweep.quick_grid () in
+  let seq = Chaos_sweep.run_cells cells in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool -> Chaos_sweep.run_cells ~pool cells)
+  in
+  Alcotest.(check bool) "bit-identical" true (seq = par);
+  Alcotest.(check string) "same json" (Chaos_sweep.to_json ~jobs:1 seq)
+    (Chaos_sweep.to_json ~jobs:1 par)
+
+let test_quick_grid_has_no_violations () =
+  let outcomes = Chaos_sweep.run_cells (Chaos_sweep.quick_grid ()) in
+  let s = Chaos_sweep.summarize outcomes in
+  Alcotest.(check int) "cells" (List.length (Chaos_sweep.quick_grid ())) s.Chaos_sweep.cells;
+  Alcotest.(check int) "no violations" 0 s.Chaos_sweep.violated;
+  Alcotest.(check bool) "some cells ok" true (s.Chaos_sweep.ok > 0);
+  Alcotest.(check bool) "over-budget cells degraded" true (s.Chaos_sweep.degraded > 0);
+  Alcotest.(check int) "partition is accounted" s.Chaos_sweep.cells
+    (s.Chaos_sweep.ok + s.Chaos_sweep.degraded + s.Chaos_sweep.violated)
+
+let test_json_deterministic () =
+  let run () =
+    Chaos_sweep.to_json ~jobs:1 (Chaos_sweep.run_cells (Chaos_sweep.quick_grid ()))
+  in
+  Alcotest.(check string) "same seeds, same bytes" (run ()) (run ())
+
+let test_grid_shape () =
+  let cases =
+    [ H.Sweep.case (List.hd (t_settings ~k:2)); H.Sweep.case (List.nth (t_settings ~k:2) 1) ]
+  in
+  let schedules = [ Schedule.never; Schedule.bernoulli ~rate:0.5 ] in
+  let cells = Chaos_sweep.grid ~cases ~schedules ~seeds:[ 1; 2; 3 ] in
+  Alcotest.(check int) "cross product" 12 (List.length cells);
+  (* cases outermost, seeds innermost *)
+  let first = List.hd cells in
+  Alcotest.(check int) "first seed" 1 first.Chaos_sweep.chaos_seed;
+  let second = List.nth cells 1 in
+  Alcotest.(check int) "seeds vary fastest" 2 second.Chaos_sweep.chaos_seed
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "compile deterministic" `Quick test_compile_deterministic;
+          Alcotest.test_case "seed sensitive" `Quick test_compile_seed_sensitive;
+          Alcotest.test_case "crash window" `Quick test_crash_window;
+          Alcotest.test_case "partition symmetric, windowed" `Quick
+            test_partition_symmetric_and_windowed;
+          Alcotest.test_case "during + restrict" `Quick test_during_and_restrict;
+          Alcotest.test_case "send vs receive omission" `Quick
+            test_send_receive_omission_target;
+          Alcotest.test_case "labels name the component" `Quick
+            test_labels_name_the_component;
+          Alcotest.test_case "empty schedules" `Quick test_empty_schedules;
+          Alcotest.test_case "invalid arguments rejected" `Quick
+            test_invalid_arguments_rejected;
+          Alcotest.test_case "charged attribution" `Quick test_charged_attribution;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "within-budget omissions ok (Thms 8-9)" `Quick
+            test_within_budget_omissions_are_ok;
+          Alcotest.test_case "over budget degrades, no crash" `Quick
+            test_over_budget_degrades_without_crash;
+          Alcotest.test_case "per-fate counts" `Quick test_oracle_counts_fates;
+        ] );
+      ( "chaos-sweep",
+        [
+          Alcotest.test_case "par equals seq" `Quick test_quick_grid_par_equals_seq;
+          Alcotest.test_case "quick grid clean" `Quick
+            test_quick_grid_has_no_violations;
+          Alcotest.test_case "json deterministic" `Quick test_json_deterministic;
+          Alcotest.test_case "grid shape" `Quick test_grid_shape;
+        ] );
+    ]

@@ -137,6 +137,71 @@ let test_rng_split_independent () =
   let b' = Rng.split a' in
   Alcotest.(check int) "split reproducible" before (Rng.int b' 1000000)
 
+let test_mix64_deterministic () =
+  List.iter
+    (fun x ->
+      Alcotest.(check int64)
+        "pure function" (Rng.mix64 x) (Rng.mix64 x))
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0x123456789ABCDEFL ];
+  let h = Rng.mix64_absorb (Rng.mix64 5L) 17 in
+  Alcotest.(check int64) "absorb deterministic" h (Rng.mix64_absorb (Rng.mix64 5L) 17)
+
+let test_mix64_avalanche () =
+  (* Flipping one input bit must flip roughly half the output bits —
+     splitmix64's finalizer is a strong avalanche mixer. *)
+  let popcount x =
+    let n = ref 0 in
+    for i = 0 to 63 do
+      if Int64.(logand (shift_right_logical x i) 1L) = 1L then incr n
+    done;
+    !n
+  in
+  List.iter
+    (fun x ->
+      for bit = 0 to 63 do
+        let y = Int64.logxor x (Int64.shift_left 1L bit) in
+        let flipped = popcount (Int64.logxor (Rng.mix64 x) (Rng.mix64 y)) in
+        if flipped < 10 || flipped > 54 then
+          Alcotest.failf "avalanche too weak: bit %d flipped only %d output bits"
+            bit flipped
+      done)
+    [ 0L; 42L; 0xDEADBEEFL ]
+
+let test_mix64_distinct_streams () =
+  (* Distinct (seed, salt, round) coordinates must hash to distinct
+     values once the seed is pre-mixed (the discipline Schedule.compile
+     follows): the stateless coin never correlates across components. *)
+  let hashes =
+    List.concat_map
+      (fun seed ->
+        List.concat_map
+          (fun salt ->
+            List.map
+              (fun round ->
+                Rng.mix64_absorb
+                  (Rng.mix64_absorb (Rng.mix64 (Int64.of_int seed)) salt)
+                  round)
+              (Util.range 0 10))
+          (Util.range 0 10))
+      (Util.range 0 10)
+  in
+  Alcotest.(check int)
+    "all distinct" (List.length hashes)
+    (List.length (List.sort_uniq compare hashes))
+
+let test_uniform_of_hash () =
+  let xs =
+    List.init 10_000 (fun i -> Rng.uniform_of_hash (Rng.mix64 (Int64.of_int i)))
+  in
+  List.iter
+    (fun u ->
+      if not (u >= 0. && u < 1.) then Alcotest.failf "out of [0,1): %g" u)
+    xs;
+  let mean = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  Alcotest.(check bool)
+    "mean near 1/2" true
+    (mean > 0.48 && mean < 0.52)
+
 (* --- Stats ------------------------------------------------------------------ *)
 
 let test_stats_summary () =
@@ -215,6 +280,11 @@ let () =
           Alcotest.test_case "permutations valid" `Quick test_rng_permutation_valid;
           Alcotest.test_case "samples distinct" `Quick test_rng_sample_distinct;
           Alcotest.test_case "split reproducible" `Quick test_rng_split_independent;
+          Alcotest.test_case "mix64 deterministic" `Quick test_mix64_deterministic;
+          Alcotest.test_case "mix64 avalanche" `Quick test_mix64_avalanche;
+          Alcotest.test_case "mix64 distinct streams" `Quick
+            test_mix64_distinct_streams;
+          Alcotest.test_case "uniform of hash" `Quick test_uniform_of_hash;
         ] );
       ( "stats",
         [

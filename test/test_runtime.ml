@@ -199,10 +199,8 @@ let test_bytes_exclude_omitted () =
      bytes_sent must count only the delivered payloads (the old engine
      counted omitted bytes too, inflating communication tables). *)
   let faults =
-    {
-      Engine.drop =
-        (fun ~round:_ ~src ~dst:_ -> Party_id.equal src (Party_id.left 0));
-    }
+    Engine.fault_model (fun ~round:_ ~src ~dst:_ ->
+        Party_id.equal src (Party_id.left 0))
   in
   let programs id env =
     if Party_id.equal id (Party_id.left 0) then
@@ -234,10 +232,8 @@ let test_bytes_exclude_topology_drops () =
 
 let test_omission_fault_drops () =
   let faults =
-    {
-      Engine.drop =
-        (fun ~round:_ ~src ~dst:_ -> Party_id.equal src (Party_id.left 0));
-    }
+    Engine.fault_model (fun ~round:_ ~src ~dst:_ ->
+        Party_id.equal src (Party_id.left 0))
   in
   let saw = ref [ "sentinel" ] in
   let programs id env =
@@ -250,6 +246,87 @@ let test_omission_fault_drops () =
   let res = run ~k:2 ~faults programs in
   Alcotest.(check (list string)) "only L1's message" [ "b" ] !saw;
   Alcotest.(check int) "one fault drop" 1 res.metrics.messages_dropped_fault
+
+let test_topology_drop_precedes_fault_drop () =
+  (* A message without a channel is a topology drop even under an
+     always-drop fault model: the fault model must not be consulted (its
+     label never appears) and the message counts against exactly one
+     counter. *)
+  let consulted = ref 0 in
+  let faults =
+    Engine.fault_model
+      ~label:(fun ~round:_ ~src:_ ~dst:_ -> Some "always")
+      (fun ~round:_ ~src:_ ~dst:_ ->
+        incr consulted;
+        true)
+  in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.left 1) "blocked";
+      (* off-topology on Bipartite *)
+      env.Engine.send (Party_id.right 0) "omitted" (* on-topology, faulted *)
+    end
+    else ignore (env.Engine.next_round ())
+  in
+  let cfg =
+    Engine.config ~k:2 ~faults ~link:(Engine.Of_topology Topology.Bipartite) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let m = res.Engine.metrics in
+  Alcotest.(check int) "fault model consulted once" 1 !consulted;
+  Alcotest.(check int) "one topology drop" 1 m.messages_dropped_topology;
+  Alcotest.(check int) "one fault drop" 1 m.messages_dropped_fault;
+  Alcotest.(check int) "sent" 2 m.messages_sent;
+  Alcotest.(check int) "delivered" 0 m.messages_delivered;
+  Alcotest.(check (list (pair string int)))
+    "only the faulted message labelled"
+    [ "always", 1 ]
+    m.messages_dropped_by_label
+
+let test_drop_labels_in_metrics_and_trace () =
+  (* Labelled omissions are tallied per label (sorted) and stamped on the
+     trace events; unlabelled omissions count in messages_dropped_fault
+     but appear under no label. *)
+  let faults =
+    Engine.fault_model
+      ~label:(fun ~round:_ ~src ~dst:_ ->
+        if Party_id.equal src (Party_id.left 0) then Some "zap-L0"
+        else if Party_id.equal src (Party_id.left 1) then Some "a-zap-L1"
+        else None)
+      (fun ~round:_ ~src ~dst ->
+        Side.equal (Party_id.side src) Side.Left
+        && Party_id.equal dst (Party_id.right 0))
+  in
+  let programs id env =
+    if Side.equal (Party_id.side id) Side.Left then begin
+      env.Engine.send (Party_id.right 0) "x";
+      env.Engine.send (Party_id.right 1) "y"
+    end
+    else ignore (env.Engine.next_round ())
+  in
+  let cfg =
+    Engine.config ~k:3 ~faults ~trace_limit:100
+      ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let m = res.Engine.metrics in
+  Alcotest.(check int) "three omissions" 3 m.messages_dropped_fault;
+  Alcotest.(check (list (pair string int)))
+    "labels sorted, unlabelled (L2) unlisted"
+    [ "a-zap-L1", 1; "zap-L0", 1 ]
+    m.messages_dropped_by_label;
+  let labelled_events =
+    List.filter_map (fun e -> e.Engine.event_label) res.Engine.trace
+  in
+  Alcotest.(check (list string))
+    "trace carries labels" [ "zap-L0"; "a-zap-L1" ]
+    labelled_events;
+  List.iter
+    (fun e ->
+      if e.Engine.event_fate <> `Omitted then
+        Alcotest.(check (option string))
+          "only omissions labelled" None e.Engine.event_label)
+    res.Engine.trace
 
 (* --- determinism & inbox order ------------------------------------------ *)
 
@@ -292,7 +369,8 @@ let test_trace_records_fates () =
   (* One delivered, one dropped-by-topology, one omitted message; the
      trace must record all three with their fates, in order. *)
   let faults =
-    { Engine.drop = (fun ~round:_ ~src:_ ~dst -> Party_id.equal dst (Party_id.right 1)) }
+    Engine.fault_model (fun ~round:_ ~src:_ ~dst ->
+        Party_id.equal dst (Party_id.right 1))
   in
   let programs id env =
     if Party_id.equal id (Party_id.left 0) then begin
@@ -376,7 +454,8 @@ let test_trace_fate_per_event () =
      the message to R0 is delivered, to L1 blocked by the bipartite
      topology (No_channel), to R1 omitted by the fault model. *)
   let faults =
-    { Engine.drop = (fun ~round:_ ~src:_ ~dst -> Party_id.equal dst (Party_id.right 1)) }
+    Engine.fault_model (fun ~round:_ ~src:_ ~dst ->
+        Party_id.equal dst (Party_id.right 1))
   in
   let programs id env =
     if Party_id.equal id (Party_id.left 0) then begin
@@ -460,7 +539,7 @@ let test_bucket_order_matches_sort_reference () =
       in
       let cfg =
         Engine.config ~k ~link:(Engine.Of_topology topology)
-          ~faults:{ Engine.drop } ()
+          ~faults:(Engine.fault_model drop) ()
       in
       ignore (Engine.run cfg ~programs);
       (* Reference: the pre-bucket algorithm — cons arrivals while iterating
@@ -645,6 +724,10 @@ let () =
       ( "faults",
         [
           Alcotest.test_case "omission drops" `Quick test_omission_fault_drops;
+          Alcotest.test_case "topology drop precedes fault drop" `Quick
+            test_topology_drop_precedes_fault_drop;
+          Alcotest.test_case "drop labels in metrics and trace" `Quick
+            test_drop_labels_in_metrics_and_trace;
           Alcotest.test_case "bytes exclude omitted" `Quick test_bytes_exclude_omitted;
           Alcotest.test_case "bytes exclude topology drops" `Quick
             test_bytes_exclude_topology_drops;
