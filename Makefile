@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick chaos-quick smoke fmt ci clean
+.PHONY: all build test bench bench-quick bench-compare chaos-quick smoke fmt ci clean
 
 all: build
 
@@ -15,8 +15,17 @@ bench:
 # Smallest k per table, no microbenchmarks; writes
 # BENCH_sweeps.quick.json. Finishes in seconds — used by ci to keep the
 # sweep pipeline (engine, pool, GC accounting, JSON writer) exercised.
+# Runs the fused scheduler (the default) and asserts whole-run parallel
+# speedup >= 1.0 when both --jobs and the recommended domain count are
+# >= 2; on a single-core container the check is skipped with a notice.
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Diff two BENCH_sweeps.json files: per-table sequential wall plus the
+# whole-run parallel wall, failing on regressions beyond 20% (and 1 ms).
+# Usage: make bench-compare OLD=baseline.json NEW=BENCH_sweeps.json
+bench-compare:
+	dune exec tools/bench_compare/bench_compare.exe -- $(OLD) $(NEW)
 
 # Chaos grid only (smallest k): fault schedules vs the bSM oracle.
 # Writes BENCH_chaos.quick.json and fails on any within-budget

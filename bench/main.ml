@@ -15,13 +15,17 @@
      and full protocol executions.
 
    Every table is a sweep of independent protocol executions, so each is
-   run twice: sequentially, then in parallel across a domain pool
-   (`Bsm_harness.Sweep` over `Bsm_runtime.Pool`). The two result sets
-   must be identical — the harness fails loudly if they diverge — and
-   both wall-clocks are recorded in BENCH_sweeps.json so the perf
-   trajectory is tracked across PRs. Parallelism comes from the BSM_JOBS
-   environment variable or the --jobs flag (default: the machine's
-   recommended domain count).
+   run twice: sequentially, then in parallel across the persistent
+   work-stealing domain pool (`Bsm_harness.Sweep` over
+   `Bsm_runtime.Pool`). The two result sets must be identical — the
+   harness fails loudly if they diverge — and the wall-clocks are
+   recorded in BENCH_sweeps.json so the perf trajectory is tracked
+   across PRs. By default the parallel pass is *fused*: all tables'
+   cells (chaos grid included) enter one shared task graph with a single
+   drain point, so no table pays a barrier behind another table's
+   straggler cell; `--barrier` restores the legacy one-Pool.map-per-table
+   mode for A/B comparison. Parallelism comes from the --jobs flag, else
+   BSM_JOBS, else the machine's recommended domain count.
 
    EXPERIMENTS.md records paper-vs-measured for each table. *)
 
@@ -45,34 +49,74 @@ let setting ~k ~topology ~auth ~tl ~tr =
    perf plumbing, wired into `make ci` as `make bench-quick`. *)
 let quick = ref false
 
+(* How the parallel pass is scheduled:
+
+   - [Barrier pool] — the legacy (PR 3) shape: each table runs as its own
+     `Pool.map` with a full barrier after it, so every table serializes
+     behind its own straggler cell while the other lanes idle;
+   - [Fused (pool, batch)] — every table registers its cells into one
+     shared `Sweep.Fused` task graph; nothing parallel runs until the
+     single drain point, after which each table reads its results back.
+
+   Fused is the default; `--barrier` restores the legacy mode so the two
+   can be A/B'd on the same machine. *)
+type sched =
+  | Barrier of Pool.t
+  | Fused of Pool.t * H.Sweep.Fused.t
+
+(* What the parallel pass cost: a whole-table measurement in barrier
+   mode, per-task attribution (summed wall, worst cell, GC words) in
+   fused mode — a fused table has no private wall-clock of its own. *)
+type par_cost =
+  | Barrier_par of H.Sweep.measurement
+  | Fused_tasks of H.Sweep.Fused.table_stats
+
 type sweep_record = {
   sweep_table : string;
   sweep_cells : int;
   sweep_k_range : string;
   sweep_seq : H.Sweep.measurement;
-  sweep_par : H.Sweep.measurement;
+  sweep_par : par_cost;
 }
 
 let sweep_records : sweep_record list ref = ref []
 
-(* Run a sweep twice — sequentially, then across the pool — assert the
-   results are bit-identical (cells must return plain data), record both
-   wall-clocks and GC deltas, and return the results. *)
-let sweep ~pool ~table ~k_range f cells =
+(* Run the sequential pass now (its results are the reference), schedule
+   the parallel pass per the mode, and return a getter to be called from
+   the table's renderer — after the drain point in fused mode. The
+   getter asserts the parallel results are bit-identical to the
+   sequential ones (cells must return plain data) and records both
+   costs. In barrier mode the parallel pass runs right here, table-local
+   barrier included, and the getter is just a cache. *)
+let sweep ~sched ~table ~k_range f cells =
   let seq, seq_m = H.Sweep.measure (fun () -> List.map f cells) in
-  let par, par_m = H.Sweep.measure (fun () -> H.Sweep.map ~pool f cells) in
-  if seq <> par then
-    failwith (table ^ ": parallel sweep diverged from the sequential results");
-  sweep_records :=
-    {
-      sweep_table = table;
-      sweep_cells = List.length cells;
-      sweep_k_range = k_range;
-      sweep_seq = seq_m;
-      sweep_par = par_m;
-    }
-    :: !sweep_records;
-  par
+  let record par =
+    sweep_records :=
+      {
+        sweep_table = table;
+        sweep_cells = List.length cells;
+        sweep_k_range = k_range;
+        sweep_seq = seq_m;
+        sweep_par = par;
+      }
+      :: !sweep_records
+  in
+  match sched with
+  | Barrier pool ->
+    let par, par_m = H.Sweep.measure (fun () -> H.Sweep.map ~pool f cells) in
+    if seq <> par then
+      failwith (table ^ ": parallel sweep diverged from the sequential results");
+    record (Barrier_par par_m);
+    fun () -> par
+  | Fused (_, batch) ->
+    let handle = H.Sweep.Fused.add batch ~table f cells in
+    fun () ->
+      let par = H.Sweep.Fused.results handle in
+      if seq <> par then
+        failwith
+          (table ^ ": fused parallel sweep diverged from the sequential results");
+      record (Fused_tasks (H.Sweep.Fused.stats handle));
+      par
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -95,30 +139,94 @@ let json_of_measurement prefix (m : H.Sweep.measurement) =
     prefix m.H.Sweep.minor_words prefix m.H.Sweep.major_words prefix
     m.H.Sweep.minor_collections prefix m.H.Sweep.major_collections
 
-let write_sweeps_json ~jobs path =
+(* Total sequential wall across all recorded sweeps — the numerator of
+   the whole-run speedup. *)
+let total_sequential_ms () =
+  List.fold_left
+    (fun acc r -> acc +. r.sweep_seq.H.Sweep.wall_ms)
+    0. !sweep_records
+
+(* Whole-run parallel wall: the single fused drain in fused mode, the
+   sum of the per-table parallel walls (barriers included) in barrier
+   mode. *)
+let total_parallel_ms ~fused_run () =
+  match fused_run with
+  | Some (rs : H.Sweep.Fused.run_stats) -> rs.H.Sweep.Fused.wall_ms
+  | None ->
+    List.fold_left
+      (fun acc r ->
+        match r.sweep_par with
+        | Barrier_par m -> acc +. m.H.Sweep.wall_ms
+        | Fused_tasks _ -> acc)
+      0. !sweep_records
+
+let write_sweeps_json ~jobs ~fused_run path =
   let records = List.rev !sweep_records in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"jobs\": %d,\n  \"recommended_domains\": %d,\n" jobs
-       (Domain.recommended_domain_count ()));
+    (Printf.sprintf
+       "  \"jobs\": %d,\n  \"recommended_domains\": %d,\n  \"mode\": \"%s\",\n"
+       jobs
+       (Domain.recommended_domain_count ())
+       (match fused_run with Some _ -> "fused" | None -> "barrier"));
+  (* The whole-run block is the number that actually reflects multicore
+     scaling: per-table speedups understate it because each table pays
+     its own barrier, while the fused drain overlaps tables. *)
+  let seq_total = total_sequential_ms () in
+  let par_total = total_parallel_ms ~fused_run () in
+  let whole_speedup = if par_total > 0. then seq_total /. par_total else 0. in
+  (match fused_run with
+  | Some (rs : H.Sweep.Fused.run_stats) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"whole_run\": {\"sequential_ms\": %.3f, \"parallel_ms\": %.3f, \
+          \"speedup\": %.3f, \"tasks\": %d, \"steals\": %d},\n"
+         seq_total par_total whole_speedup rs.H.Sweep.Fused.tasks
+         rs.H.Sweep.Fused.steals)
+  | None ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"whole_run\": {\"sequential_ms\": %.3f, \"parallel_ms\": %.3f, \
+          \"speedup\": %.3f},\n"
+         seq_total par_total whole_speedup));
   Buffer.add_string buf "  \"sweeps\": [\n";
   List.iteri
     (fun i r ->
       let seq_ms = r.sweep_seq.H.Sweep.wall_ms in
-      let par_ms = r.sweep_par.H.Sweep.wall_ms in
-      let speedup = if par_ms > 0. then seq_ms /. par_ms else 0. in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"table\": \"%s\", \"cells\": %d, \"k_range\": \"%s\", \
-            \"sequential_ms\": %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f,\n\
-           \     %s,\n\
-           \     %s}%s\n"
-           (json_escape r.sweep_table) r.sweep_cells
-           (json_escape r.sweep_k_range) seq_ms par_ms speedup
-           (json_of_measurement "seq" r.sweep_seq)
-           (json_of_measurement "par" r.sweep_par)
-           (if i = List.length records - 1 then "" else ",")))
+      let sep = if i = List.length records - 1 then "" else "," in
+      (match r.sweep_par with
+      | Barrier_par par_m ->
+        let par_ms = par_m.H.Sweep.wall_ms in
+        let speedup = if par_ms > 0. then seq_ms /. par_ms else 0. in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"table\": \"%s\", \"cells\": %d, \"k_range\": \"%s\", \
+              \"sequential_ms\": %.3f, \"parallel_ms\": %.3f, \"speedup\": \
+              %.3f,\n\
+             \     %s,\n\
+             \     %s}%s\n"
+             (json_escape r.sweep_table) r.sweep_cells
+             (json_escape r.sweep_k_range) seq_ms par_ms speedup
+             (json_of_measurement "seq" r.sweep_seq)
+             (json_of_measurement "par" par_m) sep)
+      | Fused_tasks ts ->
+        (* No per-table parallel wall exists in fused mode — the drain is
+           shared — so the record carries per-task attribution instead:
+           total task time (≈ this table's CPU cost) and the straggler
+           cell a per-table barrier would have serialized behind. *)
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"table\": \"%s\", \"cells\": %d, \"k_range\": \"%s\", \
+              \"sequential_ms\": %.3f, \"fused_task_ms\": %.3f, \
+              \"fused_task_max_ms\": %.3f, \"fused_minor_words\": %.0f, \
+              \"fused_major_words\": %.0f,\n\
+             \     %s}%s\n"
+             (json_escape r.sweep_table) r.sweep_cells
+             (json_escape r.sweep_k_range) seq_ms
+             ts.H.Sweep.Fused.task_ms_total ts.H.Sweep.Fused.task_ms_max
+             ts.H.Sweep.Fused.minor_words ts.H.Sweep.Fused.major_words
+             (json_of_measurement "seq" r.sweep_seq) sep)))
     records;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out path in
@@ -127,7 +235,13 @@ let write_sweeps_json ~jobs path =
 
 (* ------------------------------------------------------------------ T1 -- *)
 
-let table_t1 ~pool () =
+(* Each table function registers its sweep(s) with [sched] immediately
+   (which also runs the sequential reference pass) and returns a
+   renderer thunk; the driver calls the renderers after the drain point,
+   in registration order, so the printed output is identical in both
+   modes. *)
+
+let table_t1 ~sched () =
   let k = 3 in
   let table =
     Table.make
@@ -156,8 +270,8 @@ let table_t1 ~pool () =
           (Util.range 0 (k + 1)))
       combos
   in
-  let results =
-    sweep ~pool ~table:"T1 solvability matrix" ~k_range:"k=3"
+  let get_results =
+    sweep ~sched ~table:"T1 solvability matrix" ~k_range:"k=3"
       (fun (topology, auth, tl, tr) ->
         let s = setting ~k ~topology ~auth ~tl ~tr in
         let verdict = Core.Solvability.decide s in
@@ -174,7 +288,8 @@ let table_t1 ~pool () =
         verdict.Core.Solvability.solvable, validated, verdict.Core.Solvability.theorem)
       cells
   in
-  let tagged = List.combine cells results in
+  fun () ->
+  let tagged = List.combine cells (get_results ()) in
   List.iter
     (fun (topology, auth) ->
       let mine =
@@ -210,7 +325,7 @@ let table_t1 ~pool () =
 let honest_case s = H.Sweep.case ~profile_seed:(17 * s.Core.Setting.k) s
 let honest_run s = H.Scenario.run (H.Sweep.scenario_of_case (honest_case s))
 
-let table_t2 ~pool () =
+let table_t2 ~sched () =
   let table =
     Table.make
       ~title:
@@ -235,8 +350,8 @@ let table_t2 ~pool () =
     ]
   in
   let cells = List.concat_map cases (if !quick then [ 2 ] else [ 2; 4; 6 ]) in
-  let rows =
-    sweep ~pool ~table:"T2 round complexity" ~k_range:"k=2..6"
+  let get_rows =
+    sweep ~sched ~table:"T2 round complexity" ~k_range:"k=2..6"
       (fun s ->
         let report = honest_run s in
         [
@@ -246,12 +361,13 @@ let table_t2 ~pool () =
         ])
       cells
   in
-  List.iter (Table.add_row table) rows;
-  Table.print table
+  fun () ->
+    List.iter (Table.add_row table) (get_rows ());
+    Table.print table
 
 (* ------------------------------------------------------------------ T3 -- *)
 
-let table_t3_gs ~pool () =
+let table_t3_gs ~sched () =
   let table =
     Table.make
       ~title:
@@ -259,8 +375,8 @@ let table_t3_gs ~pool () =
          worst case (identical preferences)"
       ~header:[ "k"; "random (mean of 5)"; "worst case"; "k(k+1)/2" ]
   in
-  let rows =
-    sweep ~pool ~table:"T3a Gale-Shapley proposals" ~k_range:"k=10..160"
+  let get_rows =
+    sweep ~sched ~table:"T3a Gale-Shapley proposals" ~k_range:"k=10..160"
       (fun k ->
         let rng = Rng.make k in
         let random_mean =
@@ -280,10 +396,11 @@ let table_t3_gs ~pool () =
         ])
       (if !quick then [ 10 ] else [ 10; 20; 40; 80; 160 ])
   in
-  List.iter (Table.add_row table) rows;
-  Table.print table
+  fun () ->
+    List.iter (Table.add_row table) (get_rows ());
+    Table.print table
 
-let table_t3_protocols ~pool () =
+let table_t3_protocols ~sched () =
   let table =
     Table.make
       ~title:
@@ -304,8 +421,8 @@ let table_t3_protocols ~pool () =
     ]
   in
   let cells = List.concat_map cases (if !quick then [ 2 ] else [ 2; 4; 6; 8 ]) in
-  let rows =
-    sweep ~pool ~table:"T3b protocol communication" ~k_range:"k=2..8"
+  let get_rows =
+    sweep ~sched ~table:"T3b protocol communication" ~k_range:"k=2..8"
       (fun s ->
         let k = s.Core.Setting.k in
         let report = honest_run s in
@@ -320,10 +437,11 @@ let table_t3_protocols ~pool () =
         ])
       cells
   in
-  List.iter (Table.add_row table) rows;
-  Table.print table
+  fun () ->
+    List.iter (Table.add_row table) (get_rows ());
+    Table.print table
 
-let table_t3_distributed_gs ~pool () =
+let table_t3_distributed_gs ~sched () =
   let table =
     Table.make
       ~title:
@@ -337,8 +455,8 @@ let table_t3_distributed_gs ~pool () =
       (fun k -> [ k, `Random; k, `Correlated; k, `Identical ])
       (if !quick then [ 8 ] else [ 8; 16; 32 ])
   in
-  let rows =
-    sweep ~pool ~table:"T3c distributed Gale-Shapley" ~k_range:"k=8..32"
+  let get_rows =
+    sweep ~sched ~table:"T3c distributed Gale-Shapley" ~k_range:"k=8..32"
       (fun (k, kind) ->
         let name, profile =
           match kind with
@@ -357,8 +475,9 @@ let table_t3_distributed_gs ~pool () =
         ])
       cells
   in
-  List.iter (Table.add_row table) rows;
-  Table.print table
+  fun () ->
+    List.iter (Table.add_row table) (get_rows ());
+    Table.print table
 
 (* ------------------------------------------------------------------ A1 -- *)
 
@@ -376,7 +495,7 @@ let run_programs ~k ~topology programs =
     res.Engine.parties;
   res.Engine.metrics
 
-let table_a1 ~pool () =
+let table_a1 ~sched () =
   let table =
     Table.make
       ~title:
@@ -384,8 +503,8 @@ let table_a1 ~pool () =
          tL = floor((k-1)/3)); Pi_bSM pays rounds and bytes for surviving tR = k"
       ~header:[ "k"; "mechanism"; "tolerates"; "rounds"; "messages"; "bytes" ]
   in
-  let row_pairs =
-    sweep ~pool ~table:"A1 BB pipeline vs Pi_bSM" ~k_range:"k=3..6"
+  let get_row_pairs =
+    sweep ~sched ~table:"A1 BB pipeline vs Pi_bSM" ~k_range:"k=3..6"
       (fun k ->
         let third = max 0 ((k - 1) / 3) in
         let rng = Rng.make (k * 7) in
@@ -425,12 +544,13 @@ let table_a1 ~pool () =
         ])
       (if !quick then [ 3 ] else [ 3; 4; 6 ])
   in
-  List.iter (List.iter (Table.add_row table)) row_pairs;
-  Table.print table
+  fun () ->
+    List.iter (List.iter (Table.add_row table)) (get_row_pairs ());
+    Table.print table
 
 (* ------------------------------------------------------------------ A2 -- *)
 
-let table_a2 ~pool () =
+let table_a2 ~sched () =
   let table =
     Table.make
       ~title:
@@ -456,8 +576,8 @@ let table_a2 ~pool () =
         ])
       (if !quick then [ 3 ] else [ 3; 5; 7 ])
   in
-  let rows =
-    sweep ~pool ~table:"A2 channel simulation" ~k_range:"k=3..7"
+  let get_rows =
+    sweep ~sched ~table:"A2 channel simulation" ~k_range:"k=3..7"
       (fun (k, name, needs, s) ->
         let r = honest_run s in
         let m = r.H.Scenario.metrics in
@@ -471,14 +591,15 @@ let table_a2 ~pool () =
         ])
       cells
   in
-  List.iter (Table.add_row table) rows;
-  Table.print table
+  fun () ->
+    List.iter (Table.add_row table) (get_rows ());
+    Table.print table
 
 (* ------------------------------------------------------------------ A3 -- *)
 
 module Attacks = Bsm_attacks
 
-let table_a3 ~pool () =
+let table_a3 ~sched () =
   let table =
     Table.make
       ~title:
@@ -491,45 +612,52 @@ let table_a3 ~pool () =
   let topology = Topology.Fully_connected in
   let runs = if !quick then 5 else 30 in
   let seeds = Util.range 1 (runs + 1) in
-  let count name protocol =
-    let violated =
-      sweep ~pool
-        ~table:(Printf.sprintf "A3 equivocation (%s)" name)
-        ~k_range:"k=4"
-        (fun seed ->
-          let rng = Rng.make seed in
-          let favorites = Attacks.Evaluate.random_favorites rng ~k in
-          let byzantine =
-            [
-              Party_id.left 3, Attacks.Naive.equivocating_announcer ~topology ~k;
-              Party_id.right 2, Attacks.Naive.equivocating_announcer ~topology ~k;
-            ]
-          in
-          Attacks.Evaluate.run ~topology ~k ~favorites ~byzantine protocol <> [])
-        seeds
-    in
-    List.length (List.filter Fun.id violated)
+  (* Both protocol sweeps register into the shared graph before either
+     renders — in fused mode their cells interleave with every other
+     table's. *)
+  let register name protocol =
+    sweep ~sched
+      ~table:(Printf.sprintf "A3 equivocation (%s)" name)
+      ~k_range:"k=4"
+      (fun seed ->
+        let rng = Rng.make seed in
+        let favorites = Attacks.Evaluate.random_favorites rng ~k in
+        let byzantine =
+          [
+            Party_id.left 3, Attacks.Naive.equivocating_announcer ~topology ~k;
+            Party_id.right 2, Attacks.Naive.equivocating_announcer ~topology ~k;
+          ]
+        in
+        Attacks.Evaluate.run ~topology ~k ~favorites ~byzantine protocol <> [])
+      seeds
   in
-  let row name protocol =
-    let bad = count name protocol in
-    Table.add_row table
-      [
-        name;
-        string_of_int runs;
-        string_of_int bad;
-        Printf.sprintf "%.0f%%" (Stats.rate bad runs);
-      ]
+  let naive_name = "naive flood-and-compute" in
+  let get_naive = register naive_name Attacks.Protocol_under_test.naive in
+  let bb_name = "BB pipeline (ours)" in
+  let get_bb =
+    register bb_name
+      (Attacks.Protocol_under_test.thresholded
+         ~setting:
+           (setting ~k ~topology ~auth:Core.Setting.Unauthenticated ~tl:1 ~tr:1))
   in
-  row "naive flood-and-compute" Attacks.Protocol_under_test.naive;
-  row "BB pipeline (ours)"
-    (Attacks.Protocol_under_test.thresholded
-       ~setting:
-         (setting ~k ~topology ~auth:Core.Setting.Unauthenticated ~tl:1 ~tr:1));
-  Table.print table
+  let getters = [ naive_name, get_naive; bb_name, get_bb ] in
+  fun () ->
+    List.iter
+      (fun (name, get_violated) ->
+        let bad = List.length (List.filter Fun.id (get_violated ())) in
+        Table.add_row table
+          [
+            name;
+            string_of_int runs;
+            string_of_int bad;
+            Printf.sprintf "%.0f%%" (Stats.rate bad runs);
+          ])
+      getters;
+    Table.print table
 
 (* ------------------------------------------------------------------ A4 -- *)
 
-let table_a4 ~pool () =
+let table_a4 ~sched () =
   let table =
     Table.make
       ~title:
@@ -542,8 +670,8 @@ let table_a4 ~pool () =
   let tls = if !quick then [ 0 ] else [ 0; 1; 2 ] in
   let seeds = Util.range 1 (if !quick then 4 else 6) in
   let cells = List.concat_map (fun tl -> List.map (fun seed -> tl, seed) seeds) tls in
-  let results =
-    sweep ~pool ~table:"A4 Pi_bSM vs budget" ~k_range:"k=7"
+  let get_results =
+    sweep ~sched ~table:"A4 Pi_bSM vs budget" ~k_range:"k=7"
       (fun (tl, seed) ->
         let s =
           setting ~k ~topology:Topology.Bipartite ~auth:Core.Setting.Authenticated
@@ -558,7 +686,8 @@ let table_a4 ~pool () =
         m.Engine.rounds_used, m.Engine.messages_sent, m.Engine.bytes_sent)
       cells
   in
-  let tagged = List.combine cells results in
+  fun () ->
+  let tagged = List.combine cells (get_results ()) in
   List.iter
     (fun tl ->
       let mine =
@@ -589,13 +718,13 @@ let table_a4 ~pool () =
    is a protocol bug and fails the bench run (and hence `make ci`). The
    JSON report is deterministic in the grid and chaos seeds (no
    wall-clock), so the same seeds yield a bit-identical file. *)
-let table_chaos ~pool ~jobs () =
+let table_chaos ~sched ~jobs () =
   let cells, k_range =
     if !quick then Chaos.Chaos_sweep.quick_grid (), "k=2"
     else Chaos.Chaos_sweep.full_grid (), "k=2,4"
   in
-  let outcomes =
-    sweep ~pool ~table:"C1 chaos grid" ~k_range
+  let get_outcomes =
+    sweep ~sched ~table:"C1 chaos grid" ~k_range
       (fun c ->
         {
           Chaos.Chaos_sweep.cell = c;
@@ -605,6 +734,8 @@ let table_chaos ~pool ~jobs () =
         })
       cells
   in
+  fun () ->
+  let outcomes = get_outcomes () in
   let table =
     Table.make
       ~title:
@@ -791,48 +922,109 @@ let jobs_from_argv () =
   in
   scan (Array.to_list Sys.argv)
 
+(* The `make bench-quick` CI gate: with the fused scheduler and real
+   parallelism available, the whole run must not be slower than the
+   sequential reference — whole-run speedup >= 1.0. On a single-core
+   container (or jobs = 1) there is nothing to win, so the check is
+   skipped with a notice rather than asserting noise. *)
+let check_whole_run_speedup ~jobs (rs : H.Sweep.Fused.run_stats) =
+  let recommended = Domain.recommended_domain_count () in
+  let seq_total = total_sequential_ms () in
+  let par_total = rs.H.Sweep.Fused.wall_ms in
+  let speedup = if par_total > 0. then seq_total /. par_total else 0. in
+  if jobs >= 2 && recommended >= 2 then begin
+    Printf.printf
+      "whole-run speedup: %.2fx (%.1f ms sequential vs %.1f ms fused drain, \
+       %d tasks, %d steals)\n"
+      speedup seq_total par_total rs.H.Sweep.Fused.tasks
+      rs.H.Sweep.Fused.steals;
+    if speedup < 1.0 then begin
+      Printf.eprintf
+        "FAIL: whole-run fused speedup %.2fx < 1.0 with %d jobs on %d \
+         recommended domains\n"
+        speedup jobs recommended;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "whole-run speedup check skipped (%d job(s), %d recommended domain(s) — \
+       needs both >= 2); fused drain: %.1f ms over %d tasks\n"
+      jobs recommended par_total rs.H.Sweep.Fused.tasks
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
   let chaos_only = Array.exists (String.equal "--chaos-quick") Sys.argv in
   quick := chaos_only || Array.exists (String.equal "--quick") Sys.argv;
-  let jobs =
-    match jobs_from_argv () with
-    | Some n -> n
-    | None -> Pool.default_jobs ()
-  in
+  let barrier = Array.exists (String.equal "--barrier") Sys.argv in
+  let jobs = Pool.resolve_jobs ?jobs:(jobs_from_argv ()) () in
   print_endline "byzantine stable matching — experiment harness";
-  Printf.printf "sweep parallelism: %d job(s) (BSM_JOBS or --jobs to override, %d domain(s) recommended)%s\n"
+  Printf.printf
+    "sweep parallelism: %d job(s) (--jobs beats BSM_JOBS, %d domain(s) \
+     recommended); scheduler: %s%s\n"
     jobs
     (Domain.recommended_domain_count ())
-    (if !quick then "; --quick: smallest k per table, no microbenchmarks" else "");
+    (if barrier then "per-table barriers (--barrier)"
+     else "fused (one task graph, one drain point)")
+    (if !quick then "; --quick: smallest k per table, no microbenchmarks"
+     else "");
   print_newline ();
+  let fused_run = ref None in
   Pool.with_pool ~jobs (fun pool ->
+      let sched =
+        if barrier then Barrier pool else Fused (pool, H.Sweep.Fused.create ())
+      in
+      (* Registration phase: sequential reference passes run here, cells
+         enter the shared graph (fused) or run behind per-table barriers
+         (legacy). Explicit sequencing — a list literal would evaluate
+         right-to-left. *)
+      let renderers = ref [] in
+      let reg f = renderers := f () :: !renderers in
       if not chaos_only then begin
-        table_t1 ~pool ();
-        table_t2 ~pool ();
-        table_t3_gs ~pool ();
-        table_t3_protocols ~pool ();
-        table_t3_distributed_gs ~pool ();
-        table_a1 ~pool ();
-        table_a2 ~pool ();
-        table_a3 ~pool ();
-        table_a4 ~pool ()
+        reg (table_t1 ~sched);
+        reg (table_t2 ~sched);
+        reg (table_t3_gs ~sched);
+        reg (table_t3_protocols ~sched);
+        reg (table_t3_distributed_gs ~sched);
+        reg (table_a1 ~sched);
+        reg (table_a2 ~sched);
+        reg (table_a3 ~sched);
+        reg (table_a4 ~sched)
       end;
-      table_chaos ~pool ~jobs ());
+      reg (table_chaos ~sched ~jobs);
+      (* The single drain point: every registered cell — all tables plus
+         the chaos grid — executes in one parallel pass. *)
+      (match sched with
+      | Fused (pool, batch) ->
+        fused_run := Some (H.Sweep.Fused.drain ~pool batch)
+      | Barrier _ -> ());
+      (* Render in registration order; fused getters verify bit-identity
+         against their sequential references here. *)
+      List.iter (fun render -> render ()) (List.rev !renderers));
   if not !quick then run_microbenchmarks ();
-  if chaos_only then print_endline "done (chaos grid only)."
+  if chaos_only then begin
+    (match !fused_run with
+    | Some rs ->
+      Printf.printf "fused drain: %.1f ms over %d tasks (%d steals)\n"
+        rs.H.Sweep.Fused.wall_ms rs.H.Sweep.Fused.tasks rs.H.Sweep.Fused.steals
+    | None -> ());
+    print_endline "done (chaos grid only)."
+  end
   else begin
     (* Quick runs exercise the JSON writer without clobbering the tracked
        full-size numbers. *)
     let json_path =
       if !quick then "BENCH_sweeps.quick.json" else "BENCH_sweeps.json"
     in
-    write_sweeps_json ~jobs json_path;
+    write_sweeps_json ~jobs ~fused_run:!fused_run json_path;
     Printf.printf
       "wrote %s (%d sweeps with GC deltas; every parallel sweep verified \
        bit-identical to its sequential run)\n"
       json_path
       (List.length !sweep_records);
+    (match !fused_run with
+    | Some rs -> check_whole_run_speedup ~jobs rs
+    | None -> ());
     print_endline "done. See EXPERIMENTS.md for the paper-vs-measured discussion."
   end

@@ -6,6 +6,8 @@
      run         execute a scenario with a random byzantine coalition
                  (optionally under a fault schedule: --drop-rate, --crash)
      chaos       the chaos grid: fault schedules vs the bSM oracle
+     bench       the chaos grid as a scheduling benchmark (--fused for the
+                 shared task-graph scheduler and its steal counters)
      ssm         execute a simplified-stable-matching scenario
      attack      run an impossibility construction (Figures 2-4)
      topology    render the three communication models (Figure 1)
@@ -256,8 +258,11 @@ let chaos_cmd =
       if full then Chaos.Chaos_sweep.full_grid ()
       else Chaos.Chaos_sweep.quick_grid ()
     in
+    (* resolve_jobs: an explicit --jobs wins verbatim (no clamping) over
+       the BSM_JOBS environment variable. *)
+    let jobs = Bsm_runtime.Pool.resolve_jobs ?jobs () in
     let outcomes =
-      Bsm_runtime.Pool.with_pool ?jobs (fun pool ->
+      Bsm_runtime.Pool.with_pool ~jobs (fun pool ->
           Chaos.Chaos_sweep.run_cells ~pool cells)
     in
     let table =
@@ -295,7 +300,10 @@ let chaos_cmd =
     Arg.(
       value
       & opt (some int) None
-      & info [ "j"; "jobs" ] ~doc:"Domains for the sweep (default: BSM_JOBS).")
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Domains for the sweep. An explicit value takes precedence over \
+             BSM_JOBS (default: BSM_JOBS, else the recommended domain count).")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -303,6 +311,75 @@ let chaos_cmd =
          "Run the chaos grid: T-table settings under deterministic fault \
           schedules, judged by the bSM property oracle (Theorems 8-9).")
     Term.(const run $ full $ jobs)
+
+(* --- bench ------------------------------------------------------------------- *)
+
+let bench_cmd =
+  let run full fused jobs =
+    let cells =
+      if full then Chaos.Chaos_sweep.full_grid ()
+      else Chaos.Chaos_sweep.quick_grid ()
+    in
+    let jobs = Bsm_runtime.Pool.resolve_jobs ?jobs () in
+    let outcomes, wall_ms, tasks, steals =
+      Bsm_runtime.Pool.with_pool ~jobs (fun pool ->
+          if fused then begin
+            let batch = H.Sweep.Fused.create () in
+            let handle =
+              Chaos.Chaos_sweep.submit batch ~table:"chaos grid" cells
+            in
+            let rs = H.Sweep.Fused.drain ~pool batch in
+            ( H.Sweep.Fused.results handle,
+              rs.H.Sweep.Fused.wall_ms,
+              rs.H.Sweep.Fused.tasks,
+              rs.H.Sweep.Fused.steals )
+          end
+          else begin
+            let outcomes, m =
+              H.Sweep.measure (fun () -> Chaos.Chaos_sweep.run_cells ~pool cells)
+            in
+            outcomes, m.H.Sweep.wall_ms, List.length cells, 0
+          end)
+    in
+    let s = Chaos.Chaos_sweep.summarize outcomes in
+    Format.printf "%a@." Chaos.Chaos_sweep.pp_summary s;
+    Format.printf
+      "scheduler: %s — %.1f ms wall, %d tasks, %d steals, %d job(s)@."
+      (if fused then "fused (one task graph, one drain point)"
+       else "single barriered map")
+      wall_ms tasks steals jobs;
+    if s.Chaos.Chaos_sweep.violated > 0 then exit 1
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Run the full grid (k = 2 and 4, three chaos seeds).")
+  in
+  let fused =
+    Arg.(
+      value & flag
+      & info [ "fused" ]
+          ~doc:
+            "Drain the grid through the fused task-graph scheduler (one task \
+             per cell, work-stealing lanes) instead of one barriered map, and \
+             report its steal counters.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Domains for the sweep. An explicit value takes precedence over \
+             BSM_JOBS (default: BSM_JOBS, else the recommended domain count).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the chaos grid as a scheduling benchmark and report wall clock, \
+          task and steal counts (the full experiment tables live in \
+          bench/main.exe).")
+    Term.(const run $ full $ fused $ jobs)
 
 (* --- attack ------------------------------------------------------------------ *)
 
@@ -610,6 +687,7 @@ let () =
   let info = Cmd.info "bsm" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [
-      solvable_cmd; matrix_cmd; run_cmd; chaos_cmd; ssm_cmd; attack_cmd; topology_cmd;
-      complexity_cmd; lattice_cmd; roommates_cmd; bsr_cmd; manipulate_cmd;
+      solvable_cmd; matrix_cmd; run_cmd; chaos_cmd; bench_cmd; ssm_cmd; attack_cmd;
+      topology_cmd; complexity_cmd; lattice_cmd; roommates_cmd; bsr_cmd;
+      manipulate_cmd;
     ]))

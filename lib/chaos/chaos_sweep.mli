@@ -35,6 +35,19 @@ type outcome = {
     order; parallel across the pool's domains when [pool] is given. *)
 val run_cells : ?pool:Pool.t -> ?max_rounds:int -> cell list -> outcome list
 
+(** [submit batch ~table cells] registers the chaos cells into a fused
+    sweep batch ({!Bsm_harness.Sweep.Fused}) instead of running them in
+    their own barriered map: the whole (case × schedule × seed) grid
+    joins the bench tables' shared task graph and drains at the single
+    drain point, with the same bit-identity guarantee as {!run_cells}
+    (read the outcomes back with [Sweep.Fused.results]). *)
+val submit :
+  Sweep.Fused.t ->
+  table:string ->
+  ?max_rounds:int ->
+  cell list ->
+  outcome Sweep.Fused.handle
+
 type summary = {
   cells : int;
   ok : int;
@@ -47,7 +60,10 @@ val pp_summary : Format.formatter -> summary -> unit
 
 (** Deterministic JSON report (summary + one row per cell with verdict,
     budget attribution and per-fate message counts). [jobs] is recorded
-    for provenance only. *)
+    for provenance only; the summary carries the fused task count (one
+    task per cell) but deliberately no wall clocks or steal counts —
+    those vary run to run and belong to BENCH_sweeps.json, keeping this
+    file bit-identical for a given grid and seeds. *)
 val to_json : jobs:int -> outcome list -> string
 
 (** The standard grids the bench, CLI and CI share: T-table settings

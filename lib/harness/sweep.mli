@@ -79,3 +79,79 @@ type measurement = {
 
 (** [measure f] runs [f ()] and reports its cost. *)
 val measure : (unit -> 'a) -> 'a * measurement
+
+(** Fused sweep scheduler: many tables, one task graph, one drain point.
+
+    The bench used to run each experiment table as its own [Pool.map]
+    with a full barrier between tables, so every table paid for its own
+    straggler cell (its largest k) while the other lanes idled. A fused
+    batch instead {e registers} all tables' cells up front ({!add}), then
+    executes the whole cross-table graph in a single parallel drain
+    ({!drain}): one pool task per cell, so another table's cells fill the
+    lanes a straggler would otherwise leave idle, and the only barrier is
+    the single drain point at the end.
+
+    Determinism is unchanged: cells keep their per-table input order in
+    the results ({!results}), execution order is invisible, and a
+    sequential [List.map] of the same cells is bit-identical (the bench
+    asserts this per table).
+
+    Instrumentation: every task is individually timed and its
+    domain-local GC counters delta'd — valid per-task attribution, since
+    a task runs start-to-finish on one domain that runs nothing else
+    meanwhile. {!stats} aggregates per table; {!drain} reports the
+    whole-run wall clock plus the pool's steal counter delta. *)
+module Fused : sig
+  type t
+
+  (** Handle to one registered table's results, readable after
+      {!drain}. *)
+  type 'b handle
+
+  val create : unit -> t
+
+  (** [add t ~table f cells] registers a table's cells. Nothing runs
+      until {!drain}; raises [Invalid_argument] after it. *)
+  val add : t -> table:string -> ('a -> 'b) -> 'a list -> 'b handle
+
+  (** Per-table attribution summed over its tasks: [task_ms_total] is
+      CPU-side cost (what a sequential run of just this table would
+      roughly cost), [task_ms_max] its worst cell — the straggler that a
+      per-table barrier would serialize behind. *)
+  type table_stats = {
+    table : string;
+    tasks : int;
+    task_ms_total : float;
+    task_ms_max : float;
+    minor_words : float;
+    major_words : float;
+  }
+
+  (** Whole-run cost of the single drain: [wall_ms] covers all tables
+      together, [steals] is the pool's successful-steal delta (0 when
+      sequential), [tables] the per-table attributions in registration
+      order. *)
+  type run_stats = {
+    wall_ms : float;
+    tasks : int;
+    steals : int;
+    jobs : int;
+    tables : table_stats list;
+  }
+
+  (** [drain ?pool t] executes every registered cell — across the pool
+      when given, sequentially otherwise — and reports the whole-run
+      stats. If a cell raises, all cells still settle first, then the
+      lowest-indexed failure re-raises (tables in registration order);
+      the batch still counts as drained so surviving tables' handles
+      remain readable. *)
+  val drain : ?pool:Pool.t -> t -> run_stats
+
+  (** The table's results, in its cells' input order. Raises
+      [Invalid_argument] before {!drain} or if this table's cells did
+      not all finish (a cell raised). *)
+  val results : 'b handle -> 'b list
+
+  (** Per-table attribution for this handle (after {!drain}). *)
+  val stats : 'b handle -> table_stats
+end

@@ -1,22 +1,14 @@
-let src = Logs.Src.create "bsm.pool" ~doc:"fixed-size domain pool"
+let src = Logs.Src.create "bsm.pool" ~doc:"persistent work-stealing domain pool"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type task = unit -> unit
-
-type t = {
-  jobs : int;
-  queue : task Queue.t;
-  mutex : Mutex.t;
-  work_available : Condition.t;
-  mutable closed : bool;
-  mutable workers : unit Domain.t list;
-}
-
 (* BSM_JOBS beyond the hardware's recommended domain count makes every
    sweep slower (domains time-share cores and fight over the minor heaps),
-   so oversubscription is clamped, with a warning. Explicit [~jobs]
-   arguments are not clamped: tests deliberately oversubscribe. *)
+   so oversubscription is clamped — warned once per process, not once per
+   map. Explicit [~jobs] arguments are not clamped: tests deliberately
+   oversubscribe. *)
+let clamp_warned = Atomic.make false
+
 let default_jobs () =
   let recommended = Domain.recommended_domain_count () in
   match Sys.getenv_opt "BSM_JOBS" with
@@ -25,164 +17,354 @@ let default_jobs () =
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 ->
       if n > recommended then begin
-        Log.warn (fun m ->
-            m
-              "BSM_JOBS=%d oversubscribes this machine (%d domain(s) \
-               recommended); clamping to %d"
-              n recommended recommended);
+        if not (Atomic.exchange clamp_warned true) then
+          Log.warn (fun m ->
+              m
+                "BSM_JOBS=%d oversubscribes this machine (%d domain(s) \
+                 recommended); clamping to %d"
+                n recommended recommended);
         recommended
       end
       else n
     | Some _ | None ->
       invalid_arg (Printf.sprintf "BSM_JOBS=%S: expected a positive integer" s))
 
-(* Workers block until a task is queued or the pool closes; the queue is
-   FIFO so tasks start in submission order. *)
-let worker_loop t =
-  let rec take () =
-    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
-    else if t.closed then None
-    else begin
-      Condition.wait t.work_available t.mutex;
-      take ()
+let resolve_jobs ?jobs () =
+  match jobs with
+  | None -> default_jobs ()
+  | Some n when n >= 1 -> n
+  | Some n ->
+    invalid_arg (Printf.sprintf "Pool.resolve_jobs: jobs=%d must be >= 1" n)
+
+(* --- Chase-Lev-style deque of task indices ------------------------------- *)
+
+(* One deque per lane, filled completely before the batch is published
+   (the publish happens under the pool mutex, giving the workers a
+   happens-before edge on [buf]) and never pushed to afterwards. The
+   owner pops at [bottom], thieves steal at [top]; with no concurrent
+   pushes the buffer needs no resizing or wraparound, and "top >= bottom"
+   is a {e permanent} emptiness verdict — a lane that observes every
+   deque empty can stop hunting, because no new work can appear
+   mid-batch. *)
+module Deque = struct
+  type t = {
+    buf : int array;
+    top : int Atomic.t;
+    bottom : int Atomic.t;
+  }
+
+  (* Lane [lane] owns indices lane, lane + lanes, lane + 2*lanes, ... —
+     stored descending so the owner's bottom-end pops run them in
+     ascending index order (thieves take the highest indices first). *)
+  let of_lane ~lane ~lanes ~n =
+    let size = if lane >= n then 0 else ((n - lane - 1) / lanes) + 1 in
+    let buf = Array.make (max size 1) (-1) in
+    for j = 0 to size - 1 do
+      buf.(size - 1 - j) <- lane + (j * lanes)
+    done;
+    { buf; top = Atomic.make 0; bottom = Atomic.make size }
+
+  let pop d =
+    let b = Atomic.get d.bottom - 1 in
+    Atomic.set d.bottom b;
+    let t = Atomic.get d.top in
+    if b > t then Some d.buf.(b)
+    else if b = t then begin
+      (* Last element: race the thieves for it via top. *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then Some d.buf.(b) else None
     end
-  in
-  let rec loop () =
-    Mutex.lock t.mutex;
-    let task = take () in
-    Mutex.unlock t.mutex;
-    match task with
-    | None -> ()
-    | Some task ->
-      task ();
-      loop ()
-  in
-  loop ()
+    else begin
+      Atomic.set d.bottom t;
+      None
+    end
+
+  type steal_result =
+    | Stolen of int
+    | Empty
+    | Retry  (** lost a CAS race; the deque may still hold work *)
+
+  let steal d =
+    let t = Atomic.get d.top in
+    let b = Atomic.get d.bottom in
+    if t >= b then Empty
+    else
+      let x = d.buf.(t) in
+      if Atomic.compare_and_set d.top t (t + 1) then Stolen x else Retry
+end
+
+(* --- pool ----------------------------------------------------------------- *)
+
+type batch = {
+  epoch : int;
+  run : int -> unit;  (** execute element [i]; never raises *)
+  deques : Deque.t array;
+  remaining : int Atomic.t;  (** elements not yet completed *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;  (** new batch published, or shutdown *)
+  batch_done : Condition.t;  (** [remaining] reached 0 *)
+  mutable current : batch option;
+  mutable epoch : int;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;  (** spawned lazily, then persistent *)
+  tasks_total : int Atomic.t;
+  steals_total : int Atomic.t;
+  batches_total : int Atomic.t;
+}
+
+type stats = {
+  tasks : int;
+  steals : int;
+  batches : int;
+}
+
+let stats t =
+  {
+    tasks = Atomic.get t.tasks_total;
+    steals = Atomic.get t.steals_total;
+    batches = Atomic.get t.batches_total;
+  }
 
 let create ?jobs () =
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
-  let t =
-    {
-      jobs;
-      queue = Queue.create ();
-      mutex = Mutex.create ();
-      work_available = Condition.create ();
-      closed = false;
-      workers = [];
-    }
-  in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+  let jobs = resolve_jobs ?jobs () in
+  {
+    jobs;
+    mutex = Mutex.create ();
+    work_available = Condition.create ();
+    batch_done = Condition.create ();
+    current = None;
+    epoch = 0;
+    closed = false;
+    workers = [||];
+    tasks_total = Atomic.make 0;
+    steals_total = Atomic.make 0;
+    batches_total = Atomic.make 0;
+  }
 
 let jobs t = t.jobs
 
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.closed <- true;
-  Condition.broadcast t.work_available;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+(* Guards against Pool.map called from inside a pool task: the nested map
+   would wait for lanes that are all busy running its ancestors. *)
+let in_task_key = Domain.DLS.new_key (fun () -> ref false)
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+let exec t b i =
+  b.run i;
+  if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+    (* Last element of the batch: wake the submitter if it is parked in
+       [batch_done]. The lock closes the check-then-wait race. *)
+    Mutex.lock t.mutex;
+    Condition.broadcast t.batch_done;
+    Mutex.unlock t.mutex
+  end
+
+(* Drain the lane's own deque in index order, then steal single tasks
+   from randomized victims until one full sweep of all deques comes back
+   Empty with no Retry — conclusive, since batches never grow. *)
+let run_lane t b ~lane =
+  let d = b.deques.(lane) in
+  let rec own () =
+    match Deque.pop d with
+    | Some i ->
+      exec t b i;
+      own ()
+    | None -> ()
+  in
+  own ();
+  let lanes = Array.length b.deques in
+  if lanes > 1 then begin
+    (* Victim order only affects scheduling, never results (slots are
+       index-addressed), so a throwaway LCG is enough — and it must not
+       be the global Random state. *)
+    let rng = ref ((b.epoch * 0x9e3779b9) lxor (lane * 0x85ebca6b) lxor 1) in
+    let next_victim () =
+      let x = !rng in
+      let x = x lxor (x lsr 12) in
+      let x = x lxor (x lsl 25) in
+      let x = x lxor (x lsr 27) in
+      rng := x;
+      ((x * 0x2545F4914F6CDD1D) lsr 33) mod lanes
+    in
+    let rec hunt () =
+      let stolen = ref None in
+      let contended = ref false in
+      let start = next_victim () in
+      let i = ref 0 in
+      while !stolen = None && !i < lanes do
+        let v = (start + !i) mod lanes in
+        if v <> lane then begin
+          match Deque.steal b.deques.(v) with
+          | Deque.Stolen x -> stolen := Some x
+          | Deque.Retry -> contended := true
+          | Deque.Empty -> ()
+        end;
+        incr i
+      done;
+      match !stolen with
+      | Some x ->
+        Atomic.incr t.steals_total;
+        exec t b x;
+        hunt ()
+      | None ->
+        if !contended then begin
+          Domain.cpu_relax ();
+          hunt ()
+        end
+    in
+    hunt ()
+  end
+
+let worker_loop t ~lane =
+  let rec loop last_epoch =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if t.closed then None
+      else
+        match t.current with
+        | Some b when b.epoch <> last_epoch -> Some b
+        | Some _ | None ->
+          Condition.wait t.work_available t.mutex;
+          await ()
+    in
+    let b = await () in
+    Mutex.unlock t.mutex;
+    match b with
+    | None -> ()
+    | Some b ->
+      run_lane t b ~lane;
+      loop b.epoch
+  in
+  loop 0
+
+(* Only the (single) submitting caller reaches this, so [t.workers] has
+   no writer races; domains spawn once and then serve every later map. *)
+let ensure_workers t =
+  if Array.length t.workers = 0 && t.jobs > 1 then
+    t.workers <-
+      Array.init (t.jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t ~lane:(i + 1)))
 
 type 'b slot =
   | Pending
   | Done of 'b
   | Raised of exn * Printexc.raw_backtrace
 
-let take_task t =
-  Mutex.lock t.mutex;
-  let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
-  Mutex.unlock t.mutex;
-  task
-
-(* One queue entry per contiguous index range instead of one per item:
-   a sweep of [n] cells costs O(chunks) = O(4 * jobs) lock acquisitions
-   rather than O(n). Chunks are deliberately smaller than [n / jobs] so a
-   slow cell (the largest k of a sweep) cannot serialize the tail. *)
-let chunk_size ~jobs n = max 1 (n / (4 * jobs))
+let collect slots n =
+  let first_failure = ref None in
+  for i = n - 1 downto 0 do
+    match slots.(i) with
+    | Raised (e, bt) -> first_failure := Some (e, bt)
+    | Done _ -> ()
+    | Pending -> assert false
+  done;
+  (match !first_failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.to_list
+    (Array.map
+       (function
+         | Done v -> v
+         | Pending | Raised _ -> assert false)
+       slots)
 
 let map t f xs =
+  if !(Domain.DLS.get in_task_key) then
+    invalid_arg "Pool.map: nested call from inside a pool task";
+  if t.closed then invalid_arg "Pool.map: pool is shut down";
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
+  | [ x ] ->
+    Atomic.incr t.tasks_total;
+    Atomic.incr t.batches_total;
+    [ f x ]
   | xs ->
     let items = Array.of_list xs in
     let n = Array.length items in
     (* Slots are written at distinct indices from distinct domains — no
-       two tasks share a cell, so plain writes are race-free. *)
+       two tasks share a cell, so plain writes are race-free, and steal
+       order cannot reach the output. *)
     let slots = Array.make n Pending in
-    let chunk = chunk_size ~jobs:t.jobs n in
-    let chunks = (n + chunk - 1) / chunk in
-    let batch_mutex = Mutex.create () in
-    let batch_done = Condition.create () in
-    let remaining = ref chunks in
-    (* Items stay independent inside a chunk: each gets its own outcome
-       slot, so one raising item neither skips its chunk-mates nor masks a
-       lower-indexed failure elsewhere. *)
-    let run_chunk lo hi () =
-      for i = lo to hi do
-        slots.(i) <-
-          (match f items.(i) with
-          | v -> Done v
-          | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
-      done;
-      Mutex.lock batch_mutex;
-      decr remaining;
-      (* Only the submitting domain ever waits on [batch_done], and only
-         the last chunk can release it — signal once instead of
-         broadcasting on every completion. *)
-      if !remaining = 0 then Condition.signal batch_done;
-      Mutex.unlock batch_mutex
+    let run i =
+      let flag = Domain.DLS.get in_task_key in
+      flag := true;
+      slots.(i) <-
+        (match f items.(i) with
+        | v -> Done v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ()));
+      flag := false
     in
-    Mutex.lock t.mutex;
-    if t.closed then begin
+    Atomic.fetch_and_add t.tasks_total n |> ignore;
+    Atomic.incr t.batches_total;
+    if t.jobs = 1 then
+      (* The sequential path: inline, in input order, no domains. *)
+      for i = 0 to n - 1 do
+        run i
+      done
+    else begin
+      ensure_workers t;
+      let deques =
+        Array.init t.jobs (fun lane -> Deque.of_lane ~lane ~lanes:t.jobs ~n)
+      in
+      Mutex.lock t.mutex;
+      t.epoch <- t.epoch + 1;
+      let b = { epoch = t.epoch; run; deques; remaining = Atomic.make n } in
+      t.current <- Some b;
+      Condition.broadcast t.work_available;
       Mutex.unlock t.mutex;
-      invalid_arg "Pool.map: pool is shut down"
+      (* The submitter is lane 0: it works its own share and steals like
+         any worker, then parks until in-flight stragglers settle. *)
+      run_lane t b ~lane:0;
+      Mutex.lock t.mutex;
+      while Atomic.get b.remaining > 0 do
+        Condition.wait t.batch_done t.mutex
+      done;
+      t.current <- None;
+      Mutex.unlock t.mutex
     end;
-    for c = 0 to chunks - 1 do
-      let lo = c * chunk in
-      let hi = min (lo + chunk - 1) (n - 1) in
-      Queue.push (run_chunk lo hi) t.queue;
-      (* Wake one worker per chunk; a signal with no waiter is lost, but
-         then every worker is already awake and draining the queue. *)
-      Condition.signal t.work_available
-    done;
-    Mutex.unlock t.mutex;
-    (* The submitting domain is the pool's jobs-th lane: it drains the
-       queue alongside the workers, then sleeps until in-flight chunks
-       settle. With jobs = 1 there are no workers and this loop runs
-       every chunk inline, in index order — the sequential path. *)
-    let rec help () =
-      match take_task t with
-      | Some task ->
-        task ();
-        help ()
-      | None ->
-        Mutex.lock batch_mutex;
-        let finished = !remaining = 0 in
-        if not finished then Condition.wait batch_done batch_mutex;
-        Mutex.unlock batch_mutex;
-        if not finished then help ()
-    in
-    help ();
-    let first_failure = ref None in
-    for i = n - 1 downto 0 do
-      match slots.(i) with
-      | Raised (e, bt) -> first_failure := Some (e, bt)
-      | Done _ -> ()
-      | Pending -> assert false
-    done;
-    (match !first_failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.to_list
-      (Array.map
-         (function
-           | Done v -> v
-           | Pending | Raised _ -> assert false)
-         slots)
+    collect slots n
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let first = not t.closed in
+  t.closed <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  if first then begin
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* --- the process-wide persistent pool ------------------------------------ *)
+
+let global_pool : t option ref = ref None
+let global_at_exit_registered = ref false
+
+let global () =
+  match !global_pool with
+  | Some p when not p.closed -> p
+  | Some _ | None ->
+    let p = create () in
+    global_pool := Some p;
+    if not !global_at_exit_registered then begin
+      global_at_exit_registered := true;
+      (* Join the persistent domains at exit so `dune runtest` and the
+         CLI leave no leaked domains behind under runtime debugging. *)
+      Stdlib.at_exit (fun () ->
+          match !global_pool with Some p -> shutdown p | None -> ())
+    end;
+    p
+
+let shutdown_global () =
+  match !global_pool with Some p -> shutdown p | None -> ()
+
+module For_testing = struct
+  let reset_clamp_warning () = Atomic.set clamp_warned false
+end

@@ -1,4 +1,5 @@
-(** Fixed-size domain pool for deterministic parallel sweeps.
+(** Persistent work-stealing domain pool for deterministic parallel
+    sweeps.
 
     The benchmark and attack harnesses replay many independent protocol
     executions ([Engine.run] is pure given its inputs: it touches no
@@ -7,19 +8,38 @@
     keeping the results {e bit-identical} to the sequential path:
 
     - {!map} returns results in input order, whatever order the tasks
-      actually finished in;
+      actually ran or finished in — every element has its own
+      index-addressed result slot, so scheduling (and steal order) is
+      invisible in the output;
     - task functions must be self-contained — derive any randomness from
       a per-task [Rng.make seed] inside the function, never from shared
       state (this is the same discipline the repository already follows:
       nothing touches the global [Random] state);
     - with [jobs = 1] no domain is spawned and tasks run inline, in
-      order, on the calling domain — the sequential path is not merely
-      equivalent but literally the same code path.
+      input order, on the calling domain — the sequential path is not
+      merely equivalent but literally the same code path.
 
-    The pool is a work-stealing-free shared queue: [jobs - 1] worker
-    domains plus the submitting domain drain tasks FIFO. Do not call
-    {!map} from inside a task of the same pool (the inner map could then
-    starve waiting for workers that are all blocked on inner maps). *)
+    {2 Scheduling}
+
+    Worker domains are spawned {e lazily} on the first parallel {!map}
+    and then {e persist}: every later [map] on the same pool (and, for
+    {!global}, every [map] for the rest of the process) reuses them —
+    no per-call domain spawns. Each of the [jobs] lanes (the submitting
+    domain is lane 0) owns a Chase–Lev-style deque; [map] deals the
+    element indices round-robin across the lanes, each lane drains its
+    own deque in ascending index order, and a lane that runs dry steals
+    single tasks from randomly-chosen victims. One element is one task —
+    there are no static chunks — so a sweep mixing 1 ms and 100 ms cells
+    (k = 2 protocol runs next to k = 160 pipelines) rebalances
+    automatically instead of serializing behind the chunk that got the
+    expensive cells. Lanes that find every deque empty block on a
+    condition variable rather than spinning, so a straggler task does
+    not have idle domains burning its CPU.
+
+    Do not call {!map} from inside a task of the same (or any) pool —
+    the nested call raises [Invalid_argument] instead of deadlocking.
+    [map] may only be called from one caller at a time per pool (the
+    harnesses always submit from the main domain). *)
 
 type t
 
@@ -27,33 +47,61 @@ type t
     environment variable when set (must parse as a positive integer),
     otherwise [Domain.recommended_domain_count ()]. A [BSM_JOBS] value
     above the recommended domain count is clamped to it (and a warning
-    is logged on the [bsm.pool] source): oversubscribed domains
-    time-share cores and contend on minor heaps, making every sweep
-    slower. Explicit [?jobs] arguments to {!create}/{!with_pool} are
-    taken verbatim, clamp-free. *)
+    is logged on the [bsm.pool] source, once per process — not once per
+    call): oversubscribed domains time-share cores and contend on minor
+    heaps, making every sweep slower. Explicit [?jobs] arguments to
+    {!create}/{!with_pool}/{!resolve_jobs} are taken verbatim,
+    clamp-free. *)
 val default_jobs : unit -> int
 
-(** [create ?jobs ()] spawns [jobs - 1] worker domains ([jobs] defaults
-    to {!default_jobs}). Raises [Invalid_argument] when [jobs < 1]. *)
+(** [resolve_jobs ?jobs ()] is the CLI-flag precedence rule in one
+    place: an explicit [jobs] (e.g. [--jobs]) wins verbatim — never
+    clamped, never overridden by [BSM_JOBS] — and only when absent does
+    {!default_jobs} (and hence the environment) apply. Raises
+    [Invalid_argument] when [jobs < 1]. *)
+val resolve_jobs : ?jobs:int -> unit -> int
+
+(** [create ?jobs ()] makes a pool of [jobs] lanes ([jobs] defaults to
+    {!default_jobs}). No domain is spawned yet: the [jobs - 1] workers
+    start on the first parallel {!map} and persist until {!shutdown}.
+    Raises [Invalid_argument] when [jobs < 1]. *)
 val create : ?jobs:int -> unit -> t
+
+(** The process-wide persistent pool, created (with {!default_jobs}
+    lanes) on first use and reused by every later call. An [at_exit]
+    hook joins its domains so the process exits clean even under domain
+    -leak debugging; {!shutdown_global} joins them earlier. If the
+    global pool was shut down, the next [global ()] makes a fresh one. *)
+val global : unit -> t
+
+(** Join the global pool's domains now (idempotent; a no-op when
+    {!global} was never called). *)
+val shutdown_global : unit -> unit
 
 (** Parallelism level the pool was created with (including the
     submitting domain). *)
 val jobs : t -> int
 
 (** [map pool f xs] applies [f] to every element of [xs], distributing
-    calls over the pool's domains, and returns the results {e in input
-    order}. If one or more calls raise, the exception of the
-    lowest-indexed failing element is re-raised (with its backtrace)
-    after all tasks have settled.
-
-    Work is submitted as contiguous index-range chunks of size
-    [max 1 (n / (4 * jobs))] — one queue entry and one condition signal
-    per chunk — so the shared lock is taken O(jobs) times per call, not
-    O(n). Elements remain independent: each gets its own outcome slot,
-    so a raising element neither skips its chunk-mates nor masks a
-    lower-indexed failure in another chunk. *)
+    calls over the pool's lanes, and returns the results {e in input
+    order}. Every element runs even if others raise; if one or more
+    calls raise, the exception of the lowest-indexed failing element is
+    re-raised (with its backtrace) after all tasks have settled. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Cumulative scheduling counters since the pool was created. [tasks]
+    counts executed elements, [steals] successful steals (0 on the
+    [jobs = 1] path — nothing to steal), [batches] {!map} calls that ran
+    at least one element. The sweep harness reports deltas of these in
+    [BENCH_sweeps.json]; they describe scheduling only and never affect
+    results. *)
+type stats = {
+  tasks : int;
+  steals : int;
+  batches : int;
+}
+
+val stats : t -> stats
 
 (** [shutdown pool] signals the workers to exit and joins them.
     Idempotent. Calling {!map} after [shutdown] raises
@@ -62,3 +110,12 @@ val shutdown : t -> unit
 
 (** [with_pool ?jobs f] brackets [create]/[shutdown] around [f]. *)
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+(**/**)
+
+(** Test hooks — not part of the public API. *)
+module For_testing : sig
+  (** Re-arm the once-per-process [BSM_JOBS] clamp warning so a test can
+      observe exactly one emission. *)
+  val reset_clamp_warning : unit -> unit
+end

@@ -291,6 +291,23 @@ let test_quick_grid_par_equals_seq () =
   Alcotest.(check string) "same json" (Chaos_sweep.to_json ~jobs:1 seq)
     (Chaos_sweep.to_json ~jobs:1 par)
 
+let test_fused_submit_matches_run_cells () =
+  (* The chaos grid submitted into a fused batch (one task per cell in
+     the shared graph) must be bit-identical to the barriered run_cells
+     path, json included. *)
+  let cells = Chaos_sweep.quick_grid () in
+  let seq = Chaos_sweep.run_cells cells in
+  let fused =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        let batch = H.Sweep.Fused.create () in
+        let handle = Chaos_sweep.submit batch ~table:"chaos" cells in
+        let _ = H.Sweep.Fused.drain ~pool batch in
+        H.Sweep.Fused.results handle)
+  in
+  Alcotest.(check bool) "fused == sequential" true (seq = fused);
+  Alcotest.(check string) "same json" (Chaos_sweep.to_json ~jobs:1 seq)
+    (Chaos_sweep.to_json ~jobs:1 fused)
+
 let test_quick_grid_has_no_violations () =
   let outcomes = Chaos_sweep.run_cells (Chaos_sweep.quick_grid ()) in
   let s = Chaos_sweep.summarize outcomes in
@@ -351,6 +368,8 @@ let () =
       ( "chaos-sweep",
         [
           Alcotest.test_case "par equals seq" `Quick test_quick_grid_par_equals_seq;
+          Alcotest.test_case "fused submit equals seq" `Quick
+            test_fused_submit_matches_run_cells;
           Alcotest.test_case "quick grid clean" `Quick
             test_quick_grid_has_no_violations;
           Alcotest.test_case "json deterministic" `Quick test_json_deterministic;

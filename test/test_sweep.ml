@@ -146,6 +146,225 @@ let test_default_jobs_clamped () =
       | _ -> Alcotest.fail "expected Invalid_argument"
       | exception Invalid_argument _ -> ())
 
+let test_resolve_jobs_flag_beats_env () =
+  (* Regression for `bsm chaos --jobs N`: an explicit flag must win over
+     BSM_JOBS, verbatim — never clamped, never overridden. *)
+  let original = Sys.getenv_opt "BSM_JOBS" in
+  let recommended = Domain.recommended_domain_count () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "BSM_JOBS"
+        (Option.value original ~default:(string_of_int recommended)))
+    (fun () ->
+      Unix.putenv "BSM_JOBS" "1";
+      Alcotest.(check int) "explicit flag beats env" 5 (Pool.resolve_jobs ~jobs:5 ());
+      Alcotest.(check int)
+        "explicit flag unclamped"
+        (recommended + 9)
+        (Pool.resolve_jobs ~jobs:(recommended + 9) ());
+      Alcotest.(check int) "absent flag falls back to env" 1 (Pool.resolve_jobs ());
+      match Pool.resolve_jobs ~jobs:0 () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_clamp_warns_once () =
+  (* The oversubscription warning fires once per process, not once per
+     default_jobs call. *)
+  let original = Sys.getenv_opt "BSM_JOBS" in
+  let recommended = Domain.recommended_domain_count () in
+  let warnings = ref 0 in
+  let counting_reporter =
+    {
+      Logs.report =
+        (fun _src level ~over k _msgf ->
+          if level = Logs.Warning then incr warnings;
+          over ();
+          k ());
+    }
+  in
+  let old_reporter = Logs.reporter () in
+  Fun.protect
+    ~finally:(fun () ->
+      Logs.set_reporter old_reporter;
+      Unix.putenv "BSM_JOBS"
+        (Option.value original ~default:(string_of_int recommended)))
+    (fun () ->
+      Logs.set_reporter counting_reporter;
+      Unix.putenv "BSM_JOBS" (string_of_int (recommended + 3));
+      Pool.For_testing.reset_clamp_warning ();
+      let _ = Pool.default_jobs () in
+      let _ = Pool.default_jobs () in
+      let _ = Pool.default_jobs () in
+      Alcotest.(check int) "warned exactly once" 1 !warnings)
+
+(* --- persistent workers & work stealing ---------------------------------- *)
+
+(* Deterministic busy loop: per-index cost without shared state. *)
+let busy_work units =
+  let acc = ref 0 in
+  for i = 1 to units * 1000 do
+    acc := (!acc + i) land 0xFFFF
+  done;
+  !acc
+
+let test_randomized_costs_all_jobs () =
+  (* Bit-identity for every lane count 1..8 over tasks with randomized
+     (per-index deterministic) costs — steal-order must stay invisible
+     whatever the lane count. *)
+  let n = 60 in
+  let cost i = Rng.int (Rng.make (1000 + i)) 20 in
+  let f i = i, busy_work (cost i), cost i in
+  let xs = List.init n Fun.id in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d identical" jobs)
+            true
+            (Pool.map pool f xs = expected)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_stats_counters () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let s0 = Pool.stats pool in
+      Alcotest.(check int) "fresh pool: no tasks" 0 s0.Pool.tasks;
+      let _ = Pool.map pool (fun i -> i) (List.init 10 Fun.id) in
+      let _ = Pool.map pool (fun i -> i) [ 7 ] in
+      let s1 = Pool.stats pool in
+      Alcotest.(check int) "tasks counted (incl. singleton path)" 11 s1.Pool.tasks;
+      Alcotest.(check int) "no steals on the jobs=1 path" 0 s1.Pool.steals;
+      Alcotest.(check int) "two batches" 2 s1.Pool.batches);
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let _ =
+        Pool.map pool (fun i -> busy_work (i mod 5)) (List.init 40 Fun.id)
+      in
+      let _ = Pool.map pool (fun i -> i) (List.init 10 Fun.id) in
+      let s = Pool.stats pool in
+      Alcotest.(check int) "tasks accumulate across maps" 50 s.Pool.tasks;
+      Alcotest.(check int) "batches accumulate" 2 s.Pool.batches;
+      Alcotest.(check bool)
+        "steals bounded by tasks" true
+        (s.Pool.steals <= s.Pool.tasks))
+
+let test_straggler_rebalances () =
+  (* One task ~100x the others. With one-cell tasks and work stealing,
+     the straggler's lane-mates must not serialize behind it: idle lanes
+     steal them. Assert a successful steal happened and that at least one
+     of the straggler lane's other indices ran on a different domain
+     (lane l owns indices l, l+jobs, ... — the submitter is lane 0).
+     Bounded retries absorb scheduling variance on loaded machines. *)
+  let n = 32 in
+  let jobs = 4 in
+  let attempt () =
+    Pool.with_pool ~jobs (fun pool ->
+        let owners = Array.make n (-1) in
+        let _ =
+          Pool.map pool
+            (fun i ->
+              owners.(i) <- (Domain.self () :> int);
+              busy_work (if i = 0 then 20_000 else 50))
+            (List.init n Fun.id)
+        in
+        let steals = (Pool.stats pool).Pool.steals in
+        let straggler_domain = owners.(0) in
+        let lane0_rest =
+          List.filter (fun i -> i mod jobs = 0 && i <> 0) (List.init n Fun.id)
+        in
+        steals > 0
+        && List.exists (fun i -> owners.(i) <> straggler_domain) lane0_rest)
+  in
+  let rec try_n k = attempt () || (k > 1 && try_n (k - 1)) in
+  Alcotest.(check bool) "straggler's lane-mates got stolen" true (try_n 3)
+
+let test_global_pool_persists () =
+  Pool.shutdown_global ();
+  let p1 = Pool.global () in
+  let p2 = Pool.global () in
+  Alcotest.(check bool) "global () returns the same pool" true (p1 == p2);
+  Alcotest.(check (list int))
+    "global pool works" [ 2; 4; 6 ]
+    (Pool.map p1 (fun i -> 2 * i) [ 1; 2; 3 ]);
+  Pool.shutdown_global ();
+  Pool.shutdown_global ();
+  (* idempotent *)
+  let p3 = Pool.global () in
+  Alcotest.(check bool) "fresh pool after shutdown_global" true (not (p3 == p1));
+  Alcotest.(check (list int))
+    "fresh global works" [ 1; 4; 9 ]
+    (Pool.map p3 (fun i -> i * i) [ 1; 2; 3 ]);
+  Pool.shutdown_global ()
+
+(* --- fused sweep scheduler ------------------------------------------------ *)
+
+let test_fused_matches_sequential () =
+  let xs = List.init 30 Fun.id in
+  let ys = [ "a"; "bb"; "ccc" ] in
+  let f i = (i * i) + 1 in
+  let g s = String.length s * 2 in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let batch = H.Sweep.Fused.create () in
+      let hx = H.Sweep.Fused.add batch ~table:"squares" f xs in
+      let hy = H.Sweep.Fused.add batch ~table:"lengths" g ys in
+      let rs = H.Sweep.Fused.drain ~pool batch in
+      Alcotest.(check (list int))
+        "first table matches List.map" (List.map f xs)
+        (H.Sweep.Fused.results hx);
+      Alcotest.(check (list int))
+        "second table matches List.map" (List.map g ys)
+        (H.Sweep.Fused.results hy);
+      Alcotest.(check int)
+        "whole-run task count"
+        (List.length xs + List.length ys)
+        rs.H.Sweep.Fused.tasks;
+      Alcotest.(check int) "jobs recorded" 3 rs.H.Sweep.Fused.jobs;
+      let ts = H.Sweep.Fused.stats hx in
+      Alcotest.(check string) "table name" "squares" ts.H.Sweep.Fused.table;
+      Alcotest.(check int) "per-table task count" 30 ts.H.Sweep.Fused.tasks;
+      Alcotest.(check bool)
+        "worst cell bounded by total" true
+        (ts.H.Sweep.Fused.task_ms_max <= ts.H.Sweep.Fused.task_ms_total +. 1e-9))
+
+let test_fused_lifecycle_errors () =
+  let batch = H.Sweep.Fused.create () in
+  let h = H.Sweep.Fused.add batch ~table:"t" Fun.id [ 1; 2 ] in
+  (match H.Sweep.Fused.results h with
+  | _ -> Alcotest.fail "expected Invalid_argument before drain"
+  | exception Invalid_argument _ -> ());
+  (match H.Sweep.Fused.stats h with
+  | _ -> Alcotest.fail "expected Invalid_argument before drain"
+  | exception Invalid_argument _ -> ());
+  let rs = H.Sweep.Fused.drain batch in
+  Alcotest.(check int) "sequential drain runs the cells" 2 rs.H.Sweep.Fused.tasks;
+  Alcotest.(check int) "sequential drain steals nothing" 0 rs.H.Sweep.Fused.steals;
+  Alcotest.(check (list int)) "readable after drain" [ 1; 2 ] (H.Sweep.Fused.results h);
+  match H.Sweep.Fused.add batch ~table:"late" Fun.id [ 3 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after drain"
+  | exception Invalid_argument _ -> ()
+
+let test_fused_failure_isolates_tables () =
+  (* A raising cell fails the drain with the lowest-indexed exception, but
+     the other tables' results stay readable; the failed table reports its
+     unfinished cells instead of returning partial data. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let batch = H.Sweep.Fused.create () in
+      let good = H.Sweep.Fused.add batch ~table:"good" (fun i -> i + 1) [ 1; 2; 3 ] in
+      let bad =
+        H.Sweep.Fused.add batch ~table:"bad"
+          (fun i -> if i = 1 then failwith "cell 1" else i)
+          [ 0; 1; 2 ]
+      in
+      (match H.Sweep.Fused.drain ~pool batch with
+      | _ -> Alcotest.fail "expected drain failure"
+      | exception Failure msg ->
+        Alcotest.(check string) "failing cell's exception" "cell 1" msg);
+      Alcotest.(check (list int))
+        "surviving table readable" [ 2; 3; 4 ]
+        (H.Sweep.Fused.results good);
+      match H.Sweep.Fused.results bad with
+      | _ -> Alcotest.fail "expected Invalid_argument on unfinished table"
+      | exception Invalid_argument _ -> ())
+
 (* --- parallel sweeps are bit-identical to sequential -------------------- *)
 
 (* A report rendered to plain data: everything pp_report shows plus the
@@ -286,6 +505,25 @@ let () =
             test_map_usable_after_failure;
           Alcotest.test_case "BSM_JOBS oversubscription clamped" `Quick
             test_default_jobs_clamped;
+          Alcotest.test_case "--jobs flag beats BSM_JOBS" `Quick
+            test_resolve_jobs_flag_beats_env;
+          Alcotest.test_case "clamp warning fires once per process" `Quick
+            test_clamp_warns_once;
+          Alcotest.test_case "randomized costs identical for jobs 1..8" `Quick
+            test_randomized_costs_all_jobs;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "straggler's lane rebalances via steals" `Quick
+            test_straggler_rebalances;
+          Alcotest.test_case "global pool persists across maps" `Quick
+            test_global_pool_persists;
+        ] );
+      ( "fused",
+        [
+          Alcotest.test_case "fused tables match sequential" `Quick
+            test_fused_matches_sequential;
+          Alcotest.test_case "lifecycle errors" `Quick test_fused_lifecycle_errors;
+          Alcotest.test_case "failure isolates tables" `Quick
+            test_fused_failure_isolates_tables;
         ] );
       ( "determinism",
         [

@@ -1,0 +1,178 @@
+(* bench_compare — diff two BENCH_sweeps.json files and fail on wall
+   regressions.
+
+   Usage: bench_compare OLD.json NEW.json [--threshold PCT]
+
+   Per table it compares the sequential wall clock — the one number
+   that is comparable across scheduler modes (fused vs barrier) and job
+   counts — and, when both files carry a "whole_run" block, the
+   whole-run parallel wall. Exits 1 if any compared number regresses by
+   more than the threshold (default 20%) AND by more than 1 ms (quick
+   runs have millisecond-scale walls where percentages alone are
+   noise). Tables present on only one side are reported but don't fail
+   the diff: the bench grows across PRs.
+
+   The container has no JSON library, so this is a minimal scanner over
+   the bench writer's known layout (one record per "{\"table\": ..."
+   marker; "key": number pairs). It tolerates both the PR 3 schema
+   (parallel_ms per table, no whole_run) and the fused schema. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with Sys_error msg ->
+    Printf.eprintf "bench_compare: %s\n" msg;
+    exit 2
+
+(* Index of [sub] in [s] at or after [pos], if any. *)
+let find s pos sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go (max 0 pos)
+
+(* Parse the number starting at [pos] (after optional spaces). *)
+let float_at s pos =
+  let n = String.length s in
+  let pos = ref pos in
+  while !pos < n && s.[!pos] = ' ' do incr pos done;
+  let start = !pos in
+  while
+    !pos < n
+    &&
+    match s.[!pos] with
+    | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+    | _ -> false
+  do
+    incr pos
+  done;
+  float_of_string_opt (String.sub s start (!pos - start))
+
+(* ["key": v] within s.[pos..stop), if present. *)
+let key_float s ~pos ~stop key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  match find s pos needle with
+  | Some i when i < stop -> float_at s (i + String.length needle)
+  | Some _ | None -> None
+
+type record = {
+  table : string;
+  sequential_ms : float option;
+  parallel_ms : float option;
+}
+
+let records s =
+  let marker = "{\"table\": \"" in
+  let rec go pos acc =
+    match find s pos marker with
+    | None -> List.rev acc
+    | Some i -> (
+      let name_start = i + String.length marker in
+      match String.index_from_opt s name_start '"' with
+      | None -> List.rev acc
+      | Some name_end ->
+        let table = String.sub s name_start (name_end - name_start) in
+        let stop =
+          match find s name_end marker with
+          | Some j -> j
+          | None -> String.length s
+        in
+        let r =
+          {
+            table;
+            sequential_ms = key_float s ~pos:name_end ~stop "sequential_ms";
+            parallel_ms = key_float s ~pos:name_end ~stop "parallel_ms";
+          }
+        in
+        go stop (r :: acc))
+  in
+  go 0 []
+
+(* The whole_run block's parallel wall, if the file has one. *)
+let whole_run_parallel_ms s =
+  match find s 0 "\"whole_run\":" with
+  | None -> None
+  | Some i ->
+    let stop =
+      match String.index_from_opt s i '}' with
+      | Some j -> j
+      | None -> String.length s
+    in
+    key_float s ~pos:i ~stop "parallel_ms"
+
+let () =
+  let threshold = ref 20.0 in
+  let paths = ref [] in
+  let rec parse = function
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0. -> threshold := t
+      | Some _ | None ->
+        Printf.eprintf "bench_compare: --threshold %s: expected a positive number\n" v;
+        exit 2);
+      parse rest
+    | arg :: rest ->
+      paths := arg :: !paths;
+      parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !paths with
+    | [ o; n ] -> o, n
+    | _ ->
+      Printf.eprintf "usage: bench_compare OLD.json NEW.json [--threshold PCT]\n";
+      exit 2
+  in
+  let old_s = read_file old_path and new_s = read_file new_path in
+  let olds = records old_s and news = records new_s in
+  let regressions = ref 0 in
+  let compare_ms label old_ms new_ms =
+    let pct = (new_ms -. old_ms) /. old_ms *. 100. in
+    let regressed =
+      old_ms > 0.
+      && new_ms > old_ms *. (1. +. (!threshold /. 100.))
+      && new_ms -. old_ms > 1.0
+    in
+    Printf.printf "  %-40s %10.3f -> %10.3f ms  (%+.1f%%)%s\n" label old_ms
+      new_ms pct
+      (if regressed then "  REGRESSION" else "");
+    if regressed then incr regressions
+  in
+  Printf.printf "bench_compare: %s -> %s (threshold %.0f%%)\n" old_path new_path
+    !threshold;
+  Printf.printf "sequential wall per table:\n";
+  List.iter
+    (fun (n : record) ->
+      match List.find_opt (fun (o : record) -> o.table = n.table) olds with
+      | None -> Printf.printf "  %-40s (new table, no baseline)\n" n.table
+      | Some o -> (
+        match o.sequential_ms, n.sequential_ms with
+        | Some om, Some nm -> compare_ms n.table om nm
+        | _ -> Printf.printf "  %-40s (no sequential_ms to compare)\n" n.table))
+    news;
+  List.iter
+    (fun (o : record) ->
+      if not (List.exists (fun (n : record) -> n.table = o.table) news) then
+        Printf.printf "  %-40s (dropped from new run)\n" o.table)
+    olds;
+  (match whole_run_parallel_ms old_s, whole_run_parallel_ms new_s with
+  | Some om, Some nm ->
+    Printf.printf "whole-run parallel wall:\n";
+    compare_ms "whole_run" om nm
+  | _ ->
+    Printf.printf
+      "whole-run parallel wall: not compared (missing in one file — PR 3 \
+       baselines predate it)\n");
+  if !regressions > 0 then begin
+    Printf.eprintf "bench_compare: %d regression(s) beyond %.0f%%\n"
+      !regressions !threshold;
+    exit 1
+  end
+  else print_endline "bench_compare: no regressions beyond threshold"
