@@ -713,10 +713,13 @@ let table_a4 ~sched () =
 
 (* ------------------------------------------------------------------ C1 -- *)
 
-(* The chaos grid: T-table settings × fault-schedule vocabulary, judged by
-   the bSM oracle. Within-budget cells must come back `ok` — a VIOLATION
-   is a protocol bug and fails the bench run (and hence `make ci`). The
-   JSON report is deterministic in the grid and chaos seeds (no
+(* The chaos grid: T-table settings × fault-schedule vocabulary (omission
+   group plus the in-flight mutation group — bit-flip, equivocate,
+   replay+truncate, forge-sender on R0's traffic), judged by the bSM
+   oracle. Within-budget cells must come back `ok` — a VIOLATION is a
+   protocol bug and fails the bench run (and hence `make ci`); mutated
+   frames in particular must be absorbed as byzantine-equivalent noise.
+   The JSON report is deterministic in the grid and chaos seeds (no
    wall-clock), so the same seeds yield a bit-identical file. *)
 let table_chaos ~sched ~jobs () =
   let cells, k_range =

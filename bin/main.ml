@@ -6,6 +6,10 @@
      run         execute a scenario with a random byzantine coalition
                  (optionally under a fault schedule: --drop-rate, --crash)
      chaos       the chaos grid: fault schedules vs the bSM oracle
+                 (--shrink minimizes a violation; --inject-violation plants
+                 one to exercise the shrinker end-to-end)
+     replay      re-execute a repro file bit-identically and check it
+     fuzz        deterministic decoder fuzzing over every registered codec
      bench       the chaos grid as a scheduling benchmark (--fused for the
                  shared task-graph scheduler and its steal counters)
      ssm         execute a simplified-stable-matching scenario
@@ -209,8 +213,10 @@ let run_cmd =
       m.Bsm_runtime.Engine.rounds_used m.Bsm_runtime.Engine.messages_sent
       m.Bsm_runtime.Engine.bytes_sent;
     Format.printf
-      "message fates: %d delivered, %d dropped by topology, %d dropped by faults@."
+      "message fates: %d delivered (%d corrupted in flight), %d dropped by \
+       topology, %d dropped by faults@."
       m.Bsm_runtime.Engine.messages_delivered
+      m.Bsm_runtime.Engine.messages_corrupted
       m.Bsm_runtime.Engine.messages_dropped_topology
       m.Bsm_runtime.Engine.messages_dropped_fault;
     List.iter
@@ -252,12 +258,75 @@ let run_cmd =
 
 (* --- chaos ------------------------------------------------------------------- *)
 
+(* The planted violation for --inject-violation: sabotage silences L0
+   without charging it (crash-like omission the oracle doesn't pay for),
+   buried under decoy components that all fire but stay admissible — a
+   send-omission and a bit-flip corruption on R0, and an R0/R1 partition.
+   The shrinker's job is to strip the decoys and hand back (essentially)
+   the sabotage alone. *)
+let injected_label = "injected-sabotage"
+
+let injected_cell () =
+  let s =
+    Core.Setting.make_exn ~k:2 ~topology:Topology.Fully_connected
+      ~auth:Core.Setting.Unauthenticated ~t_left:0 ~t_right:2
+  in
+  let case = H.Sweep.case ~label:injected_label ~profile_seed:202 s in
+  let l0 = Party_id.make Side.Left 0
+  and r0 = Party_id.make Side.Right 0
+  and r1 = Party_id.make Side.Right 1 in
+  let schedule =
+    Chaos.Schedule.all
+      [
+        Chaos.Schedule.sabotage l0 ~at_round:0;
+        Chaos.Schedule.send_omission ~rate:0.25 r0;
+        Chaos.Schedule.corrupt ~rate:0.3 ~kind:Chaos.Mutation.Bit_flip r0;
+        Chaos.Schedule.partition ~from_round:0 ~until_round:6 [ r0 ] [ r1 ];
+      ]
+  in
+  Chaos.Chaos_sweep.cell ~schedule case
+
+let shrink_violation ~repro_path (o : Chaos.Chaos_sweep.outcome) =
+  let cell = o.Chaos.Chaos_sweep.cell in
+  let case = cell.Chaos.Chaos_sweep.case in
+  let schedule = cell.Chaos.Chaos_sweep.schedule in
+  let seed = cell.Chaos.Chaos_sweep.chaos_seed in
+  let n_before = List.length (Chaos.Schedule.components schedule) in
+  Format.printf "@.shrinking the %s violation (%d components, chaos seed %d)@."
+    case.H.Sweep.label n_before seed;
+  match Chaos.Shrink.minimize ~seed ~schedule case with
+  | Error msg ->
+    Printf.eprintf "shrink: %s\n" msg;
+    exit 1
+  | Ok out ->
+    List.iter (fun line -> Format.printf "  %s@." line) out.Chaos.Shrink.trail;
+    let n_after = List.length (Chaos.Schedule.components out.Chaos.Shrink.shrunk) in
+    Format.printf "shrunk %d -> %d component(s) in %d oracle run(s): %s@."
+      n_before n_after out.Chaos.Shrink.attempts
+      (Chaos.Schedule.describe out.Chaos.Shrink.shrunk);
+    (match
+       Chaos.Repro.make ~case ~schedule:out.Chaos.Shrink.shrunk ~seed
+         out.Chaos.Shrink.report
+     with
+    | Error msg ->
+      Printf.eprintf "repro: %s\n" msg;
+      exit 1
+    | Ok repro ->
+      Chaos.Repro.to_file repro_path repro;
+      Format.printf "repro written to %s (re-execute with: bsm replay %s)@."
+        repro_path repro_path);
+    if n_after >= n_before && n_before > 1 then begin
+      Printf.eprintf "shrink: failed to reduce the schedule\n";
+      exit 1
+    end
+
 let chaos_cmd =
-  let run full jobs =
+  let run full jobs shrink inject repro_path =
     let cells =
       if full then Chaos.Chaos_sweep.full_grid ()
       else Chaos.Chaos_sweep.quick_grid ()
     in
+    let cells = if inject then cells @ [ injected_cell () ] else cells in
     (* resolve_jobs: an explicit --jobs wins verbatim (no clamping) over
        the BSM_JOBS environment variable. *)
     let jobs = Bsm_runtime.Pool.resolve_jobs ?jobs () in
@@ -289,7 +358,38 @@ let chaos_cmd =
     Table.print table;
     let s = Chaos.Chaos_sweep.summarize outcomes in
     Format.printf "%a@." Chaos.Chaos_sweep.pp_summary s;
-    if s.Chaos.Chaos_sweep.violated > 0 then exit 1
+    let violating =
+      List.filter
+        (fun (o : Chaos.Chaos_sweep.outcome) ->
+          o.Chaos.Chaos_sweep.oracle.Chaos.Oracle.verdict = Chaos.Oracle.Violation)
+        outcomes
+    in
+    if shrink then begin
+      match violating with
+      | [] -> Format.printf "shrink: no violation in the grid, nothing to do@."
+      | o :: _ -> shrink_violation ~repro_path o
+    end;
+    if inject
+       && not
+            (List.exists
+               (fun (o : Chaos.Chaos_sweep.outcome) ->
+                 o.Chaos.Chaos_sweep.cell.Chaos.Chaos_sweep.case.H.Sweep.label
+                 = injected_label)
+               violating)
+    then begin
+      Printf.eprintf "--inject-violation: the planted sabotage did not violate\n";
+      exit 1
+    end;
+    (* Planted violations are the expected outcome of --inject-violation;
+       only unexpected ones fail the run. *)
+    let unexpected =
+      List.filter
+        (fun (o : Chaos.Chaos_sweep.outcome) ->
+          o.Chaos.Chaos_sweep.cell.Chaos.Chaos_sweep.case.H.Sweep.label
+          <> injected_label)
+        violating
+    in
+    if unexpected <> [] then exit 1
   in
   let full =
     Arg.(
@@ -305,12 +405,105 @@ let chaos_cmd =
             "Domains for the sweep. An explicit value takes precedence over \
              BSM_JOBS (default: BSM_JOBS, else the recommended domain count).")
   in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Delta-debug the first within-budget violation down to a minimal \
+             schedule and write a replayable repro file.")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-violation" ]
+          ~doc:
+            "Plant a known violation (an uncharged sabotage of L0 buried \
+             under admissible decoy faults) to exercise --shrink end-to-end. \
+             The planted violation is expected and does not fail the run.")
+  in
+  let repro_path =
+    Arg.(
+      value
+      & opt string "violation.repro"
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"Where --shrink writes the repro file.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the chaos grid: T-table settings under deterministic fault \
           schedules, judged by the bSM property oracle (Theorems 8-9).")
-    Term.(const run $ full $ jobs)
+    Term.(const run $ full $ jobs $ shrink $ inject $ repro_path)
+
+(* --- replay ------------------------------------------------------------------- *)
+
+let replay_cmd =
+  let run file =
+    match Chaos.Repro.of_file file with
+    | Error msg ->
+      Printf.eprintf "replay: %s\n" msg;
+      exit 2
+    | Ok t ->
+      Format.printf "case: %s@.schedule: %s@.chaos seed: %d@.expected: %s@."
+        t.Chaos.Repro.case.H.Sweep.label
+        (Chaos.Schedule.describe t.Chaos.Repro.schedule)
+        t.Chaos.Repro.seed
+        (Chaos.Oracle.verdict_to_string t.Chaos.Repro.expected);
+      (match Chaos.Repro.check t with
+      | Ok report ->
+        Format.printf "%a@." Chaos.Oracle.pp_report report;
+        Format.printf "replay: bit-identical reproduction (fingerprints match)@."
+      | Error msg ->
+        Format.printf "replay: DIVERGED — %s@." msg;
+        exit 1)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A repro file written by bsm chaos --shrink.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a chaos repro file and verify it reproduces the recorded \
+          oracle verdict bit-identically.")
+    Term.(const run $ file)
+
+(* --- fuzz -------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run cases seed =
+    let entries = Chaos.Codec_corpus.entries () in
+    let stats = Bsm_wire.Fuzz.run ~seed ~cases entries in
+    List.iter (fun s -> Format.printf "%a@." Bsm_wire.Fuzz.pp_stats s) stats;
+    let total = Bsm_wire.Fuzz.total_cases stats in
+    let crashed = Bsm_wire.Fuzz.total_crashed stats in
+    Format.printf
+      "fuzz: %d codec(s), %d decoder invocation(s) (clean + mutated), %d \
+       crash(es), seed %d@."
+      (List.length stats) total crashed seed;
+    if crashed > 0 then exit 1
+  in
+  let cases =
+    Arg.(
+      value & opt int 500
+      & info [ "cases" ]
+          ~doc:
+            "Values generated per codec; each contributes one clean \
+             round-trip and one mutated decode.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fuzzing seed (deterministic).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz every registered decoder with deterministic byte mutations: \
+          each must round-trip, reinterpret, or raise Malformed — never \
+          crash.")
+    Term.(const run $ cases $ seed)
 
 (* --- bench ------------------------------------------------------------------- *)
 
@@ -687,7 +880,7 @@ let () =
   let info = Cmd.info "bsm" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [
-      solvable_cmd; matrix_cmd; run_cmd; chaos_cmd; bench_cmd; ssm_cmd; attack_cmd;
-      topology_cmd; complexity_cmd; lattice_cmd; roommates_cmd; bsr_cmd;
-      manipulate_cmd;
+      solvable_cmd; matrix_cmd; run_cmd; chaos_cmd; replay_cmd; fuzz_cmd;
+      bench_cmd; ssm_cmd; attack_cmd; topology_cmd; complexity_cmd; lattice_cmd;
+      roommates_cmd; bsr_cmd; manipulate_cmd;
     ]))

@@ -43,3 +43,14 @@ val make :
   sender:Party_id.t ->
   input:string ->
   verdict Machine.t
+
+(** {2 Wire format}
+
+    The message format, exposed for the decoder fuzzer. *)
+
+type msg =
+  | Value of string
+  | Echo of string
+  | Ready of string
+
+val codec : msg Bsm_wire.Wire.t

@@ -111,8 +111,8 @@ let to_json ~jobs outcomes =
            \     \"verdict\": \"%s\", \"within_budget\": %b, \"charged\": \
             \"%s\", \"corrupted\": \"%s\", \"violations\": %d,\n\
            \     \"rounds\": %d, \"sent\": %d, \"delivered\": %d, \
-            \"dropped_topology\": %d, \"dropped_fault\": %d, \
-            \"dropped_by_label\": {%s}}%s\n"
+            \"dropped_topology\": %d, \"dropped_fault\": %d, \"corrupted_frames\": \
+            %d, \"dropped_by_label\": {%s}}%s\n"
            (json_escape o.cell.case.Sweep.label)
            (json_escape (Schedule.describe o.cell.schedule))
            o.cell.chaos_seed
@@ -123,7 +123,7 @@ let to_json ~jobs outcomes =
            (List.length r.Oracle.violations)
            m.Engine.rounds_used m.Engine.messages_sent m.Engine.messages_delivered
            m.Engine.messages_dropped_topology m.Engine.messages_dropped_fault
-           by_label
+           m.Engine.messages_corrupted by_label
            (if i = n - 1 then "" else ",")))
     outcomes;
   Buffer.add_string buf "  ]\n}\n";
@@ -165,10 +165,14 @@ let t_cases ~k =
          ~auth:Core.Setting.Unauthenticated ~tl:third ~tr:k);
   ]
 
-(* The schedule vocabulary under test. The first five charge at most
-   {R0}, admissible in every t_cases setting; the last two are
-   unattributable (they charge the whole roster) and must come back as
-   expected degradation, never as a crash. *)
+(* The schedule vocabulary under test. The omission group's first five
+   charge at most {R0}, admissible in every t_cases setting; bernoulli
+   and blackout are unattributable (they charge the whole roster) and
+   must come back as expected degradation, never as a crash. The
+   mutation group exercises the active wire adversary — every kind of
+   in-flight corruption, all aimed at R0's traffic so they too charge
+   only {R0} and stay admissible: whatever garbage the mutated frames
+   decode to must be absorbed as byzantine-equivalent behaviour. *)
 let standard_schedules ~k =
   let r0 = Party_id.right 0 in
   let rest =
@@ -184,6 +188,14 @@ let standard_schedules ~k =
     Schedule.union
       (Schedule.blackout ~from_round:1 ~until_round:2)
       (Schedule.restrict_to_side Side.Left (Schedule.bernoulli ~rate:0.1));
+    Schedule.corrupt ~rate:0.3 ~kind:Mutation.Bit_flip r0;
+    Schedule.corrupt ~rate:0.3 ~kind:Mutation.Equivocate r0;
+    Schedule.all
+      [
+        Schedule.corrupt ~rate:0.25 ~kind:Mutation.Replay r0;
+        Schedule.corrupt ~rate:0.25 ~kind:Mutation.Truncate r0;
+      ];
+    Schedule.corrupt ~rate:0.3 ~kind:Mutation.Forge_sender r0;
   ]
 
 let quick_grid () =

@@ -69,10 +69,13 @@ val to_json : jobs:int -> outcome list -> string
 (** The standard grids the bench, CLI and CI share: T-table settings
     (Theorems 2, 5, 6, 7 — including both Π_bSM regimes) × the schedule
     vocabulary (within-budget send/receive-omission, crash and partition
-    of R0, plus over-budget bernoulli drops and a blackout burst).
-    [quick_grid] is the smallest-k instance (a few seconds end-to-end,
-    wired into [make chaos-quick] / CI); [full_grid] adds k = 4 and two
-    more chaos seeds. *)
+    of R0, over-budget bernoulli drops and a blackout burst, plus the
+    mutation group — bit-flip, equivocate, replay+truncate and
+    forge-sender corruption of R0's traffic, all admissible and required
+    to come back as byzantine-equivalent degradation at worst, never a
+    crash). [quick_grid] is the smallest-k instance (a few seconds
+    end-to-end, wired into [make chaos-quick] / CI); [full_grid] adds
+    k = 4 and two more chaos seeds. *)
 val quick_grid : unit -> cell list
 
 val full_grid : unit -> cell list

@@ -1,0 +1,10 @@
+(** The registered-codec corpus for the decoder fuzzer.
+
+    One {!Bsm_wire.Fuzz.entry} per codec that ever touches the network
+    (broadcast messages, Π_bSM messages, channel relay frames, signed
+    envelopes, stable-matching payloads) plus the wire primitives and the
+    chaos subsystem's own serialized forms (schedules, repro records).
+    [make fuzz-quick] and [bsm fuzz] iterate exactly this list, so adding
+    a codec here is all it takes to put it under fuzz. *)
+
+val entries : unit -> Bsm_wire.Fuzz.entry list

@@ -1,0 +1,46 @@
+(** Deterministic in-flight frame mutations.
+
+    These are the {e active} byzantine behaviours of the wire-chaos layer:
+    where an omission schedule decides whether a frame is delivered, a
+    mutation decides what bytes arrive. Every mutation is a pure function
+    of a 64-bit hash (derived upstream from
+    [(seed, component, round, src, dst)]) plus the frame itself, so
+    corrupted runs stay bit-replayable and domain-safe exactly like
+    omission-only ones — and because the hash absorbs the {e recipient},
+    one broadcast mutated under the same component yields different bytes
+    per destination: equivocation falls out of the hashing discipline
+    rather than needing shared state. *)
+
+open Bsm_prelude
+
+type kind =
+  | Bit_flip  (** flip one hash-chosen bit *)
+  | Truncate  (** cut the frame strictly shorter at a hash-chosen point *)
+  | Replay
+      (** replace the frame with the last one delivered on this link in an
+          earlier round (inapplicable until one exists) *)
+  | Equivocate
+      (** rewrite a few hash-chosen bytes — recipients of the same
+          broadcast see divergent frames *)
+  | Forge_sender
+      (** splice the wire encoding of a different party id over a
+          hash-chosen offset, the classic identity-forgery corruption *)
+
+(** All kinds, in declaration order (the mutation grid iterates this). *)
+val all_kinds : kind list
+
+(** Short stable name: ["bit-flip"], ["truncate"], ["replay"],
+    ["equivocate"], ["forge-sender"]. Used in component labels and
+    BENCH_chaos.json. *)
+val to_string : kind -> string
+
+val equal_kind : kind -> kind -> bool
+val codec : kind Bsm_wire.Wire.t
+
+(** [apply ~hash ~src ~prev kind payload] is the mutated frame, or [None]
+    when the mutation does not apply ({!Replay} without a previous frame,
+    {!Bit_flip}/{!Truncate}/{!Equivocate} of an empty frame, or a mutation
+    that happens to leave the bytes unchanged — a no-op must not be
+    counted as a corruption). Pure in all arguments. *)
+val apply :
+  hash:int64 -> src:Party_id.t -> prev:string option -> kind -> string -> string option

@@ -68,16 +68,17 @@ let run ?max_rounds ~seed ~schedule (case : H.Sweep.case) =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>verdict: %a (%s budget)@,charged: %a@,corrupted: %a@,\
-     messages: %d sent, %d delivered, %d topology-dropped, %d omitted@,"
+     messages: %d sent, %d delivered, %d topology-dropped, %d omitted, %d \
+     corrupted in flight@,"
     pp_verdict r.verdict
     (if r.within_budget then "within" else "over")
     Party_set.pp r.charged Party_set.pp r.corrupted r.metrics.Engine.messages_sent
     r.metrics.Engine.messages_delivered r.metrics.Engine.messages_dropped_topology
-    r.metrics.Engine.messages_dropped_fault;
+    r.metrics.Engine.messages_dropped_fault r.metrics.Engine.messages_corrupted;
   (match r.metrics.Engine.messages_dropped_by_label with
   | [] -> ()
   | by_label ->
-    Format.fprintf ppf "omitted by component: @[<v>%a@]@,"
+    Format.fprintf ppf "omitted/corrupted by component: @[<v>%a@]@,"
       (Format.pp_print_list (fun ppf (l, n) -> Format.fprintf ppf "%s: %d" l n))
       by_label);
   match r.violations with

@@ -1,5 +1,6 @@
 open Bsm_prelude
 module Engine = Bsm_runtime.Engine
+module Wire = Bsm_wire.Wire
 
 type atom =
   | Bernoulli of float
@@ -8,6 +9,8 @@ type atom =
   | Receive_omission of Party_id.t * float
   | Partition of Party_set.t * Party_set.t
   | Blackout
+  | Corrupt of Party_id.t * Mutation.kind * float
+  | Sabotage of Party_id.t  (** window start is the sabotage round *)
 
 type t =
   | Never
@@ -59,6 +62,14 @@ let blackout ~from_round ~until_round =
   check_window "blackout" from_round until_round;
   Atom { atom = Blackout; lo = from_round; hi = until_round }
 
+let corrupt ~rate ~kind p =
+  check_rate "corrupt" rate;
+  if rate = 0. then Never else unbounded (Corrupt (p, kind, rate))
+
+let sabotage p ~at_round =
+  if at_round < 0 then invalid_arg "Schedule.sabotage: negative round";
+  Atom { atom = Sabotage p; lo = at_round; hi = max_int }
+
 let union a b =
   match a, b with
   | Never, s | s, Never -> s
@@ -106,6 +117,10 @@ let atom_label atom lo hi =
     match window_to_string lo hi with
     | "" -> "blackout(all)"
     | w -> Printf.sprintf "blackout(%s)" (String.sub w 1 (String.length w - 1)))
+  | Corrupt (p, kind, rate) ->
+    Printf.sprintf "corrupt(%s,%s,%s%s)" (Party_id.to_string p)
+      (Mutation.to_string kind) (pct rate) (window_to_string lo hi)
+  | Sabotage p -> Printf.sprintf "sabotage(%s@%d)" (Party_id.to_string p) lo
 
 (* --- compilation --------------------------------------------------------- *)
 
@@ -197,6 +212,19 @@ let hits ~seed f ~round ~src ~dst =
     (Party_set.mem src a && Party_set.mem dst b)
     || (Party_set.mem src b && Party_set.mem dst a)
   | Blackout -> true
+  | Corrupt _ -> false (* corrupts, never drops *)
+  | Sabotage p -> Party_id.equal src p
+
+(* The mutation content hash: same inputs as the {!chance} coin plus one
+   extra absorbed constant, so which bytes a mutation rewrites is
+   independent of whether it fires. *)
+let corrupt_hash ~seed ~salt ~round ~src ~dst =
+  let h = Rng.mix64 (Int64.of_int seed) in
+  let h = Rng.mix64_absorb h salt in
+  let h = Rng.mix64_absorb h round in
+  let h = Rng.mix64_absorb h (party_key src) in
+  let h = Rng.mix64_absorb h (party_key dst) in
+  Rng.mix64_absorb h 0xc0447 (* "corrupt" *)
 
 let compile ~seed t =
   let flats = flatten t in
@@ -208,7 +236,39 @@ let compile ~seed t =
       (fun f -> if hits ~seed f ~round ~src ~dst then Some f.f_label else None)
       flats
   in
-  Engine.fault_model ~label drop
+  let corrupters =
+    List.filter
+      (fun f ->
+        match f.f_atom with
+        | Corrupt _ -> true
+        | _ -> false)
+      flats
+  in
+  match corrupters with
+  | [] ->
+    (* No [~corrupt] argument at all: the fault model keeps the physical
+       [no_corrupt] default, so the engine skips replay-memory upkeep. *)
+    Engine.fault_model ~label drop
+  | _ :: _ ->
+    let corrupt ~round ~src ~dst ~prev payload =
+      List.find_map
+        (fun f ->
+          match f.f_atom with
+          | Corrupt (p, kind, rate)
+            when round >= f.f_lo && round < f.f_hi
+                 && (match f.f_side with
+                    | None -> true
+                    | Some s -> Side.equal (Party_id.side src) s)
+                 && Party_id.equal src p
+                 && chance ~seed ~salt:f.f_salt ~round ~src ~dst rate ->
+            let hash = corrupt_hash ~seed ~salt:f.f_salt ~round ~src ~dst in
+            Option.map
+              (fun bytes -> bytes, f.f_label)
+              (Mutation.apply ~hash ~src ~prev kind payload)
+          | _ -> None)
+        corrupters
+    in
+    Engine.fault_model ~label ~corrupt drop
 
 (* --- budget attribution -------------------------------------------------- *)
 
@@ -230,10 +290,210 @@ let charged ~k t =
       let c =
         match f.f_atom with
         | Bernoulli _ | Blackout -> side_roster f.f_side
-        | Crash p | Send_omission (p, _) -> one f.f_side p
+        | Crash p | Send_omission (p, _) | Corrupt (p, _, _) -> one f.f_side p
         | Receive_omission (p, _) -> Party_set.singleton p
         | Partition (a, b) ->
           if Party_set.cardinal b < Party_set.cardinal a then b else a
+        | Sabotage _ ->
+          (* Deliberately uncharged: sabotage silences a party {e without}
+             paying for it, which is exactly how the harness injects a
+             guaranteed oracle violation to exercise the shrinker. *)
+          Party_set.empty
       in
       Party_set.union acc c)
     Party_set.empty (flatten t)
+
+(* --- wire codec ---------------------------------------------------------- *)
+
+let party_set_codec =
+  Wire.map ~inject:Party_set.of_list ~project:Party_set.elements
+    (Wire.list Wire.party_id)
+
+(* Decoder-side rate validation raises [Malformed], not
+   [Invalid_argument]: rejecting forged bytes is the wire contract, not a
+   caller bug. *)
+let decode_rate r =
+  if not (r >= 0. && r <= 1.) then
+    raise (Wire.Malformed (Printf.sprintf "rate %g not in [0, 1]" r));
+  r
+
+let atom_codec =
+  let open Wire in
+  variant ~name:"Schedule.atom"
+    [
+      pack
+        (case 0 float
+           ~inject:(fun r -> Bernoulli (decode_rate r))
+           ~match_:(function
+             | Bernoulli r -> Some r
+             | _ -> None));
+      pack
+        (case 1 party_id
+           ~inject:(fun p -> Crash p)
+           ~match_:(function
+             | Crash p -> Some p
+             | _ -> None));
+      pack
+        (case 2 (pair party_id float)
+           ~inject:(fun (p, r) -> Send_omission (p, decode_rate r))
+           ~match_:(function
+             | Send_omission (p, r) -> Some (p, r)
+             | _ -> None));
+      pack
+        (case 3 (pair party_id float)
+           ~inject:(fun (p, r) -> Receive_omission (p, decode_rate r))
+           ~match_:(function
+             | Receive_omission (p, r) -> Some (p, r)
+             | _ -> None));
+      pack
+        (case 4
+           (pair party_set_codec party_set_codec)
+           ~inject:(fun (a, b) -> Partition (a, b))
+           ~match_:(function
+             | Partition (a, b) -> Some (a, b)
+             | _ -> None));
+      pack
+        (case 5 unit
+           ~inject:(fun () -> Blackout)
+           ~match_:(function
+             | Blackout -> Some ()
+             | _ -> None));
+      pack
+        (case 6
+           (triple party_id Mutation.codec float)
+           ~inject:(fun (p, kind, r) -> Corrupt (p, kind, decode_rate r))
+           ~match_:(function
+             | Corrupt (p, kind, r) -> Some (p, kind, r)
+             | _ -> None));
+      pack
+        (case 7 party_id
+           ~inject:(fun p -> Sabotage p)
+           ~match_:(function
+             | Sabotage p -> Some p
+             | _ -> None));
+    ]
+
+(* [hi = max_int] (unbounded) is the common case; bias the encoding so it
+   costs one byte rather than a nine-byte varint. *)
+let bound_codec =
+  Wire.map
+    ~inject:(fun n -> if n = 0 then max_int else n - 1)
+    ~project:(fun n -> if n = max_int then 0 else n + 1)
+    Wire.uint
+
+let max_codec_depth = 1000
+
+let codec : t Wire.t =
+  let rec write depth e t =
+    if depth > max_codec_depth then
+      raise (Wire.Malformed "schedule deeper than 1000 levels");
+    match t with
+    | Never -> Wire.Enc.tag e 0
+    | Atom { atom; lo; hi } ->
+      Wire.Enc.tag e 1;
+      atom_codec.Wire.write e atom;
+      Wire.Enc.uint e lo;
+      bound_codec.Wire.write e hi
+    | Union (a, b) ->
+      Wire.Enc.tag e 2;
+      write (depth + 1) e a;
+      write (depth + 1) e b
+    | During (lo, hi, s) ->
+      Wire.Enc.tag e 3;
+      Wire.Enc.uint e lo;
+      bound_codec.Wire.write e hi;
+      write (depth + 1) e s
+    | Restrict (side, s) ->
+      Wire.Enc.tag e 4;
+      Wire.side.Wire.write e side;
+      write (depth + 1) e s
+  in
+  let rec read depth d =
+    if depth > max_codec_depth then
+      raise (Wire.Malformed "schedule deeper than 1000 levels");
+    match Wire.Dec.tag d with
+    | 0 -> Never
+    | 1 ->
+      let atom = atom_codec.Wire.read d in
+      let lo = Wire.Dec.uint d in
+      let hi = bound_codec.Wire.read d in
+      if lo < 0 || hi < lo then
+        raise (Wire.Malformed (Printf.sprintf "bad schedule window [%d, %d)" lo hi));
+      Atom { atom; lo; hi }
+    | 2 ->
+      let a = read (depth + 1) d in
+      let b = read (depth + 1) d in
+      Union (a, b)
+    | 3 ->
+      let lo = Wire.Dec.uint d in
+      let hi = bound_codec.Wire.read d in
+      if lo < 0 || hi < lo then
+        raise (Wire.Malformed (Printf.sprintf "bad schedule window [%d, %d)" lo hi));
+      let s = read (depth + 1) d in
+      During (lo, hi, s)
+    | 4 ->
+      let side = Wire.side.Wire.read d in
+      Restrict (side, read (depth + 1) d)
+    | n -> raise (Wire.Malformed (Printf.sprintf "Schedule.t: unknown tag %d" n))
+  in
+  { Wire.write = write 0; read = read 0 }
+
+(* --- shrinker support ----------------------------------------------------- *)
+
+(* Rebuild one flattened component as a standalone schedule: the atom with
+   its {e effective} window baked in, re-wrapped in its sender-side
+   restriction. Note that component salts are positional, so a subset of
+   components re-rolls the probabilistic coins — sound for shrinking
+   because every candidate is re-judged by the oracle, it only means a
+   removal can fail for coin reasons and be kept. *)
+let of_flat f =
+  let t = Atom { atom = f.f_atom; lo = f.f_lo; hi = f.f_hi } in
+  match f.f_side with
+  | None -> t
+  | Some s -> Restrict (s, t)
+
+let components t = List.map of_flat (flatten t)
+
+let window t =
+  match flatten t with
+  | [] -> None
+  | flats ->
+    Some
+      (List.fold_left
+         (fun (lo, hi) f -> min lo f.f_lo, max hi f.f_hi)
+         (max_int, 0) flats)
+
+let reframe ~from_round ~until_round t =
+  check_window "reframe" from_round until_round;
+  all
+    (List.filter_map
+       (fun f ->
+         let lo = max f.f_lo from_round and hi = min f.f_hi until_round in
+         if lo >= hi then None else Some (of_flat { f with f_lo = lo; f_hi = hi }))
+       (flatten t))
+
+let refinements t =
+  let flats = flatten t in
+  let shrink_set s = List.map (fun p -> Party_set.remove p s) (Party_set.elements s) in
+  List.concat
+    (List.mapi
+       (fun i f ->
+         match f.f_atom with
+         | Partition (a, b) when Party_set.cardinal a + Party_set.cardinal b > 2 ->
+           let variants =
+             List.filter_map
+               (fun (a', b') ->
+                 if Party_set.is_empty a' || Party_set.is_empty b' then None
+                 else Some (Partition (a', b')))
+               (List.map (fun a' -> a', b) (shrink_set a)
+               @ List.map (fun b' -> a, b') (shrink_set b))
+           in
+           List.map
+             (fun atom ->
+               all
+                 (List.mapi
+                    (fun j g -> of_flat (if i = j then { f with f_atom = atom } else g))
+                    flats))
+             variants
+         | _ -> [])
+       flats)

@@ -58,6 +58,27 @@ val partition :
     on every link in the window is omitted. *)
 val blackout : from_round:int -> until_round:int -> t
 
+(** [corrupt ~rate ~kind p] — each frame {e sent by} [p] is, with
+    probability [rate], delivered with its bytes rewritten by the
+    {!Mutation.kind} mutation instead of dropped: the {e active}
+    byzantine corruption classes (mutated, equivocated, replayed and
+    forged frames). Which frames fire and what bytes they become are both
+    pure functions of [(seed, component, round, src, dst)], so mutated
+    runs replay bit-identically. A corrupting component charges the
+    corrupted sender in {!charged} exactly like send-omission does — a
+    party whose traffic is being rewritten is corrupt in the paper's
+    budget sense. *)
+val corrupt : rate:float -> kind:Mutation.kind -> Party_id.t -> t
+
+(** [sabotage p ~at_round] — like {!crash}, but deliberately {e not}
+    charged in {!charged}. This exists for the harness: silencing an
+    honest party without paying the budget makes the oracle report a
+    violation by construction, which is how `bsm chaos
+    --inject-violation` seeds the shrinker with a guaranteed repro. It is
+    not a fault the paper's adversary can afford for free — don't use it
+    to model one. *)
+val sabotage : Party_id.t -> at_round:int -> t
+
 (** [union a b] drops a message iff [a] or [b] drops it. *)
 val union : t -> t -> t
 
@@ -86,7 +107,10 @@ val pp : Format.formatter -> t -> unit
     [drop_label] attributes each omission to the component that fired
     (first match in pre-order), so engine traces and
     [messages_dropped_by_label] name the schedule component responsible
-    for every omitted message. *)
+    for every omitted message. Schedules containing {!corrupt} components
+    also carry the engine's corrupt-in-flight hook (first applicable
+    component in pre-order wins per frame); schedules without any leave
+    the engine's replay tracking disabled. *)
 val compile : seed:int -> t -> Engine.fault_model
 
 (** [charged ~k s] — the parties whose omission-corruption accounts for
@@ -98,5 +122,47 @@ val compile : seed:int -> t -> Engine.fault_model
     [charged ∪ byzantine] against the setting's [(t_L, t_R)] budgets:
     within budget, omission-faulty parties are a special case of
     byzantine ones, so the honest-party guarantees of Theorems 8–9 must
-    survive. *)
+    survive. {!corrupt} components charge the corrupted sender;
+    {!sabotage} components deliberately charge nobody (see
+    {!sabotage}). *)
 val charged : k:int -> t -> Party_set.t
+
+(** {2 Serialization}
+
+    Schedules serialize with {!Bsm_wire.Wire} so a chaos violation can be
+    written to a repro file and re-executed bit-identically ({!Repro}).
+    The codec is canonical over the schedule {e term}; decoding validates
+    rates, windows and tags ([Wire.Malformed] otherwise) and refuses
+    terms nested deeper than 1000 levels. *)
+
+val codec : t Bsm_wire.Wire.t
+
+(** {2 Shrinker support}
+
+    The views {!Shrink} needs: a schedule as its list of flattened
+    components, each rebuilt as a standalone schedule with its effective
+    window and sender-side restriction baked in. Component salts are
+    positional, so a subset of components re-rolls probabilistic coins —
+    the shrinker re-judges every candidate with the oracle, so this
+    affects only how far a schedule shrinks, never soundness. *)
+
+(** The flattened components, in salt order. [all (components s)] is
+    semantically [s] (same drops/corruptions, modulo the salt caveat
+    above). *)
+val components : t -> t list
+
+(** Smallest round window covering every component: [Some (lo, hi)] with
+    [hi] exclusive ([max_int] = unbounded), or [None] for an empty
+    schedule. *)
+val window : t -> (int * int) option
+
+(** [reframe ~from_round ~until_round s] clamps every component's window
+    to the given one; components whose windows become empty are pruned
+    away. *)
+val reframe : from_round:int -> until_round:int -> t -> t
+
+(** Link-narrowing candidates: every variant of [s] obtained by removing
+    one party from one block of one partition component (blocks never
+    shrink to empty). [[]] when no component is a partition with more
+    than two parties involved. *)
+val refinements : t -> t list

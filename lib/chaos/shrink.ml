@@ -1,0 +1,147 @@
+module Sweep = Bsm_harness.Sweep
+
+type outcome = {
+  original : Schedule.t;
+  shrunk : Schedule.t;
+  report : Oracle.report;
+  attempts : int;
+  trail : string list;
+}
+
+(* All state of one search: the current best (still-violating) schedule
+   and its report, plus bookkeeping. *)
+type search = {
+  mutable best : Schedule.t;
+  mutable best_report : Oracle.report;
+  mutable n_attempts : int;
+  mutable steps : string list;
+  judge : Schedule.t -> Oracle.report;
+}
+
+let violates (r : Oracle.report) = r.Oracle.verdict = Oracle.Violation
+
+(* Try [candidate]; adopt it as the new best iff it still violates. *)
+let try_shrink s ~note candidate =
+  s.n_attempts <- s.n_attempts + 1;
+  let r = s.judge candidate in
+  if violates r then begin
+    s.best <- candidate;
+    s.best_report <- r;
+    s.steps <- note candidate :: s.steps;
+    true
+  end
+  else false
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+(* Phase 1: drop components one at a time until no removal survives. *)
+let shrink_components s =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let comps = Schedule.components s.best in
+    let n = List.length comps in
+    if n > 1 then begin
+      let i = ref 0 in
+      while (not !progress) && !i < n do
+        let candidate = Schedule.all (drop_nth comps !i) in
+        if
+          try_shrink s candidate ~note:(fun c ->
+              Printf.sprintf "dropped component %d/%d -> %s" (!i + 1) n
+                (Schedule.describe c))
+        then progress := true
+        else incr i
+      done
+    end
+  done
+
+(* Phase 2: clamp the window to the rounds actually executed, then
+   binary-search both edges. The oracle re-judges every candidate, so the
+   monotonicity the binary search assumes is only a heuristic — a
+   non-monotone schedule just shrinks less. *)
+let shrink_window s =
+  match Schedule.window s.best with
+  | None -> ()
+  | Some (lo0, hi0) ->
+    let used = s.best_report.Oracle.metrics.Bsm_runtime.Engine.rounds_used in
+    let hi0 =
+      if hi0 > used + 1 then begin
+        let clamped = Schedule.reframe ~from_round:lo0 ~until_round:(used + 1) s.best in
+        if
+          try_shrink s clamped ~note:(fun _ ->
+              Printf.sprintf "clamped window to executed rounds [r%d, r%d)" lo0
+                (used + 1))
+        then used + 1
+        else hi0
+      end
+      else hi0
+    in
+    (* Largest lo that still violates. Bound by the executed rounds even
+       when the clamp above was not adopted, so an unbounded window never
+       costs ~60 futile probes. *)
+    let lo = ref lo0 and lo_hi = ref (min (hi0 - 1) (used + 1)) in
+    while !lo < !lo_hi do
+      let mid = (!lo + !lo_hi + 1) / 2 in
+      if
+        try_shrink s
+          (Schedule.reframe ~from_round:mid ~until_round:hi0 s.best)
+          ~note:(fun _ -> Printf.sprintf "raised window start to r%d" mid)
+      then lo := mid
+      else lo_hi := mid - 1
+    done;
+    (* Smallest hi that still violates. *)
+    if hi0 < max_int then begin
+      let hi = ref hi0 and hi_lo = ref (!lo + 1) in
+      while !hi_lo < !hi do
+        let mid = (!hi_lo + !hi) / 2 in
+        if
+          try_shrink s
+            (Schedule.reframe ~from_round:!lo ~until_round:mid s.best)
+            ~note:(fun _ -> Printf.sprintf "lowered window end to r%d" mid)
+        then hi := mid
+        else hi_lo := mid + 1
+      done
+    end
+
+(* Phase 3: narrow partition blocks party by party. *)
+let shrink_links s =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec try_all = function
+      | [] -> ()
+      | candidate :: rest ->
+        if
+          try_shrink s candidate ~note:(fun c ->
+              Printf.sprintf "narrowed partition -> %s" (Schedule.describe c))
+        then progress := true
+        else try_all rest
+    in
+    try_all (Schedule.refinements s.best)
+  done
+
+let minimize ?max_rounds ~seed ~schedule case =
+  let judge candidate = Oracle.run ?max_rounds ~seed ~schedule:candidate case in
+  let report = judge schedule in
+  if not (violates report) then
+    Error
+      (Printf.sprintf "schedule does not violate (verdict: %s)"
+         (Oracle.verdict_to_string report.Oracle.verdict))
+  else begin
+    let s =
+      { best = schedule; best_report = report; n_attempts = 1; steps = []; judge }
+    in
+    shrink_components s;
+    shrink_window s;
+    shrink_components s;
+    (* window clamping can make more components droppable *)
+    shrink_links s;
+    Result.Ok
+      {
+        original = schedule;
+        shrunk = s.best;
+        report = s.best_report;
+        attempts = s.n_attempts;
+        trail = List.rev s.steps;
+      }
+  end

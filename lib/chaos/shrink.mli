@@ -1,0 +1,44 @@
+(** Delta-debugging minimizer for oracle violations.
+
+    When {!Oracle.run} reports a {!Oracle.Violation}, the offending
+    schedule is usually mostly noise: decoy components that fire but are
+    not needed, unbounded round windows, partitions wider than the links
+    that matter. [minimize] strips the noise by re-running the oracle on
+    progressively smaller candidate schedules and keeping every candidate
+    that still violates:
+
+    + {b components} — greedily drop whole schedule components until no
+      single removal preserves the violation (ddmin with subset size 1,
+      iterated to fixpoint);
+    + {b rounds} — clamp the round window to the rounds the violating run
+      actually used, then binary-search both edges inward;
+    + {b links} — replace partition components by {!Schedule.refinements}
+      (one party removed from one block) while the violation survives.
+
+    Every accepted candidate was re-judged by the oracle, so the result
+    is a true violation regardless of how component salts reshuffle the
+    probabilistic coins ({!Schedule.components}). The whole search is
+    deterministic in [(case, schedule, seed)] — same inputs, same minimal
+    repro. *)
+
+module Sweep := Bsm_harness.Sweep
+
+type outcome = {
+  original : Schedule.t;
+  shrunk : Schedule.t;
+  report : Oracle.report;  (** the shrunk schedule's (violating) report *)
+  attempts : int;  (** oracle runs spent searching *)
+  trail : string list;
+      (** human-readable log, one accepted shrink step per line *)
+}
+
+(** [minimize ?max_rounds ~seed ~schedule case] — [Error] with the
+    verdict's name when [schedule] does not violate on [case] (nothing to
+    shrink). The returned [shrunk] never has more components than
+    [schedule] and always still violates. *)
+val minimize :
+  ?max_rounds:int ->
+  seed:int ->
+  schedule:Schedule.t ->
+  Sweep.case ->
+  (outcome, string) result

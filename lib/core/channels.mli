@@ -52,3 +52,25 @@ val virtual_net :
     side of Π_bSM) that relay without running machines themselves. *)
 val forward_duty :
   Engine.env -> topology:Bsm_topology.Topology.t -> Engine.envelope -> unit
+
+(** {2 Wire format}
+
+    The relay frame format, exposed so the decoder fuzzer can exercise
+    the exact bytes this module puts on (and accepts from) the network.
+    Protocol code never needs these — it talks through {!virtual_net}. *)
+
+type payload = {
+  src : Bsm_prelude.Party_id.t;
+  dst : Bsm_prelude.Party_id.t;
+  vround : int;
+  id : int;
+  body : string;
+  signature : Bsm_crypto.Crypto.Signature.t option;
+}
+
+type relay =
+  | Direct of string
+  | Request of payload
+  | Forward of payload
+
+val relay_codec : relay Bsm_wire.Wire.t

@@ -35,10 +35,21 @@ type link =
 type fault_model = {
   drop : round:int -> src:Party_id.t -> dst:Party_id.t -> bool;
   drop_label : round:int -> src:Party_id.t -> dst:Party_id.t -> string option;
+  corrupt :
+    round:int ->
+    src:Party_id.t ->
+    dst:Party_id.t ->
+    prev:payload option ->
+    payload ->
+    (payload * string) option;
 }
 
 let no_label ~round:_ ~src:_ ~dst:_ = None
-let fault_model ?(label = no_label) drop = { drop; drop_label = label }
+let no_corrupt ~round:_ ~src:_ ~dst:_ ~prev:_ _ = None
+
+let fault_model ?(label = no_label) ?(corrupt = no_corrupt) drop =
+  { drop; drop_label = label; corrupt }
+
 let no_faults = fault_model (fun ~round:_ ~src:_ ~dst:_ -> false)
 
 type event = {
@@ -46,7 +57,7 @@ type event = {
   event_src : Party_id.t;
   event_dst : Party_id.t;
   event_bytes : int;
-  event_fate : [ `Delivered | `No_channel | `Omitted ];
+  event_fate : [ `Delivered | `No_channel | `Omitted | `Corrupted ];
   event_label : string option;
 }
 
@@ -56,6 +67,7 @@ let pp_event ppf e =
     | `Delivered -> "delivered"
     | `No_channel -> "no-channel"
     | `Omitted -> "omitted"
+    | `Corrupted -> "corrupted"
   in
   Format.fprintf ppf "r%d %a -> %a (%dB, %s%s)" e.event_round Party_id.pp e.event_src
     Party_id.pp e.event_dst e.event_bytes fate
@@ -92,6 +104,7 @@ type metrics = {
   messages_delivered : int;
   messages_dropped_topology : int;
   messages_dropped_fault : int;
+  messages_corrupted : int;
   messages_dropped_by_label : (string * int) list;
   bytes_sent : int;
 }
@@ -238,7 +251,24 @@ let run cfg ~programs =
     | Some r -> incr r
     | None -> dropped_by_label := (l, ref 1) :: !dropped_by_label
   in
+  let messages_corrupted = ref 0 in
   let bytes_sent = ref 0 in
+
+  (* Replay support for corrupting fault models: the last payload
+     {e delivered} on each ordered link in any {e earlier} round, indexed
+     by [src_dense * 2k + dst_dense]. Updates are staged during a
+     delivery sweep and committed only after it, so a replay mutation can
+     never echo bytes from the round currently being delivered. Gated on
+     physical inequality with [no_corrupt]: fault-free runs pay nothing. *)
+  let track_prev = cfg.faults.corrupt != no_corrupt in
+  let prev_frames : payload option array =
+    if track_prev then Array.make (4 * k * k) None else [||]
+  in
+  let staged_prev : (int * payload) list ref = ref [] in
+  let commit_prev () =
+    List.iter (fun (i, p) -> prev_frames.(i) <- Some p) (List.rev !staged_prev);
+    staged_prev := []
+  in
 
   (* Runs [f ()] as [cell]'s fiber until it blocks on [Next_round],
      returns, or raises. *)
@@ -332,9 +362,23 @@ let run cfg ~programs =
               record ~label src dst len `Omitted
             end
             else begin
+              let link_idx = (src_dense * 2 * k) + Party_id.to_dense ~k dst in
+              let prev = if track_prev then prev_frames.(link_idx) else None in
+              (* The wire carries whatever the corrupt hook returns; bytes
+                 and the replay memory both reflect the mutated frame. *)
+              let data, fate, label =
+                match cfg.faults.corrupt ~round:!round ~src ~dst ~prev data with
+                | None -> data, `Delivered, None
+                | Some (data', l) ->
+                  incr messages_corrupted;
+                  count_label l;
+                  data', `Corrupted, Some l
+              in
+              let len = String.length data in
               incr messages_delivered;
               bytes_sent := !bytes_sent + len;
-              record src dst len `Delivered;
+              record ~label src dst len fate;
+              if track_prev then staged_prev := (link_idx, data) :: !staged_prev;
               let target = cell_of dst in
               bucket_push target.buckets.(src_dense) data;
               target.inbox_count <- target.inbox_count + 1
@@ -344,7 +388,8 @@ let run cfg ~programs =
              retained past the round by the reused storage. *)
           Array.fill ob.out_data 0 ob.out_len "";
           ob.out_len <- 0
-        end)
+        end);
+    if track_prev then commit_prev ()
   in
 
   (* Collect [cell]'s buckets into the inbox list the fiber sees: senders
@@ -428,6 +473,7 @@ let run cfg ~programs =
         messages_delivered = !messages_delivered;
         messages_dropped_topology = !dropped_topology;
         messages_dropped_fault = !dropped_fault;
+        messages_corrupted = !messages_corrupted;
         messages_dropped_by_label =
           List.sort
             (fun (a, _) (b, _) -> String.compare a b)

@@ -87,13 +87,50 @@ type fault_model = {
           omission to a fault-schedule component. The label lands on the
           trace event and in [messages_dropped_by_label]. Must be pure
           (runs may execute on any domain). *)
+  corrupt :
+    round:int ->
+    src:Party_id.t ->
+    dst:Party_id.t ->
+    prev:payload option ->
+    payload ->
+    (payload * string) option;
+      (** the in-flight mutation hook, the engine half of active byzantine
+          wire chaos: consulted for every message that survived both the
+          topology and [drop] checks. [Some (bytes, label)] delivers
+          [bytes] in place of the sent payload and attributes the
+          corruption to the labelled schedule component; [None] delivers
+          the frame untouched. [prev] is the last payload {e delivered}
+          (post-corruption) on this ordered link in any strictly earlier
+          round — [None] until one exists — which is what replay
+          mutations echo; frames of the round being delivered are never
+          visible in [prev], so same-round frames cannot replay each
+          other. Must be pure (runs may execute on any domain). The
+          per-link replay memory is only maintained when [corrupt] is not
+          (physically) {!no_corrupt}, so fault-free runs pay nothing. *)
 }
 
-(** [fault_model ?label drop] — [label] defaults to no attribution. *)
+(** [fault_model ?label ?corrupt drop] — [label] defaults to no
+    attribution, [corrupt] to {!no_corrupt} (deliver untouched). *)
 val fault_model :
   ?label:(round:int -> src:Party_id.t -> dst:Party_id.t -> string option) ->
+  ?corrupt:
+    (round:int ->
+    src:Party_id.t ->
+    dst:Party_id.t ->
+    prev:payload option ->
+    payload ->
+    (payload * string) option) ->
   (round:int -> src:Party_id.t -> dst:Party_id.t -> bool) ->
   fault_model
+
+(** The default [corrupt] hook: always [None]. *)
+val no_corrupt :
+  round:int ->
+  src:Party_id.t ->
+  dst:Party_id.t ->
+  prev:payload option ->
+  payload ->
+  (payload * string) option
 
 val no_faults : fault_model
 
@@ -103,9 +140,11 @@ type event = {
   event_src : Party_id.t;
   event_dst : Party_id.t;
   event_bytes : int;
-  event_fate : [ `Delivered | `No_channel | `Omitted ];
+  event_fate : [ `Delivered | `No_channel | `Omitted | `Corrupted ];
+      (** [`Corrupted] frames were delivered, with mutated bytes *)
   event_label : string option;
-      (** fault-model attribution; only ever [Some] on [`Omitted] *)
+      (** fault-model attribution; only ever [Some] on [`Omitted] and
+          [`Corrupted] *)
 }
 
 val pp_event : Format.formatter -> event -> unit
@@ -145,17 +184,23 @@ type metrics = {
   messages_delivered : int;
   messages_dropped_topology : int;  (** sent along non-existent channels *)
   messages_dropped_fault : int;  (** omitted by the fault model *)
+  messages_corrupted : int;
+      (** delivered with bytes rewritten by the [corrupt] hook; these
+          also count in [messages_delivered] — corruption changes the
+          payload, not the fact of delivery *)
   messages_dropped_by_label : (string * int) list;
-      (** fault omissions broken down by [drop_label] attribution,
-          sorted by label; unlabelled omissions are not listed, so the
-          counts sum to at most [messages_dropped_fault]. Empty when the
-          fault model never labels. *)
+      (** omissions {e and} corruptions broken down by component
+          attribution ([drop_label] / the [corrupt] hook's label), sorted
+          by label; unlabelled omissions are not listed, so the counts
+          sum to at most [messages_dropped_fault + messages_corrupted].
+          Empty when the fault model never labels. *)
   bytes_sent : int;
       (** payload bytes of {e delivered} messages — the communication the
-          network actually carried. Messages dropped by the topology or
-          omitted by the fault model contribute to their drop counters
-          but never to [bytes_sent], so [bytes_sent] and
-          [messages_delivered] describe the same message set. *)
+          network actually carried, counting corrupted frames at their
+          mutated length. Messages dropped by the topology or omitted by
+          the fault model contribute to their drop counters but never to
+          [bytes_sent], so [bytes_sent] and [messages_delivered]
+          describe the same message set. *)
 }
 
 type result = {

@@ -1,0 +1,152 @@
+open Bsm_prelude
+
+type entry =
+  | Entry : {
+      name : string;
+      codec : 'a Wire.t;
+      gen : Rng.t -> 'a;
+      equal : 'a -> 'a -> bool;
+    }
+      -> entry
+
+let entry ~name ~gen ~equal codec = Entry { name; codec; gen; equal }
+
+type outcome =
+  | Roundtrip
+  | Reinterpreted
+  | Rejected
+  | Crashed of string
+
+type stats = {
+  name : string;
+  cases : int;
+  roundtrip : int;
+  reinterpreted : int;
+  rejected : int;
+  crashed : int;
+  first_failure : string option;
+}
+
+(* --- byte mutations ----------------------------------------------------- *)
+
+let mutate_once rng s =
+  let n = String.length s in
+  if n = 0 then
+    (* Nothing to flip: grow instead. *)
+    String.init (1 + Rng.int rng 4) (fun _ -> Char.chr (Rng.int rng 256))
+  else
+    match Rng.int rng 6 with
+    | 0 ->
+      (* Flip one bit — the classic single-event upset. *)
+      let i = Rng.int rng n in
+      let bit = 1 lsl Rng.int rng 8 in
+      String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor bit) else c) s
+    | 1 ->
+      (* Rewrite one byte with an adversarial favourite: continuation-heavy
+         varint bytes and 0xff stress the length/shift guards hardest. *)
+      let i = Rng.int rng n in
+      let b = Rng.choose rng [ 0x80; 0xff; 0x7f; 0x00; Rng.int rng 256 ] in
+      String.mapi (fun j c -> if j = i then Char.chr b else c) s
+    | 2 -> String.sub s 0 (Rng.int rng n) (* truncate *)
+    | 3 ->
+      (* Insert a few random bytes at a random position. *)
+      let i = Rng.int rng (n + 1) in
+      let ins = String.init (1 + Rng.int rng 4) (fun _ -> Char.chr (Rng.int rng 256)) in
+      String.sub s 0 i ^ ins ^ String.sub s i (n - i)
+    | 4 ->
+      (* Duplicate a slice in place — corrupts counts and framing. *)
+      let i = Rng.int rng n in
+      let len = 1 + Rng.int rng (n - i) in
+      String.sub s 0 (i + len) ^ String.sub s i (n - i)
+    | _ ->
+      (* Swap two bytes. *)
+      let i = Rng.int rng n and j = Rng.int rng n in
+      String.mapi (fun k c -> if k = i then s.[j] else if k = j then s.[i] else c) s
+
+let mutate rng s =
+  let rounds = 1 + Rng.int rng 3 in
+  let rec go k s = if k = 0 then s else go (k - 1) (mutate_once rng s) in
+  go rounds s
+
+(* --- classification ----------------------------------------------------- *)
+
+(* Strictly stricter than [Wire.decode]: only [Malformed] is a contractual
+   rejection. [Invalid_argument] &co. escaping a decoder is a bug the
+   fuzzer exists to catch. *)
+let classify (type a) (codec : a Wire.t) (equal : a -> a -> bool) (original : a option) bytes =
+  match Wire.decode_exn codec bytes with
+  | v -> begin
+    match original with
+    | Some o when equal o v -> Roundtrip
+    | _ -> Reinterpreted
+  end
+  | exception Wire.Malformed _ -> Rejected
+  | exception exn -> Crashed (Printexc.to_string exn)
+
+let run_entry ~seed ~cases (Entry e) =
+  let rng = Rng.make seed in
+  let roundtrip = ref 0 in
+  let reinterpreted = ref 0 in
+  let rejected = ref 0 in
+  let crashed = ref 0 in
+  let first_failure = ref None in
+  let total = ref 0 in
+  let record case_idx bytes = function
+    | Roundtrip -> incr roundtrip
+    | Reinterpreted -> incr reinterpreted
+    | Rejected -> incr rejected
+    | Crashed exn ->
+      incr crashed;
+      if !first_failure = None then
+        first_failure :=
+          Some
+            (Printf.sprintf "%s: case %d raised %s on input %s" e.name case_idx exn
+               (Wire.to_hex bytes))
+  in
+  for i = 0 to cases - 1 do
+    let v = e.gen rng in
+    let bytes = Wire.encode e.codec v in
+    (* Clean round-trip: anything but [Roundtrip] means the codec is not
+       canonical or not total on its own output — count it as a crash. *)
+    let clean =
+      match classify e.codec e.equal (Some v) bytes with
+      | Roundtrip -> Roundtrip
+      | Reinterpreted -> Crashed "clean round-trip decoded to a different value"
+      | Rejected -> Crashed "clean round-trip rejected as malformed"
+      | Crashed _ as c -> c
+    in
+    record i bytes clean;
+    let mutated = mutate rng bytes in
+    record i mutated (classify e.codec e.equal (Some v) mutated);
+    total := !total + 2
+  done;
+  {
+    name = e.name;
+    cases = !total;
+    roundtrip = !roundtrip;
+    reinterpreted = !reinterpreted;
+    rejected = !rejected;
+    crashed = !crashed;
+    first_failure = !first_failure;
+  }
+
+let run ~seed ~cases entries =
+  List.mapi
+    (fun i e ->
+      (* Decorrelate entries so adding one does not reshuffle the cases of
+         the others. *)
+      let entry_seed =
+        Int64.to_int (Rng.mix64_absorb (Rng.mix64 (Int64.of_int seed)) i) land max_int
+      in
+      run_entry ~seed:entry_seed ~cases e)
+    entries
+
+let total_cases stats = List.fold_left (fun acc s -> acc + s.cases) 0 stats
+let total_crashed stats = List.fold_left (fun acc s -> acc + s.crashed) 0 stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%-22s %6d cases  %6d roundtrip  %6d reinterpreted  %6d rejected  %d crashed"
+    s.name s.cases s.roundtrip s.reinterpreted s.rejected s.crashed;
+  match s.first_failure with
+  | None -> ()
+  | Some f -> Format.fprintf ppf "@,  FIRST FAILURE: %s" f

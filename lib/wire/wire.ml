@@ -58,14 +58,29 @@ module Dec = struct
     t.pos <- t.pos + 1;
     c
 
+  (* Varints are bounded at 10 bytes (the LEB128 width of a 64-bit word)
+     and every continuation must fit the OCaml word: a byzantine frame of
+     0x80 repeated can neither loop nor shift bits off the end of the
+     accumulator unnoticed. *)
+  let max_varint_bytes = 10
+
   let raw t =
-    let rec go shift acc =
-      if shift > Sys.int_size then malformed "varint too long";
+    let rec go n shift acc =
+      if n >= max_varint_bytes then malformed "varint longer than 10 bytes";
       let b = byte t in
-      let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 = 0 then acc else go (shift + 7) acc
+      let bits = b land 0x7f in
+      let acc =
+        if shift >= Sys.int_size then
+          if bits = 0 then acc else malformed "varint overflows the word"
+        else begin
+          if bits lsr (Sys.int_size - shift) <> 0 then
+            malformed "varint overflows the word";
+          acc lor (bits lsl shift)
+        end
+      in
+      if b land 0x80 = 0 then acc else go (n + 1) (shift + 7) acc
     in
-    go 0 0
+    go 0 0 0
 
   let uint t =
     let n = raw t in
@@ -82,12 +97,25 @@ module Dec = struct
     | 1 -> true
     | b -> malformed "invalid bool byte %d" b
 
+  let remaining t = String.length t.data - t.pos
+
+  (* Compare against [remaining], never [t.pos + len]: a forged length
+     near [max_int] would overflow the addition and sail past the bounds
+     check into a giant allocation. *)
   let string t =
     let len = uint t in
-    if t.pos + len > String.length t.data then malformed "string length out of range";
+    if len > remaining t then malformed "string length %d exceeds %d remaining bytes" len (remaining t);
     let s = String.sub t.data t.pos len in
     t.pos <- t.pos + len;
     s
+
+  (* For length-prefixed sequences: every well-formed element consumes at
+     least [per_element] bytes (0 allowed), so a count beyond the
+     remaining input is malformed — reject it before allocating
+     anything. *)
+  let check_count t n =
+    if n > remaining t then
+      malformed "count %d exceeds %d remaining bytes" n (remaining t)
 
   let tag = byte
 
@@ -162,6 +190,24 @@ let bool = { write = Enc.bool; read = Dec.bool }
 let string = { write = Enc.string; read = Dec.string }
 let unit = { write = (fun _ () -> ()); read = (fun _ -> ()) }
 
+(* IEEE-754 bits split into two 32-bit halves, each a non-negative varint
+   on any OCaml word size. Canonical: equal bit patterns give equal bytes,
+   so nan payloads and signed zeros survive the round trip. *)
+let float =
+  let write e x =
+    let bits = Int64.bits_of_float x in
+    Enc.uint e (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+    Enc.uint e (Int64.to_int (Int64.shift_right_logical bits 32))
+  in
+  let read d =
+    let lo = Dec.uint d in
+    let hi = Dec.uint d in
+    if lo land lnot 0xFFFFFFFF <> 0 || hi land lnot 0xFFFFFFFF <> 0 then
+      malformed "float half out of 32-bit range";
+    Int64.float_of_bits (Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32))
+  in
+  { write; read }
+
 let list c =
   let write e xs =
     Enc.uint e (List.length xs);
@@ -169,6 +215,7 @@ let list c =
   in
   let read d =
     let n = Dec.uint d in
+    Dec.check_count d n;
     List.init n (fun _ -> c.read d)
   in
   { write; read }
@@ -267,3 +314,22 @@ let party_id =
     ~inject:(fun (s, i) -> Party_id.make s i)
     ~project:(fun p -> Party_id.side p, Party_id.index p)
     (pair side uint)
+
+(* --- hex ---------------------------------------------------------------- *)
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> malformed "invalid hex digit %C" c
+  in
+  let n = String.length s in
+  if n mod 2 <> 0 then malformed "odd-length hex string";
+  String.init (n / 2) (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))

@@ -40,10 +40,18 @@ module Enc : sig
   val tag : t -> int -> unit
 end
 
+(** Decoders are hardened against adversarial bytes: varints are bounded
+    at 10 bytes and checked for word overflow, and length prefixes
+    (strings, lists) are capped at the remaining input, so a forged frame
+    can neither loop nor trigger a giant allocation — every such input
+    raises [Malformed] instead. *)
 module Dec : sig
   type t
 
   val of_string : string -> t
+
+  (** Bytes not yet consumed. *)
+  val remaining : t -> int
 
   val uint : t -> int
   val int : t -> int
@@ -89,6 +97,10 @@ val bool : bool t
 val string : string t
 val unit : unit t
 
+(** IEEE-754 bits as two 32-bit varint halves; canonical per bit pattern
+    (nan payloads and signed zeros round-trip). *)
+val float : float t
+
 (* Combinators. *)
 
 val list : 'a t -> 'a list t
@@ -117,3 +129,12 @@ val variant : name:string -> 'v packed_case list -> 'v t
 
 val side : Bsm_prelude.Side.t t
 val party_id : Bsm_prelude.Party_id.t t
+
+(* Hex, for repro files and fuzz reports. *)
+
+(** Lowercase hex of the bytes of [s]. *)
+val to_hex : string -> string
+
+(** Inverse of {!to_hex}; raises [Malformed] on odd length or non-hex
+    digits. *)
+val of_hex : string -> string

@@ -9,8 +9,12 @@ module Engine = Bsm_runtime.Engine
 module Pool = Bsm_runtime.Pool
 module H = Bsm_harness
 module Topology = Bsm_topology.Topology
+module Wire = Bsm_wire.Wire
 module Schedule = Bsm_chaos.Schedule
+module Mutation = Bsm_chaos.Mutation
 module Oracle = Bsm_chaos.Oracle
+module Shrink = Bsm_chaos.Shrink
+module Repro = Bsm_chaos.Repro
 module Chaos_sweep = Bsm_chaos.Chaos_sweep
 
 let party_set = Alcotest.testable Party_set.pp Party_set.equal
@@ -165,6 +169,95 @@ let test_invalid_arguments_rejected () =
   rejects (fun () ->
       Schedule.during ~from_round:(-1) ~until_round:2 (Schedule.bernoulli ~rate:0.5))
 
+(* --- in-flight mutation --------------------------------------------------- *)
+
+(* The corrupt hook's verdicts over a (round, src, dst) cube, as a
+   replayable fingerprint mirroring [decisions]. *)
+let corrupt_decisions ~k model payload =
+  let parties = Party_id.all ~k in
+  List.concat_map
+    (fun round ->
+      List.concat_map
+        (fun src ->
+          List.filter_map
+            (fun dst ->
+              if Party_id.equal src dst then None
+              else Some (model.Engine.corrupt ~round ~src ~dst ~prev:None payload))
+            parties)
+        parties)
+    (Util.range 0 6)
+
+let test_mutation_deterministic_and_seeded () =
+  let sched =
+    Schedule.union
+      (Schedule.corrupt ~rate:0.5 ~kind:Mutation.Bit_flip (Party_id.right 0))
+      (Schedule.corrupt ~rate:0.5 ~kind:Mutation.Equivocate (Party_id.left 0))
+  in
+  let payload = "the quick brown fox" in
+  let a = corrupt_decisions ~k:3 (Schedule.compile ~seed:9 sched) payload in
+  let b = corrupt_decisions ~k:3 (Schedule.compile ~seed:9 sched) payload in
+  Alcotest.(check bool) "same seed, same mutations" true (a = b);
+  let c = corrupt_decisions ~k:3 (Schedule.compile ~seed:10 sched) payload in
+  Alcotest.(check bool) "different seed, different mutations" false (a = c)
+
+let test_corrupt_never_drops () =
+  let r0 = Party_id.right 0 in
+  let model =
+    Schedule.compile ~seed:2 (Schedule.corrupt ~rate:1.0 ~kind:Mutation.Bit_flip r0)
+  in
+  Alcotest.(check bool) "corruption is not omission" false
+    (model.Engine.drop ~round:0 ~src:r0 ~dst:(Party_id.left 0));
+  Alcotest.(check bool) "hook fires at rate 1" true
+    (model.Engine.corrupt ~round:0 ~src:r0 ~dst:(Party_id.left 0) ~prev:None
+       "payload"
+    <> None);
+  Alcotest.(check (option string))
+    "other senders untouched" None
+    (Option.map snd
+       (model.Engine.corrupt ~round:0 ~src:(Party_id.right 1)
+          ~dst:(Party_id.left 0) ~prev:None "payload"))
+
+let test_equivocate_differs_per_recipient () =
+  let r0 = Party_id.right 0 in
+  let model =
+    Schedule.compile ~seed:4 (Schedule.corrupt ~rate:1.0 ~kind:Mutation.Equivocate r0)
+  in
+  let payload = String.init 16 Char.chr in
+  let get dst =
+    match model.Engine.corrupt ~round:0 ~src:r0 ~dst ~prev:None payload with
+    | Some (bytes, _) -> bytes
+    | None -> Alcotest.fail "rate-1.0 equivocation did not fire"
+  in
+  let to_l0 = get (Party_id.left 0)
+  and to_l1 = get (Party_id.left 1) in
+  Alcotest.(check bool) "frames mutated" true (to_l0 <> payload && to_l1 <> payload);
+  Alcotest.(check bool) "recipients see different frames" true (to_l0 <> to_l1)
+
+let test_schedule_codec_roundtrip () =
+  let r0 = Party_id.right 0 in
+  let sched =
+    Schedule.all
+      [
+        Schedule.bernoulli ~rate:0.25;
+        Schedule.crash (Party_id.left 1) ~at_round:2;
+        Schedule.send_omission ~rate:0.5 r0;
+        Schedule.receive_omission ~rate:0.75 r0;
+        Schedule.partition ~from_round:1 ~until_round:4 [ r0 ]
+          [ Party_id.left 0; Party_id.left 1 ];
+        Schedule.during ~from_round:0 ~until_round:3
+          (Schedule.blackout ~from_round:0 ~until_round:100);
+        Schedule.restrict_to_side Side.Left
+          (Schedule.corrupt ~rate:0.3 ~kind:Mutation.Forge_sender (Party_id.left 0));
+        Schedule.sabotage (Party_id.left 0) ~at_round:5;
+      ]
+  in
+  let bytes = Wire.encode Schedule.codec sched in
+  Alcotest.(check bool) "roundtrip" true
+    (Wire.decode_exn Schedule.codec bytes = sched);
+  Alcotest.(check bool) "garbage never crashes the schedule decoder" true
+    (match Wire.decode Schedule.codec "\x02\x02\x02\x02\x02" with
+    | Ok _ | Error _ -> true)
+
 (* --- budget attribution -------------------------------------------------- *)
 
 let test_charged_attribution () =
@@ -194,6 +287,19 @@ let test_charged_attribution () =
     (Schedule.union
        (Schedule.crash r0 ~at_round:1)
        (Schedule.send_omission ~rate:0.2 (Party_id.left 1)))
+
+let test_corrupt_charged_sabotage_not () =
+  let r0 = Party_id.right 0 in
+  Alcotest.check party_set "corrupt charges its sender like omission"
+    (Party_set.singleton r0)
+    (Schedule.charged ~k:2 (Schedule.corrupt ~rate:0.3 ~kind:Mutation.Truncate r0));
+  Alcotest.check party_set "restriction filters a mismatched corrupt sender"
+    Party_set.empty
+    (Schedule.charged ~k:2
+       (Schedule.restrict_to_side Side.Left
+          (Schedule.corrupt ~rate:0.3 ~kind:Mutation.Truncate r0)));
+  Alcotest.check party_set "sabotage is deliberately uncharged" Party_set.empty
+    (Schedule.charged ~k:2 (Schedule.sabotage (Party_id.left 0) ~at_round:0))
 
 (* --- the oracle across the T-table --------------------------------------- *)
 
@@ -279,6 +385,122 @@ let test_oracle_counts_fates () =
     (m.Engine.messages_delivered + m.Engine.messages_dropped_topology
    + m.Engine.messages_dropped_fault)
 
+(* --- shrinker & repros ---------------------------------------------------- *)
+
+(* The injected-violation construction the CLI's --inject-violation uses:
+   an uncharged sabotage of L0 (the real bug) buried under three
+   admissible decoys. Mirrored here so the CLI path stays covered by
+   tier-1 tests. *)
+let injected_setting () =
+  setting ~k:2 ~topology:Topology.Fully_connected ~auth:Core.Setting.Unauthenticated
+    ~tl:0 ~tr:2
+
+let injected_schedule () =
+  let l0 = Party_id.left 0
+  and r0 = Party_id.right 0
+  and r1 = Party_id.right 1 in
+  Schedule.all
+    [
+      Schedule.sabotage l0 ~at_round:0;
+      Schedule.send_omission ~rate:0.25 r0;
+      Schedule.corrupt ~rate:0.3 ~kind:Mutation.Bit_flip r0;
+      Schedule.partition ~from_round:0 ~until_round:6 [ r0 ] [ r1 ];
+    ]
+
+let test_shrinker_strips_decoys () =
+  let case = H.Sweep.case ~label:"injected" ~profile_seed:202 (injected_setting ()) in
+  let schedule = injected_schedule () in
+  match Shrink.minimize ~seed:0 ~schedule case with
+  | Error msg -> Alcotest.failf "expected a violation to shrink: %s" msg
+  | Ok out ->
+    Alcotest.(check bool) "shrunk schedule still violates" true
+      (out.Shrink.report.Oracle.verdict = Oracle.Violation);
+    let before = List.length (Schedule.components schedule) in
+    let after = List.length (Schedule.components out.Shrink.shrunk) in
+    Alcotest.(check bool)
+      (Printf.sprintf "decoys stripped (%d -> %d components)" before after)
+      true (after <= 2);
+    Alcotest.(check bool) "strictly smaller" true (after < before);
+    Alcotest.(check bool) "search was logged" true (out.Shrink.trail <> []);
+    Alcotest.(check bool) "attempts counted" true (out.Shrink.attempts > 0)
+
+let test_shrinker_deterministic () =
+  let case = H.Sweep.case ~label:"injected" ~profile_seed:202 (injected_setting ()) in
+  let schedule = injected_schedule () in
+  match
+    ( Shrink.minimize ~seed:0 ~schedule case,
+      Shrink.minimize ~seed:0 ~schedule case )
+  with
+  | Ok a, Ok b ->
+    Alcotest.(check bool) "same shrunk schedule" true
+      (a.Shrink.shrunk = b.Shrink.shrunk);
+    Alcotest.(check int) "same attempts" a.Shrink.attempts b.Shrink.attempts
+  | _ -> Alcotest.fail "minimize did not find the violation twice"
+
+let test_shrinker_rejects_non_violation () =
+  let case = H.Sweep.case ~profile_seed:11 (List.hd (t_settings ~k:2)) in
+  let schedule = Schedule.crash (Party_id.right 0) ~at_round:1 in
+  match Shrink.minimize ~seed:1 ~schedule case with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a clean run must not shrink"
+
+let test_repro_roundtrip_and_replay () =
+  let case = H.Sweep.case ~label:"repro" ~profile_seed:202 (injected_setting ()) in
+  let schedule = Schedule.sabotage (Party_id.left 0) ~at_round:4 in
+  let report = Oracle.run ~seed:0 ~schedule case in
+  Alcotest.(check bool) "the minimal schedule violates" true
+    (report.Oracle.verdict = Oracle.Violation);
+  match Repro.make ~case ~schedule ~seed:0 report with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    let bytes = Wire.encode Repro.codec t in
+    Alcotest.(check bool) "codec roundtrip" true
+      (Wire.decode_exn Repro.codec bytes = t);
+    let path = Filename.temp_file "bsm-repro" ".repro" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Repro.to_file path t;
+        match Repro.of_file path with
+        | Error msg -> Alcotest.fail msg
+        | Ok t' -> (
+          Alcotest.(check bool) "file roundtrip" true (t = t');
+          match Repro.check t' with
+          | Ok r ->
+            Alcotest.(check bool) "replay reproduces the violation" true
+              (r.Oracle.verdict = Oracle.Violation)
+          | Error msg -> Alcotest.failf "replay diverged: %s" msg))
+
+let test_repro_rejects_scripted_adversary () =
+  let case =
+    H.Sweep.case ~adversary:(H.Sweep.Scripted []) (injected_setting ())
+  in
+  let schedule = Schedule.sabotage (Party_id.left 0) ~at_round:0 in
+  let report = Oracle.run ~seed:0 ~schedule case in
+  match Repro.make ~case ~schedule ~seed:0 report with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scripted adversaries must not serialize"
+
+let test_repro_file_rejects_garbage () =
+  let rejects content =
+    let path = Filename.temp_file "bsm-repro" ".bad" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content);
+        match Repro.of_file path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "accepted %S" content)
+  in
+  rejects "";
+  rejects "not a repro\nabcdef";
+  rejects "bsm-repro 1\nzz-not-hex";
+  rejects "bsm-repro 1\nabc";
+  (* odd-length hex *)
+  rejects "bsm-repro 99\n00";
+  rejects "bsm-repro 1\n00"
+(* valid hex, malformed payload *)
+
 (* --- chaos sweeps --------------------------------------------------------- *)
 
 let test_quick_grid_par_equals_seq () =
@@ -324,6 +546,47 @@ let test_json_deterministic () =
   in
   Alcotest.(check string) "same seeds, same bytes" (run ()) (run ())
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_json_pins_corruption_schema () =
+  (* BENCH_chaos rows must carry the corrupted-frame count and fold the
+     mutation component's label into dropped_by_label — deterministic
+     counts only, so the file stays bit-identical. *)
+  let case = H.Sweep.case ~profile_seed:11 (List.hd (t_settings ~k:2)) in
+  let schedule = Schedule.corrupt ~rate:1.0 ~kind:Mutation.Bit_flip (Party_id.right 0) in
+  let outcomes = Chaos_sweep.run_cells [ Chaos_sweep.cell ~chaos_seed:1 ~schedule case ] in
+  let m = (List.hd outcomes).Chaos_sweep.oracle.Oracle.metrics in
+  Alcotest.(check bool) "frames were corrupted" true (m.Engine.messages_corrupted > 0);
+  Alcotest.(check (list (pair string int)))
+    "every corruption tallied under the component label"
+    [ "corrupt(R0,bit-flip,100%)", m.Engine.messages_corrupted ]
+    m.Engine.messages_dropped_by_label;
+  let json = Chaos_sweep.to_json ~jobs:1 outcomes in
+  Alcotest.(check bool) "corrupted_frames in json" true
+    (contains json
+       ~sub:(Printf.sprintf "\"corrupted_frames\": %d" m.Engine.messages_corrupted));
+  Alcotest.(check bool) "mutation label in json" true
+    (contains json ~sub:"\"corrupt(R0,bit-flip,100%)\"")
+
+let test_mutation_sweep_par_equals_seq () =
+  (* Mutation schedules go through the same seq==par bit-identity bar as
+     the omission vocabulary: the corrupt hook must not depend on
+     evaluation order or domain count. *)
+  let cases = List.map (fun s -> H.Sweep.case ~profile_seed:11 s) (t_settings ~k:2) in
+  let r0 = Party_id.right 0 in
+  let schedules =
+    List.map (fun kind -> Schedule.corrupt ~rate:0.4 ~kind r0) Mutation.all_kinds
+  in
+  let cells = Chaos_sweep.grid ~cases ~schedules ~seeds:[ 1; 2 ] in
+  let seq = Chaos_sweep.run_cells cells in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> Chaos_sweep.run_cells ~pool cells) in
+  Alcotest.(check bool) "bit-identical" true (seq = par);
+  Alcotest.(check string) "same json" (Chaos_sweep.to_json ~jobs:1 seq)
+    (Chaos_sweep.to_json ~jobs:1 par)
+
 let test_grid_shape () =
   let cases =
     [ H.Sweep.case (List.hd (t_settings ~k:2)); H.Sweep.case (List.nth (t_settings ~k:2) 1) ]
@@ -356,6 +619,33 @@ let () =
           Alcotest.test_case "invalid arguments rejected" `Quick
             test_invalid_arguments_rejected;
           Alcotest.test_case "charged attribution" `Quick test_charged_attribution;
+          Alcotest.test_case "corrupt charged, sabotage not" `Quick
+            test_corrupt_charged_sabotage_not;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "deterministic in the seed" `Quick
+            test_mutation_deterministic_and_seeded;
+          Alcotest.test_case "corrupt never drops" `Quick test_corrupt_never_drops;
+          Alcotest.test_case "equivocate differs per recipient" `Quick
+            test_equivocate_differs_per_recipient;
+          Alcotest.test_case "schedule codec roundtrip" `Quick
+            test_schedule_codec_roundtrip;
+        ] );
+      ( "shrink-repro",
+        [
+          Alcotest.test_case "shrinker strips decoys" `Quick
+            test_shrinker_strips_decoys;
+          Alcotest.test_case "shrinker deterministic" `Quick
+            test_shrinker_deterministic;
+          Alcotest.test_case "clean runs don't shrink" `Quick
+            test_shrinker_rejects_non_violation;
+          Alcotest.test_case "repro roundtrip and replay" `Quick
+            test_repro_roundtrip_and_replay;
+          Alcotest.test_case "scripted adversary rejected" `Quick
+            test_repro_rejects_scripted_adversary;
+          Alcotest.test_case "garbage repro files rejected" `Quick
+            test_repro_file_rejects_garbage;
         ] );
       ( "oracle",
         [
@@ -373,6 +663,10 @@ let () =
           Alcotest.test_case "quick grid clean" `Quick
             test_quick_grid_has_no_violations;
           Alcotest.test_case "json deterministic" `Quick test_json_deterministic;
+          Alcotest.test_case "json pins corruption schema" `Quick
+            test_json_pins_corruption_schema;
+          Alcotest.test_case "mutation sweep par equals seq" `Quick
+            test_mutation_sweep_par_equals_seq;
           Alcotest.test_case "grid shape" `Quick test_grid_shape;
         ] );
     ]

@@ -328,6 +328,108 @@ let test_drop_labels_in_metrics_and_trace () =
           "only omissions labelled" None e.Engine.event_label)
     res.Engine.trace
 
+(* --- in-flight corruption ------------------------------------------------ *)
+
+let test_corrupt_rewrites_and_counts () =
+  (* A corrupted frame is delivered (with the mutated bytes), counted in
+     messages_delivered AND messages_corrupted, tallied under its label,
+     and its mutated length is what bytes_sent sees. *)
+  let faults =
+    Engine.fault_model
+      ~corrupt:(fun ~round:_ ~src ~dst:_ ~prev:_ data ->
+        if Party_id.equal src (Party_id.left 0) then Some (data ^ "!", "garble")
+        else None)
+      (fun ~round:_ ~src:_ ~dst:_ -> false)
+  in
+  let saw = ref [] in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      env.Engine.send (Party_id.right 0) "hi"
+    else if Party_id.equal id (Party_id.left 1) then
+      env.Engine.send (Party_id.right 0) "ok"
+    else if Party_id.equal id (Party_id.right 0) then
+      saw := List.map (fun e -> e.Engine.data) (env.Engine.next_round ())
+  in
+  let cfg =
+    Engine.config ~k:2 ~faults ~trace_limit:100
+      ~link:(Engine.Of_topology Topology.Fully_connected) ()
+  in
+  let res = Engine.run cfg ~programs in
+  let m = res.Engine.metrics in
+  Alcotest.(check (list string)) "mutated payload delivered" [ "hi!"; "ok" ] !saw;
+  Alcotest.(check int) "both delivered" 2 m.messages_delivered;
+  Alcotest.(check int) "one corrupted" 1 m.messages_corrupted;
+  Alcotest.(check int) "no fault drops" 0 m.messages_dropped_fault;
+  Alcotest.(check (list (pair string int)))
+    "label tallied" [ "garble", 1 ] m.messages_dropped_by_label;
+  Alcotest.(check int) "bytes count the mutated length" 5 m.bytes_sent;
+  let corrupted_events =
+    List.filter (fun e -> e.Engine.event_fate = `Corrupted) res.Engine.trace
+  in
+  match corrupted_events with
+  | [ e ] ->
+    Alcotest.(check (option string))
+      "trace event labelled" (Some "garble") e.Engine.event_label
+  | es -> Alcotest.failf "expected one corrupted trace event, got %d" (List.length es)
+
+let test_corrupt_prev_is_last_delivered_frame () =
+  (* [prev] must be the frame delivered on the same link in an earlier
+     round — post-mutation bytes — and never a same-round frame: both
+     round-0 frames see prev = None (staged, committed only after the
+     deliver sweep), and the round-1 frame sees the last round-0
+     delivery. *)
+  let prevs = ref [] in
+  let faults =
+    Engine.fault_model
+      ~corrupt:(fun ~round:_ ~src:_ ~dst:_ ~prev data ->
+        prevs := (data, prev) :: !prevs;
+        Some (data ^ "!", "tag"))
+      (fun ~round:_ ~src:_ ~dst:_ -> false)
+  in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.send (Party_id.right 0) "x";
+      env.Engine.send (Party_id.right 0) "y";
+      ignore (env.Engine.next_round ());
+      env.Engine.send (Party_id.right 0) "z"
+    end
+    else begin
+      ignore (env.Engine.next_round ());
+      ignore (env.Engine.next_round ())
+    end
+  in
+  ignore (run ~k:1 ~faults programs);
+  Alcotest.(check (option string)) "x sees no prev" None (List.assoc "x" !prevs);
+  Alcotest.(check (option string))
+    "y sees no prev (same round as x)" None (List.assoc "y" !prevs);
+  Alcotest.(check (option string))
+    "z sees the last delivered frame" (Some "y!") (List.assoc "z" !prevs)
+
+let test_drop_precedes_corrupt () =
+  (* The corrupt hook is only consulted for frames that survive the drop
+     decision: a dropped frame is an omission, never a corruption. *)
+  let consulted = ref 0 in
+  let faults =
+    Engine.fault_model
+      ~corrupt:(fun ~round:_ ~src:_ ~dst:_ ~prev:_ _ ->
+        incr consulted;
+        None)
+      (fun ~round:_ ~src ~dst:_ -> Party_id.equal src (Party_id.left 0))
+  in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then
+      env.Engine.send (Party_id.right 0) "a"
+    else if Party_id.equal id (Party_id.left 1) then
+      env.Engine.send (Party_id.right 0) "b"
+    else if Party_id.equal id (Party_id.right 0) then
+      ignore (env.Engine.next_round ())
+  in
+  let res = run ~k:2 ~faults programs in
+  let m = res.metrics in
+  Alcotest.(check int) "hook consulted for the surviving frame only" 1 !consulted;
+  Alcotest.(check int) "one omission" 1 m.messages_dropped_fault;
+  Alcotest.(check int) "no corruption" 0 m.messages_corrupted
+
 (* --- determinism & inbox order ------------------------------------------ *)
 
 let test_inbox_sorted_by_sender () =
@@ -486,7 +588,8 @@ let test_trace_fate_per_event () =
           (match f with
           | `Delivered -> "delivered"
           | `No_channel -> "no-channel"
-          | `Omitted -> "omitted"))
+          | `Omitted -> "omitted"
+          | `Corrupted -> "corrupted"))
       ( = )
   in
   Alcotest.check fate "R0 delivered" `Delivered (fate_of (Party_id.right 0));
@@ -729,6 +832,11 @@ let () =
           Alcotest.test_case "drop labels in metrics and trace" `Quick
             test_drop_labels_in_metrics_and_trace;
           Alcotest.test_case "bytes exclude omitted" `Quick test_bytes_exclude_omitted;
+          Alcotest.test_case "corrupt rewrites and counts" `Quick
+            test_corrupt_rewrites_and_counts;
+          Alcotest.test_case "corrupt prev is last delivered frame" `Quick
+            test_corrupt_prev_is_last_delivered_frame;
+          Alcotest.test_case "drop precedes corrupt" `Quick test_drop_precedes_corrupt;
           Alcotest.test_case "bytes exclude topology drops" `Quick
             test_bytes_exclude_topology_drops;
         ] );

@@ -117,6 +117,75 @@ let test_nested_encode_safe () =
   (* and the scratch path still works for plain encodes afterwards *)
   check_roundtrip "plain encode after nested" Wire.uint Int.equal 300
 
+(* --- hardening: forged prefixes, overlong varints, hex ----------------------- *)
+
+let test_overlong_varint_rejected () =
+  (* 11 continuation bytes: more than any int fits in. The decoder must
+     stop at its 10-byte cap, not shift forever. *)
+  let bytes = String.make 11 '\x80' ^ "\x00" in
+  Alcotest.(check bool) "overlong" true (Result.is_error (Wire.decode Wire.uint bytes))
+
+let test_overflowing_varint_rejected () =
+  (* 10 bytes whose high bits overflow a 63-bit int. *)
+  let bytes = String.make 9 '\xff' ^ "\x7f" in
+  Alcotest.(check bool) "overflow" true (Result.is_error (Wire.decode Wire.uint bytes))
+
+let test_noncanonical_varint_roundtrip_boundary () =
+  (* max_int is exactly the 10-byte boundary: it must still decode. *)
+  check_roundtrip "max_int" Wire.uint Int.equal max_int
+
+let test_forged_string_length_rejected () =
+  (* A length prefix claiming ~2^40 bytes followed by 3 actual bytes: the
+     decoder must reject against the remaining input, not allocate. *)
+  let e = Wire.Enc.create () in
+  Wire.Enc.uint e (1 lsl 40);
+  Wire.Enc.to_string e ^ "abc" |> fun bytes ->
+  Alcotest.(check bool) "forged string length" true
+    (Result.is_error (Wire.decode Wire.string bytes))
+
+let test_forged_string_length_near_max_int () =
+  (* Near max_int the naive [pos + len] bound check overflows to a
+     negative number and admits the read; the decoder must compare
+     against the remaining byte count instead. *)
+  let e = Wire.Enc.create () in
+  Wire.Enc.uint e (max_int - 1);
+  Wire.Enc.to_string e ^ "abc" |> fun bytes ->
+  Alcotest.(check bool) "near-max_int length" true
+    (Result.is_error (Wire.decode Wire.string bytes))
+
+let test_forged_list_count_rejected () =
+  (* A count prefix claiming 2^30 elements with one byte of payload: the
+     decoder must reject before materializing the list. *)
+  let e = Wire.Enc.create () in
+  Wire.Enc.uint e (1 lsl 30);
+  Wire.Enc.uint e 1;
+  Alcotest.(check bool) "forged list count" true
+    (Result.is_error (Wire.decode (Wire.list Wire.uint) (Wire.Enc.to_string e)))
+
+let test_float_roundtrip () =
+  let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  List.iter
+    (fun f -> check_roundtrip "float" Wire.float bits_equal f)
+    [ 0.; -0.; 1.; -1.5; 0.3; Float.max_float; Float.min_float; epsilon_float;
+      Float.infinity; Float.neg_infinity; Float.nan ]
+
+let test_hex_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "hex roundtrip" s (Wire.of_hex (Wire.to_hex s)))
+    [ ""; "\x00"; "abc"; "\xff\x00\x80"; String.init 256 Char.chr ]
+
+let test_hex_rejects_junk () =
+  let rejects s =
+    match Wire.of_hex s with
+    | exception Wire.Malformed _ -> ()
+    | _ -> Alcotest.failf "of_hex accepted %S" s
+  in
+  rejects "a";
+  rejects "0g";
+  rejects "zz";
+  rejects "0A Z"
+
 (* --- random fuzzing ---------------------------------------------------------- *)
 
 let nested_codec =
@@ -180,6 +249,25 @@ let () =
             test_encode_into_matches_encode;
           Alcotest.test_case "reset clears" `Quick test_enc_reset_clears;
           Alcotest.test_case "nested encode safe" `Quick test_nested_encode_safe;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "overlong varint rejected" `Quick
+            test_overlong_varint_rejected;
+          Alcotest.test_case "overflowing varint rejected" `Quick
+            test_overflowing_varint_rejected;
+          Alcotest.test_case "10-byte boundary still decodes" `Quick
+            test_noncanonical_varint_roundtrip_boundary;
+          Alcotest.test_case "forged string length rejected" `Quick
+            test_forged_string_length_rejected;
+          Alcotest.test_case "string length near max_int rejected" `Quick
+            test_forged_string_length_near_max_int;
+          Alcotest.test_case "forged list count rejected" `Quick
+            test_forged_list_count_rejected;
+          Alcotest.test_case "float roundtrip (incl. specials)" `Quick
+            test_float_roundtrip;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "hex rejects junk" `Quick test_hex_rejects_junk;
         ] );
       ( "fuzz",
         [ qcheck prop_nested_roundtrip; qcheck prop_decoder_never_crashes_on_garbage ] );
