@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-compare chaos-quick fuzz-quick smoke fmt ci clean
+.PHONY: all build test bench bench-quick bench-compare chaos-quick fuzz-quick scale-quick smoke fmt ci clean
 
 all: build
 
@@ -21,7 +21,8 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
-# Diff two BENCH_sweeps.json files: per-table sequential wall plus the
+# Diff two BENCH_sweeps.json (or BENCH_scale.json) files: per-table
+# sequential wall (per-row gs/verify walls for scale files) plus the
 # whole-run parallel wall, failing on regressions beyond 20% (and 1 ms).
 # Usage: make bench-compare OLD=baseline.json NEW=BENCH_sweeps.json
 bench-compare:
@@ -40,6 +41,12 @@ chaos-quick:
 fuzz-quick:
 	dune exec bin/main.exe -- fuzz --cases 500
 
+# T-scale gate: GS + sharded early-exit verification on implicit (Flat)
+# instances at k = 10^3 (both families), seq==par shard identity
+# enforced. Writes BENCH_scale.quick.json; finishes in seconds.
+scale-quick:
+	dune exec bin/main.exe -- bench --scale --quick
+
 # Fast tier-1 exercise of the domain pool: one small parallel sweep,
 # asserted bit-identical to its sequential run.
 smoke:
@@ -55,7 +62,7 @@ fmt:
 	  echo "ocamlformat not found; skipping format check"; \
 	fi
 
-ci: build test bench-quick chaos-quick fuzz-quick fmt
+ci: build test bench-quick chaos-quick fuzz-quick scale-quick fmt
 
 clean:
 	dune clean

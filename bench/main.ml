@@ -789,6 +789,67 @@ let table_chaos ~sched ~jobs () =
   if total.Chaos.Chaos_sweep.violated > 0 then
     failwith "C1 chaos grid: within-budget bSM violations — protocol bug"
 
+(* ---------------------------------------------------------- T-scale -- *)
+
+(* The large-k scale frontier (ROADMAP priority 1): Gale–Shapley plus
+   sharded early-exit verification on implicit [Flat] instances,
+   k = 10³..10⁶ (quick: the 10³ rows). The verification shards are the
+   sweep cells — in fused mode they interleave with every other table's
+   cells in the single drain. GS itself runs in the registration phase
+   ([Scale.prepare]), before cells enter the graph: the prepared
+   matchings are immutable and shared read-only across domains. *)
+let table_scale ~sched ~jobs () =
+  let mode = if !quick then H.Scale.Quick else H.Scale.Full in
+  let prepared = List.map H.Scale.prepare (H.Scale.rows mode) in
+  let per_row =
+    List.map
+      (fun (p : H.Scale.prepared) ->
+        let table = Printf.sprintf "T-scale %s" (H.Scale.label p.row) in
+        let get =
+          sweep ~sched ~table
+            ~k_range:(Printf.sprintf "k=%d" p.row.H.Scale.k)
+            (H.Scale.run_cell p) (H.Scale.cells p)
+        in
+        p, table, get)
+      prepared
+  in
+  fun () ->
+    let results =
+      List.map
+        (fun ((p : H.Scale.prepared), table, get) ->
+          let shard_counts = get () in
+          (* [get] recorded this table's sweep: reuse its measurements as
+             the verification walls. Fused mode has no per-table parallel
+             wall (the drain is shared), so the summed per-task
+             attribution stands in. *)
+          let r =
+            List.find (fun r -> String.equal r.sweep_table table) !sweep_records
+          in
+          let verify_par_ms =
+            match r.sweep_par with
+            | Barrier_par m -> m.H.Sweep.wall_ms
+            | Fused_tasks ts -> ts.H.Sweep.Fused.task_ms_total
+          in
+          H.Scale.assemble p ~shard_counts
+            ~verify_seq_ms:r.sweep_seq.H.Sweep.wall_ms ~verify_par_ms)
+        per_row
+    in
+    Format.printf
+      "T-scale: large-k frontier — GS + sharded early-exit verification on \
+       implicit (Flat) instances; %d shards per matching, ε-stability \
+       cross-checked against exact counts@."
+      H.Scale.shards;
+    Format.printf "%a" H.Scale.pp_results results;
+    let json_path =
+      if !quick then "BENCH_scale.quick.json" else "BENCH_scale.json"
+    in
+    H.Scale.write_json ~path:json_path ~jobs results;
+    Printf.printf
+      "wrote %s (%d rows; deterministic in (family, seed, k) except *_ms)\n\n"
+      json_path (List.length results);
+    if List.exists (fun (r : H.Scale.result) -> not r.H.Scale.stable) results
+    then failwith "T-scale: a Gale-Shapley output was not stable"
+
 (* ---------------------------------------------------- microbenchmarks -- *)
 
 open Bechamel
@@ -996,6 +1057,7 @@ let () =
         reg (table_a4 ~sched)
       end;
       reg (table_chaos ~sched ~jobs);
+      if not chaos_only then reg (table_scale ~sched ~jobs);
       (* The single drain point: every registered cell — all tables plus
          the chaos grid — executes in one parallel pass. *)
       (match sched with

@@ -11,7 +11,9 @@
      replay      re-execute a repro file bit-identically and check it
      fuzz        deterministic decoder fuzzing over every registered codec
      bench       the chaos grid as a scheduling benchmark (--fused for the
-                 shared task-graph scheduler and its steal counters)
+                 shared task-graph scheduler and its steal counters);
+                 --scale for the T-scale large-k bench (GS + sharded
+                 verification on implicit instances, BENCH_scale.json)
      ssm         execute a simplified-stable-matching scenario
      attack      run an impossibility construction (Figures 2-4)
      topology    render the three communication models (Figure 1)
@@ -508,7 +510,29 @@ let fuzz_cmd =
 (* --- bench ------------------------------------------------------------------- *)
 
 let bench_cmd =
-  let run full fused jobs =
+  let run_scale ~quick ~full ~jobs =
+    let mode =
+      if quick then H.Scale.Quick else if full then H.Scale.Full else H.Scale.Default
+    in
+    let jobs = Bsm_runtime.Pool.resolve_jobs ?jobs () in
+    let results =
+      Bsm_runtime.Pool.with_pool ~jobs (fun pool -> H.Scale.run ~pool mode)
+    in
+    Format.printf "%a" H.Scale.pp_results results;
+    let path =
+      if quick then "BENCH_scale.quick.json" else "BENCH_scale.json"
+    in
+    H.Scale.write_json ~path ~jobs results;
+    Format.printf "wrote %s (%d job(s); seq==par shard identity checked)@." path
+      jobs;
+    if List.exists (fun (r : H.Scale.result) -> not r.stable) results then begin
+      Format.printf "FAIL: a Gale-Shapley output was not stable@.";
+      exit 1
+    end
+  in
+  let run full fused jobs scale quick =
+    if scale || quick then run_scale ~quick ~full ~jobs
+    else begin
     let cells =
       if full then Chaos.Chaos_sweep.full_grid ()
       else Chaos.Chaos_sweep.quick_grid ()
@@ -542,11 +566,15 @@ let bench_cmd =
        else "single barriered map")
       wall_ms tasks steals jobs;
     if s.Chaos.Chaos_sweep.violated > 0 then exit 1
+    end
   in
   let full =
     Arg.(
       value & flag
-      & info [ "full" ] ~doc:"Run the full grid (k = 2 and 4, three chaos seeds).")
+      & info [ "full" ]
+          ~doc:
+            "Chaos grid: run the full grid (k = 2 and 4, three chaos seeds). \
+             With --scale: add the k = 10^6 row.")
   in
   let fused =
     Arg.(
@@ -566,13 +594,31 @@ let bench_cmd =
             "Domains for the sweep. An explicit value takes precedence over \
              BSM_JOBS (default: BSM_JOBS, else the recommended domain count).")
   in
+  let scale =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Run the T-scale large-k bench instead of the chaos grid: \
+             Gale-Shapley plus sharded early-exit verification on implicit \
+             (Flat) instances at k = 10^3..10^5 (10^6 with --full), writing \
+             deterministic BENCH_scale.json.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "With --scale: k = 10^3 rows only (the CI gate), writing \
+             BENCH_scale.quick.json.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run the chaos grid as a scheduling benchmark and report wall clock, \
-          task and steal counts (the full experiment tables live in \
-          bench/main.exe).")
-    Term.(const run $ full $ fused $ jobs)
+          task and steal counts, or the T-scale large-k bench with --scale \
+          (the full experiment tables live in bench/main.exe).")
+    Term.(const run $ full $ fused $ jobs $ scale $ quick)
 
 (* --- attack ------------------------------------------------------------------ *)
 

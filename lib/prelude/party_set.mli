@@ -1,8 +1,13 @@
 (** Finite sets of parties.
 
-    Thin wrapper over [Set.Make (Party_id)] with the side-counting
-    operations that adversary structures need: the paper's two-sided
-    threshold adversary is characterized entirely by [count_side]. *)
+    Bit-packed: one word-packed bitmap per side, indexed by party index,
+    with the side-counting operations that adversary structures need —
+    the paper's two-sided threshold adversary is characterized entirely
+    by [count_side], which (like [cardinal]) is O(k/62) popcounts rather
+    than a fold over elements. Membership is O(1); [union]/[inter]/
+    [diff]/[subset] are wordwise. Enumeration order is unchanged from
+    the previous [Set.Make (Party_id)] representation: left parties in
+    ascending index order, then right parties. *)
 
 type t
 

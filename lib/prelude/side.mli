@@ -14,6 +14,10 @@ val opposite : t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+(** [0] for [Left], [1] for [Right] — the stable numeric tag used when a
+    side is absorbed into a hash chain or indexes an array pair. *)
+val to_int : t -> int
+
 (** One-letter tag used in identifiers and wire encodings: ["L"] or ["R"]. *)
 val to_string : t -> string
 

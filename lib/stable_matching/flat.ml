@@ -1,0 +1,199 @@
+open Bsm_prelude
+
+(* Implicit preference profiles for the large-k scale frontier.
+
+   An explicit [Profile.t] stores 2k permutations of length k — ~2k²
+   words plus rank tables, which is hundreds of gigabytes at k = 10⁶.
+   Instead each party's preference list is a keyed pseudorandom
+   permutation of [0, k): rank→candidate ([order]) is one PRP
+   evaluation and candidate→rank ([rank]) is one inverse evaluation,
+   both O(1) and allocation-free, so Gale–Shapley and the early-exit
+   verifier run at k = 10⁵..10⁶ in O(k) memory. *)
+
+module Perm = struct
+  (* Format-preserving permutation of [0, n): a 4-round balanced
+     Feistel network over the smallest even bit-width covering [n],
+     cycle-walked back into the domain. Intermediate points of a walk
+     lie outside [0, n), so walking the inverse network undoes the walk
+     exactly; the domain is < 4n, so a walk takes < 4 steps in
+     expectation. Round keys come from [Rng.mix64_absorb] chains, the
+     repository's standard stateless mixer. *)
+  type t = {
+    n : int;
+    half_bits : int;
+    half_mask : int;
+    keys : int64 array;
+  }
+
+  let rounds = 4
+
+  let make ~key ~n =
+    if n <= 0 then invalid_arg "Flat.Perm.make: n must be positive";
+    let bits = ref 2 in
+    while 1 lsl !bits < n do bits := !bits + 2 done;
+    let keys = Array.init rounds (fun r -> Rng.mix64_absorb key r) in
+    { n; half_bits = !bits / 2; half_mask = (1 lsl (!bits / 2)) - 1; keys }
+
+  let round_f t i x = Int64.to_int (Rng.mix64_absorb t.keys.(i) x) land t.half_mask
+
+  let encrypt_once t x =
+    let l = ref (x lsr t.half_bits) and r = ref (x land t.half_mask) in
+    for i = 0 to rounds - 1 do
+      let l' = !r in
+      let r' = !l lxor round_f t i !r in
+      l := l';
+      r := r'
+    done;
+    (!l lsl t.half_bits) lor !r
+
+  let decrypt_once t x =
+    let l = ref (x lsr t.half_bits) and r = ref (x land t.half_mask) in
+    for i = rounds - 1 downto 0 do
+      let r' = !l in
+      let l' = !r lxor round_f t i !l in
+      l := l';
+      r := r'
+    done;
+    (!l lsl t.half_bits) lor !r
+
+  let fwd t x =
+    if x < 0 || x >= t.n then invalid_arg "Flat.Perm.fwd";
+    let y = ref (encrypt_once t x) in
+    while !y >= t.n do y := encrypt_once t !y done;
+    !y
+
+  let inv t y =
+    if y < 0 || y >= t.n then invalid_arg "Flat.Perm.inv";
+    let x = ref (decrypt_once t y) in
+    while !x >= t.n do x := decrypt_once t !x done;
+    !x
+end
+
+type family =
+  | Uniform
+  | Common_acceptors
+
+let family_to_string = function
+  | Uniform -> "uniform"
+  | Common_acceptors -> "common-acceptors"
+
+type t = {
+  k : int;
+  seed : int;
+  family : family;
+  geometry : Perm.t;  (* key-free template: shared n/bit split *)
+}
+
+let make ~family ~seed ~k =
+  if k <= 0 then invalid_arg "Flat.make: k must be positive";
+  { k; seed; family; geometry = Perm.make ~key:0L ~n:k }
+
+let k t = t.k
+let family t = t.family
+let seed t = t.seed
+
+(* Per-party permutation: same geometry, fresh round keys derived from
+   (seed, side, index). Under [Common_acceptors] every right party
+   shares one key — the common-preferences regime of
+   Hirvonen–Ranjbaran (arXiv:2402.16532) on the accepting side. *)
+let party_perm t side index =
+  let index =
+    match t.family, (side : Side.t) with
+    | Common_acceptors, Right -> 0
+    | (Uniform | Common_acceptors), _ -> index
+  in
+  let key =
+    Rng.mix64_absorb
+      (Rng.mix64_absorb (Rng.mix64 (Int64.of_int t.seed)) (Side.to_int side))
+      index
+  in
+  { t.geometry with Perm.keys = Array.init Perm.rounds (Rng.mix64_absorb key) }
+
+(* Staged: [left_order t l] derives the party's permutation once and
+   returns a cheap probe — callers that scan a whole row (the verifier,
+   the acceptor comparisons in GS) partially apply and reuse it. *)
+let left_order t l =
+  let p = party_perm t Side.Left l in
+  fun rank -> Perm.fwd p rank
+
+let left_rank t l =
+  let p = party_perm t Side.Left l in
+  fun r -> Perm.inv p r
+
+let right_order t r =
+  let p = party_perm t Side.Right r in
+  fun rank -> Perm.fwd p rank
+
+let right_rank t r =
+  let p = party_perm t Side.Right r in
+  fun l -> Perm.inv p l
+
+(* Deferred acceptance on the implicit profile, left-proposing. Same
+   round structure as [Gale_shapley.run_oriented] — every free proposer
+   proposes once per round, acceptors keep the best — but the free set
+   is an explicit worklist instead of a k-wide flag rescan, and all
+   state lives in six preallocated int arrays. Within a round the
+   "keep best" fold is order-independent, so the worklist order (which
+   mixes displaced and rejected proposers) cannot affect the outcome:
+   the matching and stats are bit-identical to the array-scan
+   algorithm, which the tests pin via [to_profile]. *)
+let gale_shapley t =
+  let k = t.k in
+  let next_rank = Array.make k 0 in
+  let held = Array.make k (-1) in
+  let cur = Array.init k Fun.id in
+  let nxt = Array.make k 0 in
+  let cur_n = ref k in
+  let proposals = ref 0 in
+  let rounds = ref 0 in
+  while !cur_n > 0 do
+    incr rounds;
+    let nxt_n = ref 0 in
+    for i = 0 to !cur_n - 1 do
+      let p = cur.(i) in
+      let a = left_order t p next_rank.(p) in
+      next_rank.(p) <- next_rank.(p) + 1;
+      incr proposals;
+      let current = held.(a) in
+      if current = -1 then held.(a) <- p
+      else begin
+        let rank_a = right_rank t a in
+        if rank_a p < rank_a current then begin
+          held.(a) <- p;
+          nxt.(!nxt_n) <- current;
+          incr nxt_n
+        end
+        else begin
+          nxt.(!nxt_n) <- p;
+          incr nxt_n
+        end
+      end
+    done;
+    Array.blit nxt 0 cur 0 !nxt_n;
+    cur_n := !nxt_n
+  done;
+  let l2r = Array.make k (-1) in
+  Array.iteri (fun a p -> l2r.(p) <- a) held;
+  l2r, { Gale_shapley.proposals = !proposals; rounds = !rounds }
+
+let verify_view t ~l2r =
+  let k = t.k in
+  if Array.length l2r <> k then invalid_arg "Flat.verify_view: wrong length";
+  let r2l = Array.make k (-1) in
+  Array.iteri (fun l r -> if r >= 0 then r2l.(r) <- l) l2r;
+  {
+    Verify.k;
+    left_order = left_order t;
+    left_rank = left_rank t;
+    right_rank = right_rank t;
+    left_partner = (fun l -> l2r.(l));
+    right_partner = (fun r -> r2l.(r));
+    consider_left = (fun _ -> true);
+    consider_right = (fun _ -> true);
+  }
+
+(* Materialize as an explicit [Profile.t] — O(k²); small-k tests only. *)
+let to_profile t =
+  let list_of order who = List.init t.k (fun rank -> order t who rank) in
+  let side order = Array.init t.k (fun who -> Prefs.of_list_exn (list_of order who)) in
+  Profile.make_exn ~left:(side left_order) ~right:(side right_order)

@@ -1,0 +1,66 @@
+(** Implicit preference profiles for the large-k scale frontier.
+
+    An explicit {!Profile.t} stores 2k rank tables of length k — O(k²)
+    memory, infeasible beyond k ≈ 10⁴. A [Flat.t] instead defines each
+    party's preference list as a keyed pseudorandom permutation of
+    [0, k): a 4-round Feistel network cycle-walked into the domain,
+    keyed by [Rng.mix64_absorb] chains over (seed, side, index). Both
+    directions are O(1) — rank→candidate is one forward evaluation,
+    candidate→rank one inverse — so Gale–Shapley and the early-exit
+    verifier run at k = 10⁵..10⁶ in O(k) memory. Everything is a pure
+    function of [(family, seed, k)]: results are bit-replayable and
+    domain-safe under parallel sweeps. *)
+
+type t
+
+(** Preference structure of an instance.
+
+    - [Uniform]: every party an independent pseudorandom list.
+    - [Common_acceptors]: all right-side (accepting) parties share one
+      pseudorandom list — the common-preferences regime of
+      Hirvonen–Ranjbaran (arXiv:2402.16532) on the accepting side;
+      left parties remain independent. *)
+type family =
+  | Uniform
+  | Common_acceptors
+
+val family_to_string : family -> string
+
+(** [make ~family ~seed ~k] — O(1); no tables are materialized. Raises
+    [Invalid_argument] when [k <= 0]. *)
+val make : family:family -> seed:int -> k:int -> t
+
+val k : t -> int
+val family : t -> family
+val seed : t -> int
+
+(** Preference probes, staged: [left_order t l] derives left party
+    [l]'s permutation once and returns an O(1) rank→candidate probe
+    (partially apply it when scanning a row). [left_rank t l] is the
+    inverse, candidate→rank; [right_*] mirror these for the right side
+    (whose candidates are left indices). All raise [Invalid_argument]
+    out of range. *)
+
+val left_order : t -> int -> int -> int
+val left_rank : t -> int -> int -> int
+val right_order : t -> int -> int -> int
+val right_rank : t -> int -> int -> int
+
+(** Left-proposing deferred acceptance on the implicit profile, with an
+    explicit free-proposer worklist and O(k) preallocated state.
+    Returns the left→right matching array and the same statistics as
+    {!Gale_shapley.run_with_stats}; on the materialized profile
+    ({!to_profile}) the result is bit-identical to
+    [Gale_shapley.run_with_stats ~proposers:Side.Left], which the tests
+    pin. *)
+val gale_shapley : t -> int array * Gale_shapley.stats
+
+(** [verify_view t ~l2r] adapts the instance and a left→right matching
+    array ([-1] = unmatched) to the {!Verify.view} scan, for
+    {!Verify.count_blocking_rows} and friends. Raises
+    [Invalid_argument] when [l2r] has the wrong length. *)
+val verify_view : t -> l2r:int array -> Verify.view
+
+(** Materialize as an explicit {!Profile.t} — O(k²), for small-k
+    differential tests only. *)
+val to_profile : t -> Profile.t

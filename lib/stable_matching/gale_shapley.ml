@@ -22,8 +22,12 @@ let run_oriented proposer_prefs acceptor_prefs =
   let matched = Array.make k false (* proposer -> currently held by someone *) in
   let proposals = ref 0 in
   let rounds = ref 0 in
-  let someone_free () = Array.exists not matched in
-  while someone_free () do
+  (* Number of proposers with [matched.(p) = false], maintained at every
+     match/displacement so round termination is O(1) instead of an O(k)
+     rescan of [matched] — late rounds often have a single free
+     proposer. *)
+  let free = ref k in
+  while !free > 0 do
     incr rounds;
     (* Collect this round's proposals before updating any acceptor, so the
        outcome is independent of proposer iteration order. *)
@@ -40,12 +44,15 @@ let run_oriented proposer_prefs acceptor_prefs =
       let current = held.(a) in
       if current = -1 then begin
         held.(a) <- p;
-        matched.(p) <- true
+        matched.(p) <- true;
+        decr free
       end
       else if Prefs.prefers acceptor_prefs.(a) p current then begin
         matched.(current) <- false;
+        incr free;
         held.(a) <- p;
-        matched.(p) <- true
+        matched.(p) <- true;
+        decr free
       end
     in
     List.iter consider (List.rev !proposals_now)

@@ -4,7 +4,18 @@
     [r] to its partner and [r] prefers [l] to its partner. A matching is
     stable iff no blocking pair exists. For partial matchings an unmatched
     party prefers anyone to being alone (the paper's convention), so a
-    mutually-acceptable unmatched pair always blocks. *)
+    mutually-acceptable unmatched pair always blocks.
+
+    Two implementations coexist. The {!view}-based scan is early-exiting
+    and allocation-free: per left row it probes only candidates ranked
+    strictly before the row's partner, so checking a proposer-optimal
+    matching costs O(Σ partner ranks) ≈ O(k log k) on random preferences
+    instead of O(k²), and it powers {!is_stable}, {!instability},
+    {!is_eps_stable} and the row-sharded parallel check in the harness.
+    The list-building {!blocking_pairs} / {!blocking_pairs_partial} keep
+    the original full scan and output order (ascending left, then
+    ascending right index) for violation reports and as the reference
+    the property tests pin the fast paths against. *)
 
 type blocking_pair = {
   left : int;
@@ -14,12 +25,65 @@ type blocking_pair = {
 (** On perfect matchings. *)
 
 val blocking_pairs : Profile.t -> Matching.t -> blocking_pair list
+
+(** Early-exit: stops at the first blocking pair found. *)
 val is_stable : Profile.t -> Matching.t -> bool
 
 (** [instability profile m] is the number of blocking pairs — the
     approximate-stability metric of Ostrovsky–Rosenbaum (PODC 2015) that we
-    use to quantify how badly naive protocols fail under attack. *)
+    use to quantify how badly naive protocols fail under attack. Counts
+    without materializing the pair list. *)
 val instability : Profile.t -> Matching.t -> int
+
+(** [is_eps_stable ~eps profile m] — are there at most ⌊ε·k²⌋ blocking
+    pairs? This is the ε-stability relaxation of Ostrovsky–Rosenbaum
+    (arXiv:1408.2782): the oracle-side half of their almost-stable fast
+    path. Counting stops as soon as the budget is exceeded, so small
+    budgets are nearly as cheap as {!is_stable}; [eps = 0.] agrees
+    exactly with {!is_stable}. Raises [Invalid_argument] when
+    [eps < 0.]. *)
+val is_eps_stable : eps:float -> Profile.t -> Matching.t -> bool
+
+(** {2 Allocation-free views}
+
+    A {!view} abstracts the inputs of the fast scan: preference
+    accessors as functions (so explicit [Profile.t] and implicit
+    [Flat.t] instances share the scan) and partner maps as ints with
+    [-1] meaning unmatched. *)
+
+type view = {
+  k : int;
+  left_order : int -> int -> int;  (** [left_order l rank] = candidate *)
+  left_rank : int -> int -> int;  (** [left_rank l r] = rank of [r] at [l] *)
+  right_rank : int -> int -> int;
+  left_partner : int -> int;  (** -1 when unmatched *)
+  right_partner : int -> int;
+  consider_left : int -> bool;
+  consider_right : int -> bool;
+}
+
+val view_of_matching : Profile.t -> Matching.t -> view
+
+val view_partial :
+  Profile.t ->
+  left_partner:(int -> int option) ->
+  right_partner:(int -> int option) ->
+  consider_left:(int -> bool) ->
+  consider_right:(int -> bool) ->
+  view
+
+(** [count_blocking_rows ?cap v ~lo ~hi] counts blocking pairs whose
+    left endpoint lies in rows [lo, hi) (clamped to [0, k)), giving up —
+    and returning [cap + 1] — as soon as the count exceeds [cap]
+    (default [max_int], i.e. exact). Disjoint row ranges partition the
+    blocking pairs, so shard counts sum to the total: this is the unit
+    of work of the pool-parallel large-k check. *)
+val count_blocking_rows : ?cap:int -> view -> lo:int -> hi:int -> int
+
+val exists_blocking_rows : view -> lo:int -> hi:int -> bool
+val exists_blocking : view -> bool
+val count_blocking : view -> int
+val is_eps_stable_view : eps:float -> view -> bool
 
 (** On partial matchings, given as [partner_of : int -> int option] maps
     for both sides (the distributed layer's view of honest outputs). *)

@@ -63,6 +63,109 @@ let test_power_set () =
   let sets = Party_set.power_set [ Party_id.left 0; Party_id.left 1 ] in
   Alcotest.(check int) "2^2 subsets" 4 (List.length sets)
 
+(* The enumeration order of [power_set] is pinned: solvability sweeps
+   iterate it, and their reports/regression baselines depend on the
+   order. The original [Set.Make]-era implementation folded
+   [fun subsets p -> subsets @ List.map (add p) subsets] over the
+   parties; the tail-recursive rebuild must enumerate identically. *)
+let test_power_set_order_pinned () =
+  let parties = [ Party_id.left 0; Party_id.right 1; Party_id.left 2 ] in
+  let reference =
+    let add_party subsets p = subsets @ List.map (fun s -> Party_set.add p s) subsets in
+    List.fold_left add_party [ Party_set.empty ] parties
+  in
+  let got = Party_set.power_set parties in
+  Alcotest.(check int) "size" (List.length reference) (List.length got);
+  List.iteri
+    (fun i (r, g) ->
+      if not (Party_set.equal r g) then
+        Alcotest.failf "position %d: %a <> %a" i Party_set.pp r Party_set.pp g)
+    (List.combine reference got)
+
+(* Model-based: the bit-packed representation must agree with a
+   [Set.Make (Party_id)] reference under randomized operation
+   sequences, including indices straddling the 62-bit word boundary. *)
+module Ref_set = Set.Make (Party_id)
+
+let test_party_set_vs_model () =
+  let rng = Rng.make 0xBEE5 in
+  (* Indices clustered around word boundaries plus small ones. *)
+  let indices = [ 0; 1; 5; 31; 60; 61; 62; 63; 64; 100; 123; 124; 125; 200 ] in
+  let random_party () =
+    let side = if Rng.bool rng then Side.Left else Side.Right in
+    Party_id.make side (Rng.choose rng indices)
+  in
+  let check_agree label (s : Party_set.t) (m : Ref_set.t) =
+    Alcotest.(check (list party_id))
+      (label ^ ": elements") (Ref_set.elements m)
+      (Party_set.elements s);
+    Alcotest.(check int) (label ^ ": cardinal") (Ref_set.cardinal m)
+      (Party_set.cardinal s);
+    List.iter
+      (fun side ->
+        Alcotest.(check int)
+          (label ^ ": count_side")
+          (Ref_set.cardinal
+             (Ref_set.filter (fun p -> Side.equal (Party_id.side p) side) m))
+          (Party_set.count_side side s))
+      Side.all
+  in
+  let s = ref Party_set.empty and m = ref Ref_set.empty in
+  (* A second pair evolving independently, for the binary operations. *)
+  let s2 = ref Party_set.empty and m2 = ref Ref_set.empty in
+  for step = 1 to 400 do
+    let p = random_party () in
+    (match Rng.int rng 4 with
+    | 0 ->
+      s := Party_set.add p !s;
+      m := Ref_set.add p !m
+    | 1 ->
+      s := Party_set.remove p !s;
+      m := Ref_set.remove p !m
+    | 2 ->
+      s2 := Party_set.add p !s2;
+      m2 := Ref_set.add p !m2
+    | _ ->
+      s2 := Party_set.remove p !s2;
+      m2 := Ref_set.remove p !m2);
+    Alcotest.(check bool)
+      "mem agrees" (Ref_set.mem p !m) (Party_set.mem p !s);
+    if step mod 20 = 0 then begin
+      check_agree "s" !s !m;
+      check_agree "union" (Party_set.union !s !s2) (Ref_set.union !m !m2);
+      check_agree "inter" (Party_set.inter !s !s2) (Ref_set.inter !m !m2);
+      check_agree "diff" (Party_set.diff !s !s2) (Ref_set.diff !m !m2);
+      Alcotest.(check bool)
+        "subset agrees"
+        (Ref_set.subset !m !m2)
+        (Party_set.subset !s !s2);
+      Alcotest.(check bool)
+        "subset of union" true
+        (Party_set.subset !s (Party_set.union !s !s2));
+      Alcotest.(check bool)
+        "equal agrees"
+        (Ref_set.equal !m !m2)
+        (Party_set.equal !s !s2)
+    end
+  done;
+  (* Removal back to empty must normalize: equal to the empty value. *)
+  let drained = Ref_set.fold Party_set.remove !m !s in
+  Alcotest.(check bool) "drained set equals empty" true
+    (Party_set.equal Party_set.empty drained && Party_set.is_empty drained)
+
+let test_party_set_word_boundary_full () =
+  (* k spanning multiple 62-bit words, exact popcounts. *)
+  List.iter
+    (fun k ->
+      let f = Party_set.full ~k in
+      Alcotest.(check int) "cardinal" (2 * k) (Party_set.cardinal f);
+      Alcotest.(check int) "left" k (Party_set.count_side Side.Left f);
+      let no_left0 = Party_set.remove (Party_id.left 0) f in
+      Alcotest.(check int) "after remove" (2 * k - 1) (Party_set.cardinal no_left0);
+      Alcotest.(check bool) "complement of empty is full" true
+        (Party_set.equal f (Party_set.complement ~k Party_set.empty)))
+    [ 1; 61; 62; 63; 124; 125; 200 ]
+
 (* --- Util ------------------------------------------------------------------ *)
 
 let test_most_common () =
@@ -264,6 +367,11 @@ let () =
           Alcotest.test_case "side counts" `Quick test_party_set_side_counts;
           Alcotest.test_case "complement" `Quick test_party_set_complement;
           Alcotest.test_case "power set" `Quick test_power_set;
+          Alcotest.test_case "power set order pinned" `Quick
+            test_power_set_order_pinned;
+          Alcotest.test_case "bit-packed vs model" `Quick test_party_set_vs_model;
+          Alcotest.test_case "word boundaries" `Quick
+            test_party_set_word_boundary_full;
         ] );
       ( "util",
         [

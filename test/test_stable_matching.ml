@@ -197,6 +197,240 @@ let test_partial_respects_consider_filters () =
   in
   Alcotest.(check int) "byzantine left ignored" 0 (List.length pairs)
 
+(* A random perfect matching — typically unstable, exercising the
+   counting paths on inputs with many blocking pairs. *)
+let random_matching rng k =
+  SM.Matching.of_l2r_exn (Array.of_list (Rng.permutation rng k))
+
+(* The early-exit/allocation-free fast paths must agree with the
+   list-building reference scan on both stable (GS) and arbitrary
+   matchings. *)
+let prop_fast_paths_match_reference =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000) in
+  QCheck.Test.make ~name:"is_stable/instability match blocking_pairs" ~count:150
+    arb (fun seed ->
+      let rng = Rng.make seed in
+      let k = 2 + Rng.int rng 11 in
+      let profile = SM.Profile.random rng k in
+      List.for_all
+        (fun m ->
+          let reference = SM.Verify.blocking_pairs profile m in
+          SM.Verify.is_stable profile m = (reference = [])
+          && SM.Verify.instability profile m = List.length reference)
+        [ SM.Gale_shapley.run profile; random_matching rng k ])
+
+let prop_eps_zero_matches_is_stable =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000) in
+  QCheck.Test.make ~name:"is_eps_stable ~eps:0. agrees with is_stable"
+    ~count:150 arb (fun seed ->
+      let rng = Rng.make seed in
+      let k = 2 + Rng.int rng 11 in
+      let profile = SM.Profile.random rng k in
+      List.for_all
+        (fun m ->
+          SM.Verify.is_eps_stable ~eps:0. profile m = SM.Verify.is_stable profile m)
+        [ SM.Gale_shapley.run profile; random_matching rng k ])
+
+let test_eps_budget_semantics () =
+  let rng = Rng.make 0xE9 in
+  let checked = ref 0 in
+  for _ = 1 to 40 do
+    let k = 3 + Rng.int rng 8 in
+    let profile = SM.Profile.random rng k in
+    let m = random_matching rng k in
+    let c = SM.Verify.instability profile m in
+    let k2 = float_of_int (k * k) in
+    Alcotest.(check bool) "eps = 1 always accepts" true
+      (SM.Verify.is_eps_stable ~eps:1.0 profile m);
+    (* Budget at the exact count accepts ([+1] absorbs float rounding),
+       half the count rejects. *)
+    Alcotest.(check bool) "sufficient budget accepts" true
+      (SM.Verify.is_eps_stable ~eps:(float_of_int (c + 1) /. k2) profile m);
+    if c >= 2 then begin
+      incr checked;
+      Alcotest.(check bool) "insufficient budget rejects" false
+        (SM.Verify.is_eps_stable ~eps:(float_of_int c /. 2. /. k2) profile m)
+    end
+  done;
+  Alcotest.(check bool) "rejection branch exercised" true (!checked > 10);
+  match SM.Verify.is_eps_stable ~eps:(-0.1) (SM.Profile.worst_case 2)
+          (SM.Matching.of_l2r_exn [| 0; 1 |])
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative eps accepted"
+
+(* Disjoint row ranges partition the blocking pairs: the sharded counts
+   must sum to [instability], whatever the split. *)
+let test_shard_partition () =
+  let rng = Rng.make 0x5A in
+  for _ = 1 to 30 do
+    let k = 4 + Rng.int rng 9 in
+    let profile = SM.Profile.random rng k in
+    let m = random_matching rng k in
+    let v = SM.Verify.view_of_matching profile m in
+    let total = SM.Verify.instability profile m in
+    List.iter
+      (fun shards ->
+        let counts =
+          List.init shards (fun s ->
+              SM.Verify.count_blocking_rows v ~lo:(s * k / shards)
+                ~hi:((s + 1) * k / shards))
+        in
+        Alcotest.(check int) "shards sum to total" total
+          (List.fold_left ( + ) 0 counts))
+      [ 1; 2; 3; 8; k; 2 * k ];
+    Alcotest.(check bool) "exists agrees" (total > 0)
+      (SM.Verify.exists_blocking v)
+  done
+
+(* --- Gale-Shapley free-proposer counter -------------------------------- *)
+
+(* The pre-counter algorithm, verbatim (round termination by rescanning
+   [matched] with [Array.exists]): the production path maintains a free
+   counter instead and must stay bit-identical, matchings and stats. *)
+let reference_run_oriented proposer_prefs acceptor_prefs =
+  let k = Array.length proposer_prefs in
+  let next_rank = Array.make k 0 in
+  let held = Array.make k (-1) in
+  let matched = Array.make k false in
+  let proposals = ref 0 in
+  let rounds = ref 0 in
+  let someone_free () = Array.exists not matched in
+  while someone_free () do
+    incr rounds;
+    let proposals_now = ref [] in
+    for p = 0 to k - 1 do
+      if not matched.(p) then begin
+        let a = SM.Prefs.at proposer_prefs.(p) next_rank.(p) in
+        next_rank.(p) <- next_rank.(p) + 1;
+        incr proposals;
+        proposals_now := (p, a) :: !proposals_now
+      end
+    done;
+    let consider (p, a) =
+      let current = held.(a) in
+      if current = -1 then begin
+        held.(a) <- p;
+        matched.(p) <- true
+      end
+      else if SM.Prefs.prefers acceptor_prefs.(a) p current then begin
+        matched.(current) <- false;
+        held.(a) <- p;
+        matched.(p) <- true
+      end
+    in
+    List.iter consider (List.rev !proposals_now)
+  done;
+  let proposer_to_acceptor = Array.make k (-1) in
+  Array.iteri (fun a p -> proposer_to_acceptor.(p) <- a) held;
+  proposer_to_acceptor, (!proposals, !rounds)
+
+let test_gs_free_counter_matches_reference () =
+  let check_profile profile =
+    List.iter
+      (fun proposers ->
+        let m, stats = SM.Gale_shapley.run_with_stats ~proposers profile in
+        let proposer_prefs, acceptor_prefs =
+          match proposers with
+          | Side.Left -> SM.Profile.left profile, SM.Profile.right profile
+          | Side.Right -> SM.Profile.right profile, SM.Profile.left profile
+        in
+        let p2a, (proposals, rounds) =
+          reference_run_oriented proposer_prefs acceptor_prefs
+        in
+        let k = Array.length p2a in
+        let l2r =
+          match proposers with
+          | Side.Left -> p2a
+          | Side.Right ->
+            let l2r = Array.make k (-1) in
+            Array.iteri (fun r l -> l2r.(l) <- r) p2a;
+            l2r
+        in
+        Alcotest.check matching "matching identical"
+          (SM.Matching.of_l2r_exn l2r) m;
+        Alcotest.(check (pair int int))
+          "stats identical" (proposals, rounds)
+          (stats.SM.Gale_shapley.proposals, stats.SM.Gale_shapley.rounds))
+      [ Side.Left; Side.Right ]
+  in
+  let rng = Rng.make 0xF5EE in
+  for _ = 1 to 40 do
+    check_profile (SM.Profile.random rng (2 + Rng.int rng 14))
+  done;
+  for _ = 1 to 10 do
+    check_profile (SM.Profile.similar rng ~swaps:4 10)
+  done;
+  check_profile (SM.Profile.worst_case 12)
+
+(* --- Flat (implicit profiles) ------------------------------------------- *)
+
+let test_flat_perm_is_bijection () =
+  List.iter
+    (fun k ->
+      let f = SM.Flat.make ~family:SM.Flat.Uniform ~seed:0x1DE ~k in
+      List.iter
+        (fun (order, rank) ->
+          for who = 0 to min 2 (k - 1) do
+            let order_who = order f who and rank_who = rank f who in
+            let seen = Array.make k false in
+            for r = 0 to k - 1 do
+              let c = order_who r in
+              Alcotest.(check bool) "in range" true (c >= 0 && c < k);
+              Alcotest.(check bool) "not seen" false seen.(c);
+              seen.(c) <- true;
+              Alcotest.(check int) "rank inverts order" r (rank_who c)
+            done
+          done)
+        [ SM.Flat.left_order, SM.Flat.left_rank;
+          SM.Flat.right_order, SM.Flat.right_rank ])
+    [ 1; 2; 3; 7; 16; 33; 100 ]
+
+let prop_flat_gs_matches_explicit =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000) in
+  QCheck.Test.make ~name:"flat GS bit-identical to explicit GS" ~count:60 arb
+    (fun seed ->
+      let rng = Rng.make seed in
+      let k = 1 + Rng.int rng 30 in
+      let family =
+        if Rng.bool rng then SM.Flat.Uniform else SM.Flat.Common_acceptors
+      in
+      let f = SM.Flat.make ~family ~seed ~k in
+      let l2r, stats = SM.Flat.gale_shapley f in
+      let m, stats' = SM.Gale_shapley.run_with_stats (SM.Flat.to_profile f) in
+      l2r = Array.init k (SM.Matching.partner_of_left m) && stats = stats')
+
+let test_flat_verify_view_matches_explicit () =
+  let rng = Rng.make 0xF1A7 in
+  for _ = 1 to 25 do
+    let k = 2 + Rng.int rng 12 in
+    let family =
+      if Rng.bool rng then SM.Flat.Uniform else SM.Flat.Common_acceptors
+    in
+    let f = SM.Flat.make ~family ~seed:(Rng.int rng 1_000_000) ~k in
+    let profile = SM.Flat.to_profile f in
+    let m = random_matching rng k in
+    let l2r = Array.init k (SM.Matching.partner_of_left m) in
+    Alcotest.(check int) "view count = explicit instability"
+      (SM.Verify.instability profile m)
+      (SM.Verify.count_blocking (SM.Flat.verify_view f ~l2r))
+  done
+
+let test_flat_deterministic () =
+  let mk () =
+    SM.Flat.gale_shapley (SM.Flat.make ~family:SM.Flat.Uniform ~seed:77 ~k:500)
+  in
+  let l2r_a, stats_a = mk () in
+  let l2r_b, stats_b = mk () in
+  Alcotest.(check bool) "same matching" true (l2r_a = l2r_b);
+  Alcotest.(check bool) "same stats" true (stats_a = stats_b);
+  (* And the output is in fact stable, checked on the implicit view. *)
+  Alcotest.(check int) "stable" 0
+    (SM.Verify.count_blocking
+       (SM.Flat.verify_view
+          (SM.Flat.make ~family:SM.Flat.Uniform ~seed:77 ~k:500)
+          ~l2r:l2r_a))
+
 (* --- Lattice ------------------------------------------------------------ *)
 
 let test_lattice_meet_join_stable () =
@@ -476,6 +710,23 @@ let () =
             test_partial_unmatched_mutually_acceptable_blocks;
           Alcotest.test_case "consider filters" `Quick
             test_partial_respects_consider_filters;
+          qcheck prop_fast_paths_match_reference;
+          qcheck prop_eps_zero_matches_is_stable;
+          Alcotest.test_case "eps budget semantics" `Quick
+            test_eps_budget_semantics;
+          Alcotest.test_case "shard counts partition" `Quick test_shard_partition;
+          Alcotest.test_case "free counter matches reference" `Quick
+            test_gs_free_counter_matches_reference;
+        ] );
+      ( "flat",
+        [
+          Alcotest.test_case "perm is a bijection" `Quick
+            test_flat_perm_is_bijection;
+          qcheck prop_flat_gs_matches_explicit;
+          Alcotest.test_case "verify view matches explicit" `Quick
+            test_flat_verify_view_matches_explicit;
+          Alcotest.test_case "deterministic in the seed" `Quick
+            test_flat_deterministic;
         ] );
       ( "lattice",
         [

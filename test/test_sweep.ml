@@ -481,6 +481,105 @@ let test_scaling_stress_parallel () =
         true (violations = []))
     parallel
 
+(* --- T-scale harness (Scale) --- *)
+
+let scale_row : H.Scale.row = { k = 200; seed = 17; family = SM.Flat.Uniform }
+
+let scale_row_common : H.Scale.row =
+  { k = 150; seed = 23; family = SM.Flat.Common_acceptors }
+
+(* The deterministic projection of a result: everything but wall clocks. *)
+let scale_det (r : H.Scale.result) =
+  ( r.row,
+    r.stats,
+    r.blocking_gs,
+    r.blocking_perturbed,
+    r.stable,
+    r.eps_min,
+    r.fingerprint )
+
+let test_scale_row_parallel_equals_sequential () =
+  List.iter
+    (fun row ->
+      let p = H.Scale.prepare row in
+      (* run_row itself asserts shard-count identity when given a pool;
+         we additionally check the assembled deterministic fields. *)
+      let seq = H.Scale.run_row p in
+      let par = Pool.with_pool ~jobs:3 (fun pool -> H.Scale.run_row ~pool p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s deterministic fields identical" (H.Scale.label row))
+        true
+        (scale_det seq = scale_det par);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s GS output stable" (H.Scale.label row))
+        true seq.stable;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s perturbation exposes blocking pairs"
+           (H.Scale.label row))
+        true
+        (seq.blocking_perturbed > 0))
+    [ scale_row; scale_row_common ]
+
+let test_scale_shard_counts_partition () =
+  let p = H.Scale.prepare scale_row in
+  let counts = List.map (H.Scale.run_cell p) (H.Scale.cells p) in
+  Alcotest.(check int)
+    "2 * shards cells" (2 * H.Scale.shards) (List.length counts);
+  let r = H.Scale.run_row p in
+  let gs_sum, pert_sum =
+    List.fold_left2
+      (fun (g, q) (c : H.Scale.cell) n ->
+        match c.target with
+        | H.Scale.Gs -> g + n, q
+        | H.Scale.Perturbed -> g, q + n)
+      (0, 0) (H.Scale.cells p) counts
+  in
+  Alcotest.(check int) "gs shards sum" r.blocking_gs gs_sum;
+  Alcotest.(check int) "perturbed shards sum" r.blocking_perturbed pert_sum
+
+let test_scale_repeat_runs_identical () =
+  let run () =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        List.map scale_det
+          (List.map
+             (fun row -> H.Scale.run_row ~pool (H.Scale.prepare row))
+             [ scale_row; scale_row_common ]))
+  in
+  Alcotest.(check bool) "two runs identical" true (run () = run ())
+
+let test_scale_json_schema () =
+  let results =
+    List.map
+      (fun row -> H.Scale.run_row (H.Scale.prepare row))
+      [ scale_row; scale_row_common ]
+  in
+  let json = H.Scale.to_json ~jobs:1 results in
+  let contains sub =
+    let n = String.length json and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+    go 0
+  in
+  (* The exact shapes bench_compare's scanner keys on. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row marker for %s" (H.Scale.label r.H.Scale.row))
+        true
+        (contains
+           (Printf.sprintf "{\"row\": \"%s\"" (H.Scale.label r.H.Scale.row))))
+    results;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %s present" key)
+        true
+        (contains (Printf.sprintf "\"%s\":" key)))
+    [
+      "proposals"; "rounds"; "blocking_gs"; "stable"; "blocking_perturbed";
+      "eps_min"; "fingerprint"; "gs_ms"; "verify_sequential_ms";
+      "verify_parallel_ms"; "jobs";
+    ]
+
 let () =
   Alcotest.run "sweep"
     [
@@ -537,5 +636,16 @@ let () =
             test_evaluate_batch_parallel;
           Alcotest.test_case "Scaling.stress parallel == sequential" `Quick
             test_scaling_stress_parallel;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "row parallel == sequential" `Quick
+            test_scale_row_parallel_equals_sequential;
+          Alcotest.test_case "shard counts partition the row" `Quick
+            test_scale_shard_counts_partition;
+          Alcotest.test_case "repeat runs identical" `Quick
+            test_scale_repeat_runs_identical;
+          Alcotest.test_case "JSON schema matches bench_compare scanner" `Quick
+            test_scale_json_schema;
         ] );
     ]

@@ -1,21 +1,24 @@
-(* bench_compare — diff two BENCH_sweeps.json files and fail on wall
-   regressions.
+(* bench_compare — diff two BENCH_sweeps.json (or BENCH_scale.json)
+   files and fail on wall regressions.
 
    Usage: bench_compare OLD.json NEW.json [--threshold PCT]
 
    Per table it compares the sequential wall clock — the one number
    that is comparable across scheduler modes (fused vs barrier) and job
    counts — and, when both files carry a "whole_run" block, the
-   whole-run parallel wall. Exits 1 if any compared number regresses by
+   whole-run parallel wall. T-scale files carry one record per
+   "{\"row\": ..." marker instead; for those the Gale-Shapley wall
+   (gs_ms) and the sequential verification wall (verify_sequential_ms)
+   are compared per row. Exits 1 if any compared number regresses by
    more than the threshold (default 20%) AND by more than 1 ms (quick
    runs have millisecond-scale walls where percentages alone are
-   noise). Tables present on only one side are reported but don't fail
-   the diff: the bench grows across PRs.
+   noise). Tables/rows present on only one side are reported but don't
+   fail the diff: the bench grows across PRs.
 
    The container has no JSON library, so this is a minimal scanner over
-   the bench writer's known layout (one record per "{\"table\": ..."
-   marker; "key": number pairs). It tolerates both the PR 3 schema
-   (parallel_ms per table, no whole_run) and the fused schema. *)
+   the bench writers' known layouts ("key": number pairs inside each
+   record). It tolerates the PR 3 schema (parallel_ms per table, no
+   whole_run), the fused schema, and the scale schema. *)
 
 let read_file path =
   try
@@ -61,14 +64,10 @@ let key_float s ~pos ~stop key =
   | Some i when i < stop -> float_at s (i + String.length needle)
   | Some _ | None -> None
 
-type record = {
-  table : string;
-  sequential_ms : float option;
-  parallel_ms : float option;
-}
-
-let records s =
-  let marker = "{\"table\": \"" in
+(* One scanned record: its name plus the requested "key": number values
+   (in [keys] order), scoped to the span between this marker and the
+   next. *)
+let scan s ~marker ~keys =
   let rec go pos acc =
     match find s pos marker with
     | None -> List.rev acc
@@ -77,22 +76,40 @@ let records s =
       match String.index_from_opt s name_start '"' with
       | None -> List.rev acc
       | Some name_end ->
-        let table = String.sub s name_start (name_end - name_start) in
+        let name = String.sub s name_start (name_end - name_start) in
         let stop =
           match find s name_end marker with
           | Some j -> j
           | None -> String.length s
         in
-        let r =
-          {
-            table;
-            sequential_ms = key_float s ~pos:name_end ~stop "sequential_ms";
-            parallel_ms = key_float s ~pos:name_end ~stop "parallel_ms";
-          }
+        let values =
+          List.map (fun key -> key, key_float s ~pos:name_end ~stop key) keys
         in
-        go stop (r :: acc))
+        go stop ((name, values) :: acc))
   in
   go 0 []
+
+type record = {
+  table : string;
+  sequential_ms : float option;
+  parallel_ms : float option;
+}
+
+let records s =
+  List.map
+    (fun (table, values) ->
+      {
+        table;
+        sequential_ms = List.assoc "sequential_ms" values;
+        parallel_ms = List.assoc "parallel_ms" values;
+      })
+    (scan s ~marker:"{\"table\": \""
+       ~keys:[ "sequential_ms"; "parallel_ms" ])
+
+(* BENCH_scale.json rows: per-row Gale-Shapley and sequential
+   verification walls. *)
+let scale_rows s =
+  scan s ~marker:"{\"row\": \"" ~keys:[ "gs_ms"; "verify_sequential_ms" ]
 
 (* The whole_run block's parallel wall, if the file has one. *)
 let whole_run_parallel_ms s =
@@ -147,25 +164,53 @@ let () =
   in
   Printf.printf "bench_compare: %s -> %s (threshold %.0f%%)\n" old_path new_path
     !threshold;
-  Printf.printf "sequential wall per table:\n";
-  List.iter
-    (fun (n : record) ->
-      match List.find_opt (fun (o : record) -> o.table = n.table) olds with
-      | None -> Printf.printf "  %-40s (new table, no baseline)\n" n.table
-      | Some o -> (
-        match o.sequential_ms, n.sequential_ms with
-        | Some om, Some nm -> compare_ms n.table om nm
-        | _ -> Printf.printf "  %-40s (no sequential_ms to compare)\n" n.table))
-    news;
-  List.iter
-    (fun (o : record) ->
-      if not (List.exists (fun (n : record) -> n.table = o.table) news) then
-        Printf.printf "  %-40s (dropped from new run)\n" o.table)
-    olds;
+  let old_rows = scale_rows old_s and new_rows = scale_rows new_s in
+  if olds <> [] || news <> [] || (old_rows = [] && new_rows = []) then begin
+    Printf.printf "sequential wall per table:\n";
+    List.iter
+      (fun (n : record) ->
+        match List.find_opt (fun (o : record) -> o.table = n.table) olds with
+        | None -> Printf.printf "  %-40s (new table, no baseline)\n" n.table
+        | Some o -> (
+          match o.sequential_ms, n.sequential_ms with
+          | Some om, Some nm -> compare_ms n.table om nm
+          | _ -> Printf.printf "  %-40s (no sequential_ms to compare)\n" n.table))
+      news;
+    List.iter
+      (fun (o : record) ->
+        if not (List.exists (fun (n : record) -> n.table = o.table) news) then
+          Printf.printf "  %-40s (dropped from new run)\n" o.table)
+      olds
+  end;
+  if old_rows <> [] || new_rows <> [] then begin
+    Printf.printf "gs + sequential-verify wall per scale row:\n";
+    List.iter
+      (fun (name, new_values) ->
+        match List.assoc_opt name old_rows with
+        | None -> Printf.printf "  %-40s (new row, no baseline)\n" name
+        | Some old_values ->
+          List.iter
+            (fun (key, nv) ->
+              match List.assoc_opt key old_values, nv with
+              | Some (Some om), Some nm ->
+                compare_ms (Printf.sprintf "%s %s" name key) om nm
+              | _ ->
+                Printf.printf "  %-40s (no %s to compare)\n" name key)
+            new_values)
+      new_rows;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name new_rows) then
+          Printf.printf "  %-40s (dropped from new run)\n" name)
+      old_rows
+  end;
   (match whole_run_parallel_ms old_s, whole_run_parallel_ms new_s with
   | Some om, Some nm ->
     Printf.printf "whole-run parallel wall:\n";
     compare_ms "whole_run" om nm
+  | None, None when old_rows <> [] || new_rows <> [] ->
+    (* Scale files carry no whole_run block; nothing to say. *)
+    ()
   | _ ->
     Printf.printf
       "whole-run parallel wall: not compared (missing in one file — PR 3 \
