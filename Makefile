@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-compare chaos-quick fuzz-quick scale-quick smoke fmt ci clean
+.PHONY: all build test bench bench-quick bench-compare chaos-quick fuzz-quick scale-quick serve-quick smoke fmt ci clean
 
 all: build
 
@@ -47,6 +47,14 @@ fuzz-quick:
 scale-quick:
 	dune exec bin/main.exe -- bench --scale --quick
 
+# Serving smoke: 100 instances through the daemon core over the
+# in-process ring transport (the real wire path: encode, admit,
+# schedule, execute, respond). Exits non-zero unless every instance
+# matches; writes nothing (BENCH_serve.json comes from `bsm load`
+# directly). Finishes in ~3 s.
+serve-quick:
+	dune exec bin/main.exe -- load --instances 100 --jobs 2 --out /dev/null
+
 # Fast tier-1 exercise of the domain pool: one small parallel sweep,
 # asserted bit-identical to its sequential run.
 smoke:
@@ -62,7 +70,7 @@ fmt:
 	  echo "ocamlformat not found; skipping format check"; \
 	fi
 
-ci: build test bench-quick chaos-quick fuzz-quick scale-quick fmt
+ci: build test bench-quick chaos-quick fuzz-quick scale-quick serve-quick fmt
 
 clean:
 	dune clean

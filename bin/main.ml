@@ -17,7 +17,11 @@
      ssm         execute a simplified-stable-matching scenario
      attack      run an impossibility construction (Figures 2-4)
      topology    render the three communication models (Figure 1)
-     complexity  round/message/byte costs per setting as k grows  *)
+     complexity  round/message/byte costs per setting as k grows
+     serve       the matchmaking daemon: a Unix-domain-socket listener over
+                 the persistent domain pool
+     load        open-loop load bench for the serve layer (BENCH_serve.json;
+                 --chaos for fault schedules against live traffic)  *)
 
 open Bsm_prelude
 module SM = Bsm_stable_matching
@@ -477,6 +481,9 @@ let replay_cmd =
 
 let fuzz_cmd =
   let run cases seed =
+    (* The serve frames register themselves into the corpus (the corpus
+       library cannot depend on the serve layer). *)
+    Bsm_serve.Frame.register_codecs ();
     let entries = Chaos.Codec_corpus.entries () in
     let stats = Bsm_wire.Fuzz.run ~seed ~cases entries in
     List.iter (fun s -> Format.printf "%a@." Bsm_wire.Fuzz.pp_stats s) stats;
@@ -921,12 +928,276 @@ let complexity_cmd =
     (Cmd.info "complexity" ~doc:"Measure round/message/byte costs as k grows.")
     Term.(const run $ max_k)
 
+(* --- serve / load ------------------------------------------------------------ *)
+
+module Serve = Bsm_serve
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/bsm.sock"
+    & info [ "socket" ] ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket jobs queue batch max_k max_requests chaos =
+    let pool =
+      (* An explicit --jobs sizes a dedicated pool; otherwise the serve
+         loop holds the process-global one (shutdown_global / at_exit
+         stay safe mid-serve: Pool.shutdown waits out in-flight
+         batches). *)
+      match jobs with
+      | Some j -> Bsm_runtime.Pool.create ~jobs:j ()
+      | None -> Bsm_runtime.Pool.global ()
+    in
+    let server =
+      Serve.Server.create ~pool
+        ~config:
+          {
+            Serve.Server.default_config with
+            queue_capacity = queue;
+            batch;
+            max_k;
+            chaos;
+          }
+        ()
+    in
+    let listener = Serve.Uds.listen ~path:socket in
+    Printf.printf "bsm serve: listening on %s (%d pool lane(s))\n%!" socket
+      (Bsm_runtime.Pool.jobs pool);
+    let stop = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    let routes = Hashtbl.create 256 in
+    let tick = ref 0 in
+    let served = ref 0 in
+    while (not !stop) && (max_requests = 0 || !served < max_requests) do
+      List.iter
+        (fun event ->
+          match event with
+          | Serve.Uds.Request (conn, Serve.Frame.Submit spec) ->
+            let resp = Serve.Server.submit server ~tick:!tick spec in
+            (match resp with
+            | Serve.Frame.Accepted _ ->
+              Hashtbl.replace routes spec.Serve.Frame.req_id conn
+            | _ -> ());
+            Serve.Uds.respond listener conn resp
+          | Serve.Uds.Request (conn, Serve.Frame.Bye) -> Serve.Uds.drop listener conn
+          | Serve.Uds.Bad_frame (conn, reason) ->
+            Printf.printf "bsm serve: dropped conn %d: %s\n%!" conn reason
+          | Serve.Uds.Connect _ | Serve.Uds.Disconnect _ -> ())
+        (Serve.Uds.poll listener ~timeout_s:0.005);
+      List.iter
+        (fun resp ->
+          match resp with
+          | Serve.Frame.Done { req_id; _ } ->
+            incr served;
+            (match Hashtbl.find_opt routes req_id with
+            | Some conn ->
+              Hashtbl.remove routes req_id;
+              Serve.Uds.respond listener conn resp
+            | None -> ())
+          | _ -> ())
+        (Serve.Server.tick server ~tick:!tick);
+      incr tick
+    done;
+    Serve.Uds.shutdown listener;
+    Printf.printf "bsm serve: %d instance(s) served, %d oracle violation(s)\n%!"
+      !served
+      (Serve.Server.violations server)
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~doc:"Pool lanes (default: the process-global pool).")
+  in
+  let queue =
+    Arg.(value & opt int 256 & info [ "queue" ] ~doc:"Submission queue capacity.")
+  in
+  let batch =
+    Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Max instances retired per tick.")
+  in
+  let max_k =
+    Arg.(value & opt int 4096 & info [ "max-k" ] ~doc:"Admission ceiling on k.")
+  in
+  let max_requests =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests" ]
+          ~doc:"Exit after serving this many instances (0 = run forever).")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:"Run bSM instances under within-budget fault schedules, oracle-judged.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the matchmaking daemon: a Unix-domain-socket listener \
+          multiplexing concurrent instances over the persistent domain pool.")
+    Term.(const run $ socket_arg $ jobs $ queue $ batch $ max_k $ max_requests $ chaos)
+
+let load_cmd =
+  let run instances seed jobs queue batch k_min k_max mean_gap chaos wall out
+      live_check connect =
+    let params =
+      {
+        Serve.Serve_bench.instances;
+        seed;
+        jobs = Bsm_runtime.Pool.resolve_jobs ?jobs ();
+        queue_capacity = queue;
+        batch;
+        k_min;
+        k_max;
+        mean_gap;
+        chaos;
+        max_rounds = None;
+      }
+    in
+    (match live_check with
+    | 0 -> ()
+    | k -> (
+      match Serve.Serve_bench.live_check ~k ~seed with
+      | Ok k -> Printf.printf "live-check: k=%d live == engine (bit-identical)\n" k
+      | Error msg ->
+        Printf.printf "live-check: DIVERGED: %s\n" msg;
+        exit 1));
+    if instances < 1 then exit 0 (* live-check-only invocation *);
+    match connect with
+    | Some path ->
+      (* Drive a remote daemon with the same deterministic schedule,
+         windowed to keep its queue busy without flooding it. *)
+      let client = Serve.Uds.connect ~path in
+      let matched = ref 0 and failed = ref 0 and rejected = ref 0 in
+      let outstanding = ref 0 in
+      let next = ref 0 in
+      let completed = ref 0 in
+      let window = min queue 32 in
+      while !completed < instances do
+        while !next < instances && !outstanding < window do
+          Serve.Uds.send client
+            (Serve.Frame.Submit (Serve.Serve_bench.spec_of ~params !next));
+          incr next;
+          incr outstanding
+        done;
+        match Serve.Uds.recv client with
+        | None -> failwith "bsm load: daemon closed the connection"
+        | Some (Serve.Frame.Accepted _) -> ()
+        | Some (Serve.Frame.Rejected _) ->
+          incr rejected;
+          incr completed;
+          decr outstanding
+        | Some (Serve.Frame.Done { outcome; _ }) ->
+          incr completed;
+          decr outstanding;
+          (match outcome with
+          | Serve.Frame.Matched _ -> incr matched
+          | Serve.Frame.Failed _ | Serve.Frame.Timed_out -> incr failed)
+      done;
+      (* The daemon may already have exited (--max-requests); the
+         goodbye is best-effort. *)
+      (try Serve.Uds.send client Serve.Frame.Bye with Unix.Unix_error _ -> ());
+      Serve.Uds.close client;
+      Printf.printf "bsm load: %d over %s — matched %d, failed %d, rejected %d\n"
+        instances path !matched !failed !rejected;
+      if !matched < instances then exit 1
+    | None ->
+      let results = Serve.Serve_bench.run params in
+      Format.printf "%a@." Serve.Serve_bench.pp_results results;
+      Serve.Serve_bench.write_json ~path:out
+        (Serve.Serve_bench.to_json ~wall results);
+      Printf.printf "wrote %s\n" out;
+      if chaos then begin
+        if results.Serve.Serve_bench.violations > 0 then begin
+          Printf.printf "bsm load: oracle violations under chaos\n";
+          exit 1
+        end
+      end
+      else if results.Serve.Serve_bench.matched < instances then begin
+        Printf.printf "bsm load: %d instance(s) not matched\n"
+          (instances - results.Serve.Serve_bench.matched);
+        exit 1
+      end
+  in
+  let instances =
+    Arg.(value & opt int 1000 & info [ "instances" ] ~doc:"Instances to submit.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~doc:"Pool lanes (default: BSM_JOBS or the core count).")
+  in
+  let queue =
+    Arg.(value & opt int 256 & info [ "queue" ] ~doc:"Submission queue capacity.")
+  in
+  let batch =
+    Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Max instances retired per tick.")
+  in
+  let k_min = Arg.(value & opt int 8 & info [ "k-min" ] ~doc:"Smallest instance k.") in
+  let k_max = Arg.(value & opt int 64 & info [ "k-max" ] ~doc:"Largest instance k.") in
+  let mean_gap =
+    Arg.(
+      value & opt int 1
+      & info [ "gap" ] ~doc:"Mean inter-arrival gap in ticks (0 = all at once).")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Submit bSM workloads and run each under a within-budget fault \
+             schedule; fails on any oracle violation.")
+  in
+  let wall =
+    Arg.(
+      value & flag
+      & info [ "wall" ]
+          ~doc:
+            "Include wall-clock numbers in the JSON (breaks bit-identity \
+             across machines; tick fields stay deterministic).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "out" ] ~doc:"Output JSON path.")
+  in
+  let live_check =
+    Arg.(
+      value & opt int 0
+      & info [ "live-check" ]
+          ~doc:
+            "First run distributed GS at this k through the live ring \
+             transport and the engine and require bit-identical results \
+             (0 = skip).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ]
+          ~doc:"Drive a running daemon over this socket instead of in-process.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop load bench for the serve layer: deterministic arrival \
+          schedule, ring (or socket) transport, BENCH_serve.json output.")
+    Term.(
+      const run $ instances $ seed_arg $ jobs $ queue $ batch $ k_min $ k_max
+      $ mean_gap $ chaos $ wall $ out $ live_check $ connect)
+
 let () =
+  (* Socket writes to a vanished peer must surface as EPIPE errors the
+     serve/load paths handle, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let doc = "byzantine stable matching (PODC 2025) — protocols, attacks, experiments" in
   let info = Cmd.info "bsm" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [
       solvable_cmd; matrix_cmd; run_cmd; chaos_cmd; replay_cmd; fuzz_cmd;
       bench_cmd; ssm_cmd; attack_cmd; topology_cmd; complexity_cmd; lattice_cmd;
-      roommates_cmd; bsr_cmd; manipulate_cmd;
+      roommates_cmd; bsr_cmd; manipulate_cmd; serve_cmd; load_cmd;
     ]))

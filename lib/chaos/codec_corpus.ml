@@ -101,6 +101,12 @@ let gen_repro rng =
 
 let e = Fuzz.entry
 
+(* Extension point for layers above chaos: registered thunks run on
+   every [entries] call, after the built-in corpus, in registration
+   order. *)
+let extras : (unit -> Fuzz.entry list) list ref = ref []
+let register f = extras := !extras @ [ f ]
+
 let entries () =
   [
     (* Wire primitives: the building blocks under every protocol codec. *)
@@ -199,3 +205,4 @@ let entries () =
     e ~name:"chaos.schedule" ~gen:gen_schedule ~equal:( = ) Schedule.codec;
     e ~name:"chaos.repro" ~gen:gen_repro ~equal:( = ) Repro.codec;
   ]
+  @ List.concat_map (fun f -> f ()) !extras

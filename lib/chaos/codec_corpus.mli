@@ -8,3 +8,11 @@
     a codec here is all it takes to put it under fuzz. *)
 
 val entries : unit -> Bsm_wire.Fuzz.entry list
+
+(** [register extra] appends [extra ()]'s entries to every later
+    {!entries} result. Layers above chaos (the serve frames) register
+    their codecs through this instead of being hard-wired here, which
+    would invert the library dependency. Registration order is
+    first-come; duplicate registration is the caller's to avoid (see
+    [Bsm_serve.Frame.register_codecs], which guards itself). *)
+val register : (unit -> Bsm_wire.Fuzz.entry list) -> unit

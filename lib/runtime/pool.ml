@@ -221,14 +221,17 @@ let run_lane t b ~lane =
 let worker_loop t ~lane =
   let rec loop last_epoch =
     Mutex.lock t.mutex;
+    (* A published batch wins over [closed]: if shutdown races a map, the
+       workers still help drain the in-flight batch before exiting. *)
     let rec await () =
-      if t.closed then None
-      else
-        match t.current with
-        | Some b when b.epoch <> last_epoch -> Some b
-        | Some _ | None ->
+      match t.current with
+      | Some b when b.epoch <> last_epoch -> Some b
+      | Some _ | None ->
+        if t.closed then None
+        else begin
           Condition.wait t.work_available t.mutex;
           await ()
+        end
     in
     let b = await () in
     Mutex.unlock t.mutex;
@@ -323,12 +326,28 @@ let map t f xs =
         Condition.wait t.batch_done t.mutex
       done;
       t.current <- None;
+      (* A concurrent [shutdown] parks on [batch_done] until [current]
+         clears; wake it now that the batch is fully retired. *)
+      Condition.broadcast t.batch_done;
       Mutex.unlock t.mutex
     end;
     collect slots n
 
+(* Long-running processes (the serve daemon) may call [shutdown] — via
+   [shutdown_global] or the [at_exit] hook — from a domain other than the
+   one currently holding the pool in a [map]. Closing mid-batch would
+   either strand the batch's unclaimed tasks (workers exit before
+   draining their deques) or tear domains out from under the submitter,
+   so shutdown first waits for any in-flight batch to retire, then
+   closes and joins. Idempotent: late callers wait for the same drain and
+   find [closed] already set; only the first joins the domains. *)
 let shutdown t =
+  if !(Domain.DLS.get in_task_key) then
+    invalid_arg "Pool.shutdown: called from inside a pool task";
   Mutex.lock t.mutex;
+  while t.current <> None do
+    Condition.wait t.batch_done t.mutex
+  done;
   let first = not t.closed in
   t.closed <- true;
   Condition.broadcast t.work_available;

@@ -104,8 +104,13 @@ type stats = {
 val stats : t -> stats
 
 (** [shutdown pool] signals the workers to exit and joins them.
-    Idempotent. Calling {!map} after [shutdown] raises
-    [Invalid_argument]. *)
+    Idempotent, and safe to call from another domain while a {!map} is
+    in flight — shutdown first waits for the current batch to retire
+    (long-running processes, e.g. the serve daemon, reach this via
+    {!shutdown_global} or its [at_exit] hook). Raises
+    [Invalid_argument] when called from inside a pool task, where
+    waiting for the batch would deadlock. Calling {!map} after
+    [shutdown] raises [Invalid_argument]. *)
 val shutdown : t -> unit
 
 (** [with_pool ?jobs f] brackets [create]/[shutdown] around [f]. *)

@@ -1,0 +1,71 @@
+(** The daemon's instance table: every admitted submission, sharded by
+    request id, with an enforced lifecycle.
+
+    States move strictly forward:
+    [Submitted → Running → Matched | Failed | Timed_out] — any other
+    transition raises [Invalid_argument] (a scheduler bug, not a client
+    error). Shard count mirrors the pool's lanes so a full table walk
+    partitions into per-lane chunks, and per-state counters make the
+    admission/consistency checks O(1).
+
+    The table itself is single-writer (the daemon's coordinator domain
+    admits and retires; pool tasks only compute outcomes), so access is
+    not synchronized. *)
+
+module Frame := Frame
+
+type state =
+  | Submitted
+  | Running
+  | Matched
+  | Failed
+  | Timed_out
+
+val state_to_string : state -> string
+
+(** [final_of_outcome o] — the terminal state a {!Frame.outcome} lands
+    in. *)
+val final_of_outcome : Frame.outcome -> state
+
+type record = {
+  spec : Frame.spec;
+  arrival_tick : int;
+  mutable state : state;
+  mutable outcome : Frame.outcome option;  (** set on the final states *)
+  mutable done_tick : int;  (** -1 until final *)
+}
+
+type t
+
+(** [create ~shards ()] — raises [Invalid_argument] when [shards < 1]. *)
+val create : shards:int -> unit -> t
+
+val shards : t -> int
+
+(** [add t ~tick spec] registers a [Submitted] record. Raises
+    [Invalid_argument] on a duplicate live [req_id] (admission must
+    reject those first — see {!mem}). *)
+val add : t -> tick:int -> Frame.spec -> record
+
+val mem : t -> int -> bool
+val find : t -> int -> record option
+
+(** [transition t record state] — enforces the lifecycle; final states
+    additionally require {!finish}. *)
+val transition : t -> record -> state -> unit
+
+(** [finish t record ~tick outcome] — transition to the outcome's final
+    state, recording outcome and completion tick. *)
+val finish : t -> record -> tick:int -> Frame.outcome -> unit
+
+(** Live records (submitted or running). *)
+val pending : t -> int
+
+(** Records in the given state. *)
+val count : t -> state -> int
+
+(** Total records ever admitted. *)
+val total : t -> int
+
+(** Walk one shard's records (unspecified order). *)
+val iter_shard : t -> int -> (record -> unit) -> unit

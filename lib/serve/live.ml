@@ -1,0 +1,164 @@
+open Bsm_prelude
+module Engine = Bsm_runtime.Engine
+module Topology = Bsm_topology.Topology
+
+(* Two-phase lockstep: phase one ends the round's sends (after it, every
+   ring holds exactly the round's frames), phase two ends its deliveries
+   (after it, every ring is empty again). All 2k domains — live parties
+   and ghosts alike — pass both phases of every generation, so the
+   whole system is always in one well-defined round and the stop
+   decisions (round cap before phase one, everyone-finished between the
+   phases) are taken unanimously. *)
+type barrier = {
+  m : Mutex.t;
+  c : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable gen : int;
+}
+
+let barrier parties =
+  { m = Mutex.create (); c = Condition.create (); parties; arrived = 0; gen = 0 }
+
+let await b =
+  Mutex.lock b.m;
+  let g = b.gen in
+  b.arrived <- b.arrived + 1;
+  if b.arrived = b.parties then begin
+    b.arrived <- 0;
+    b.gen <- g + 1;
+    Condition.broadcast b.c
+  end
+  else
+    while b.gen = g do
+      Condition.wait b.c b.m
+    done;
+  Mutex.unlock b.m
+
+exception Out_of_rounds_
+
+let drain ring =
+  let rec go acc =
+    match Ring.try_pop ring with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 1024)
+    ~k ~link ~programs () =
+  if k < 1 then invalid_arg "Live.run: k < 1";
+  let n = 2 * k in
+  if n > 64 then invalid_arg "Live.run: one domain per party; keep 2k <= 64";
+  let roster = Array.of_list (Party_id.all ~k) in
+  let connected u v =
+    (not (Party_id.equal u v))
+    &&
+    match link with
+    | Engine.Of_topology t -> Topology.connected t u v
+    | Engine.Custom f -> f u v
+  in
+  let rings =
+    Array.init n (fun s ->
+        Array.init n (fun d ->
+            if connected roster.(s) roster.(d) then
+              Some (Ring.create ~capacity:ring_capacity ())
+            else None))
+  in
+  let b1 = barrier n and b2 = barrier n in
+  let finished = Atomic.make 0 in
+  let worker i =
+    let self = roster.(i) in
+    let round = ref 0 in
+    let out = ref None in
+    (* Per-link replay memory for the corrupt hook: last payload
+       delivered (post-corruption) from each sender in a strictly
+       earlier round — the engine's [prev] semantics. *)
+    let prev = Array.make n None in
+    let send dst data =
+      if Party_id.index dst >= k then () (* outside the roster: no channel *)
+      else
+        match rings.(i).(Party_id.to_dense ~k dst) with
+        | None -> () (* topology drop *)
+        | Some ring ->
+          if not (Ring.try_push ring data) then
+            failwith "Live: per-channel ring overflow (raise ring_capacity)"
+    in
+    let next_round () =
+      if !round >= max_rounds then raise Out_of_rounds_;
+      await b1;
+      let r = !round in
+      let inbox = ref [] in
+      for s = n - 1 downto 0 do
+        match rings.(s).(i) with
+        | None -> ()
+        | Some ring ->
+          let src = roster.(s) in
+          let last_delivered = ref None in
+          let delivered =
+            List.filter_map
+              (fun data ->
+                if faults.Engine.drop ~round:r ~src ~dst:self then None
+                else begin
+                  let data =
+                    match
+                      faults.Engine.corrupt ~round:r ~src ~dst:self ~prev:prev.(s)
+                        data
+                    with
+                    | Some (bytes, _label) -> bytes
+                    | None -> data
+                  in
+                  last_delivered := Some data;
+                  Some { Engine.src; data }
+                end)
+              (drain ring)
+          in
+          (match !last_delivered with
+          | Some data -> prev.(s) <- Some data
+          | None -> ());
+          inbox := delivered @ !inbox
+      done;
+      await b2;
+      incr round;
+      !inbox
+    in
+    let status =
+      match
+        programs self
+          {
+            Engine.self;
+            k;
+            round = (fun () -> !round);
+            send;
+            next_round;
+            output = (fun p -> out := Some p);
+            log = ignore;
+          }
+      with
+      | () -> Engine.Terminated
+      | exception Out_of_rounds_ -> Engine.Out_of_rounds
+      | exception exn -> Engine.Crashed (Printexc.to_string exn)
+    in
+    (* Ghost: keep the lockstep alive (and this party's rings drained)
+       until everyone finished or the round cap stops the world. *)
+    Atomic.incr finished;
+    let live = ref (!round < max_rounds) in
+    while !live do
+      await b1;
+      if Atomic.get finished = n then live := false
+      else begin
+        for s = 0 to n - 1 do
+          match rings.(s).(i) with
+          | None -> ()
+          | Some ring ->
+            while Ring.try_pop ring <> None do
+              ()
+            done
+        done;
+        await b2;
+        incr round;
+        if !round >= max_rounds then live := false
+      end
+    done;
+    { Engine.id = self; status; out = !out }
+  in
+  let domains = Array.init n (fun i -> Domain.spawn (fun () -> worker i)) in
+  Array.to_list (Array.map Domain.join domains)

@@ -1,0 +1,134 @@
+(* SPSC ring: the producer owns [tail], the consumer owns [head]; both
+   are monotonic ints (never wrapped — at 10^9 ops/s an OCaml int lasts
+   centuries), masked into the slot array. Publication protocol: write
+   the slot, then release-store the counter; the reader acquire-loads
+   the counter before touching the slot, so the plain array accesses are
+   ordered by the OCaml memory model's atomics guarantees.
+
+   Blocking is strictly a slow path. Sleepers announce themselves in
+   [waiters] (atomic) before re-checking the ring, and the opposite side
+   only touches the mutex when it observes [waiters > 0] after its
+   counter store — either order of the race leaves the sleeper seeing
+   the new element/slot on its re-check under the mutex, or the waker
+   seeing the sleeper and signalling. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next index to pop; consumer-owned *)
+  tail : int Atomic.t; (* next index to push; producer-owned *)
+  closed : bool Atomic.t;
+  waiters : int Atomic.t; (* sleepers of either side *)
+  mutex : Mutex.t;
+  wake : Condition.t;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  let cap = ref 2 in
+  while !cap < capacity do cap := !cap * 2 done;
+  {
+    slots = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    closed = Atomic.make false;
+    waiters = Atomic.make 0;
+    mutex = Mutex.create ();
+    wake = Condition.create ();
+  }
+
+let capacity t = Array.length t.slots
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let closed t = Atomic.get t.closed
+
+let signal t =
+  if Atomic.get t.waiters > 0 then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex
+  end
+
+(* Raw slot moves, no wake-up: what [await]'s predicates use (they run
+   with [t.mutex] already held, so they must not re-enter [signal]). *)
+let push_slot t x =
+  if Atomic.get t.closed then false
+  else begin
+    let tail = Atomic.get t.tail in
+    if tail - Atomic.get t.head >= Array.length t.slots then false
+    else begin
+      t.slots.(tail land t.mask) <- Some x;
+      Atomic.set t.tail (tail + 1);
+      true
+    end
+  end
+
+let pop_slot t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail - head <= 0 then None
+  else begin
+    let slot = head land t.mask in
+    let v = t.slots.(slot) in
+    t.slots.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let try_push t x =
+  if push_slot t x then begin
+    signal t;
+    true
+  end
+  else false
+
+let try_pop t =
+  match pop_slot t with
+  | Some _ as v ->
+    signal t;
+    v
+  | None -> None
+
+(* Park until [ready ()]; returns its last value. The atomic
+   increment of [waiters] happens before the re-check, so a concurrent
+   [signal] either sees us (and will take the mutex we sleep under) or
+   happened before our re-check (which then succeeds). On exit we
+   broadcast under the still-held mutex: a successful predicate moved a
+   slot, which may be exactly what the opposite side is sleeping on. *)
+let await t ready =
+  Mutex.lock t.mutex;
+  Atomic.incr t.waiters;
+  let rec go () =
+    match ready () with
+    | Some v ->
+      Atomic.decr t.waiters;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex;
+      v
+    | None ->
+      Condition.wait t.wake t.mutex;
+      go ()
+  in
+  go ()
+
+let push t x =
+  if try_push t x then true
+  else
+    await t (fun () ->
+        if Atomic.get t.closed then Some false
+        else if push_slot t x then Some true
+        else None)
+
+let pop t =
+  match try_pop t with
+  | Some _ as v -> v
+  | None ->
+    await t (fun () ->
+        match pop_slot t with
+        | Some _ as v -> Some v
+        | None -> if Atomic.get t.closed then Some None else None)
+
+let close t =
+  Atomic.set t.closed true;
+  Mutex.lock t.mutex;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex

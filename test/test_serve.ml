@@ -1,0 +1,453 @@
+(* Tests for the serve layer: SPSC ring ordering under real concurrency,
+   admission/backpressure, instance-table lifecycle, seq==par (and
+   run-to-run) determinism of the open-loop load bench, live-transport
+   bit-identity against the engine (faults included), the socket
+   transport end to end, and the Pool.shutdown regression for
+   long-running serve loops. *)
+
+open Bsm_prelude
+module Serve = Bsm_serve
+module Ring = Serve.Ring
+module Frame = Serve.Frame
+module Instances = Serve.Instances
+module Server = Serve.Server
+module Engine = Bsm_runtime.Engine
+module Pool = Bsm_runtime.Pool
+module Topology = Bsm_topology.Topology
+module Wire = Bsm_wire.Wire
+module SM = Bsm_stable_matching
+module Core = Bsm_core
+module Schedule = Bsm_chaos.Schedule
+
+(* --- ring ---------------------------------------------------------------- *)
+
+let test_ring_spsc_ordering () =
+  (* A real producer/consumer pair across domains, with a ring small
+     enough to wrap many times and block both sides. *)
+  let n = 10_000 in
+  let ring = Ring.create ~capacity:8 () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          if not (Ring.push ring i) then failwith "push on open ring failed"
+        done;
+        Ring.close ring)
+  in
+  let received = ref [] in
+  let rec consume () =
+    match Ring.pop ring with
+    | Some v ->
+      received := v :: !received;
+      consume ()
+    | None -> ()
+  in
+  consume ();
+  Domain.join producer;
+  Alcotest.(check int) "all received" n (List.length !received);
+  Alcotest.(check (list int)) "FIFO order" (List.init n Fun.id) (List.rev !received)
+
+let test_ring_try_ops_and_close () =
+  let ring = Ring.create ~capacity:3 () in
+  Alcotest.(check int) "capacity rounds up" 4 (Ring.capacity ring);
+  for i = 0 to 3 do
+    Alcotest.(check bool) "push fits" true (Ring.try_push ring i)
+  done;
+  Alcotest.(check bool) "full" false (Ring.try_push ring 99);
+  Alcotest.(check int) "length" 4 (Ring.length ring);
+  Alcotest.(check (option int)) "pop" (Some 0) (Ring.try_pop ring);
+  Alcotest.(check bool) "space again" true (Ring.try_push ring 4);
+  Ring.close ring;
+  Alcotest.(check bool) "push after close" false (Ring.try_push ring 5);
+  Alcotest.(check (option int)) "drains after close" (Some 1) (Ring.try_pop ring);
+  Alcotest.(check (option int)) "blocking pop drains" (Some 2) (Ring.pop ring);
+  ignore (Ring.pop ring);
+  ignore (Ring.pop ring);
+  Alcotest.(check (option int)) "end of stream" None (Ring.pop ring)
+
+(* --- admission / backpressure -------------------------------------------- *)
+
+let gs_spec ?(k = 4) req_id =
+  { Frame.req_id; workload = Frame.Gs { k; seed = req_id; family = SM.Flat.Uniform } }
+
+let server ?(queue_capacity = 4) ?(batch = 64) ?(chaos = false) () =
+  Server.create
+    ~pool:(Pool.create ~jobs:1 ())
+    ~config:
+      { Server.default_config with queue_capacity; batch; max_k = 64; chaos }
+    ()
+
+let test_backpressure_reject () =
+  let s = server ~queue_capacity:4 () in
+  let answers = List.init 6 (fun i -> Server.submit s ~tick:0 (gs_spec i)) in
+  let accepted =
+    List.filter (function Frame.Accepted _ -> true | _ -> false) answers
+  in
+  let full =
+    List.filter
+      (function Frame.Rejected { reason = Frame.Queue_full; _ } -> true | _ -> false)
+      answers
+  in
+  Alcotest.(check int) "queue capacity admitted" 4 (List.length accepted);
+  Alcotest.(check int) "overflow shed with Queue_full" 2 (List.length full);
+  (* Retiring the queue reopens admission. *)
+  let dones = Server.tick s ~tick:1 in
+  Alcotest.(check int) "batch retired" 4 (List.length dones);
+  (match Server.submit s ~tick:2 (gs_spec 10) with
+  | Frame.Accepted _ -> ()
+  | r -> Alcotest.failf "expected acceptance, got %a" Frame.pp_response r);
+  (* Typed rejects for the other admission failures. *)
+  (match Server.submit s ~tick:2 (gs_spec ~k:1000 11) with
+  | Frame.Rejected { reason = Frame.Too_large; _ } -> ()
+  | r -> Alcotest.failf "expected Too_large, got %a" Frame.pp_response r);
+  (match Server.submit s ~tick:2 (gs_spec 10) with
+  | Frame.Rejected { reason = Frame.Unsolvable; _ } -> ()
+  | r -> Alcotest.failf "expected duplicate reject, got %a" Frame.pp_response r);
+  Server.close s;
+  match Server.submit s ~tick:3 (gs_spec 12) with
+  | Frame.Rejected { reason = Frame.Shutting_down; _ } -> ()
+  | r -> Alcotest.failf "expected Shutting_down, got %a" Frame.pp_response r
+
+let test_lifecycle_transitions () =
+  let t = Instances.create ~shards:2 () in
+  let r = Instances.add t ~tick:0 (gs_spec 1) in
+  Alcotest.(check int) "submitted" 1 (Instances.count t Instances.Submitted);
+  Instances.transition t r Instances.Running;
+  Alcotest.(check int) "running" 1 (Instances.count t Instances.Running);
+  Instances.finish t r ~tick:3 (Frame.Matched { fingerprint = 7L; rounds = 2 });
+  Alcotest.(check int) "matched" 1 (Instances.count t Instances.Matched);
+  Alcotest.(check int) "nothing pending" 0 (Instances.pending t);
+  (* Illegal moves raise: finality is absorbing, Submitted can't skip
+     Running, duplicates are refused. *)
+  Alcotest.check_raises "finished records are frozen"
+    (Invalid_argument "Instances.transition: matched -> running (req #1)")
+    (fun () -> Instances.transition t r Instances.Running);
+  let r2 = Instances.add t ~tick:4 (gs_spec 2) in
+  Alcotest.check_raises "no skipping Running"
+    (Invalid_argument "Instances.transition: submitted -> matched (req #2)")
+    (fun () -> Instances.transition t r2 Instances.Matched);
+  Alcotest.check_raises "duplicate live req_id"
+    (Invalid_argument "Instances.add: duplicate req_id 2") (fun () ->
+      ignore (Instances.add t ~tick:5 (gs_spec 2)));
+  (* The Timed_out leg. *)
+  Instances.transition t r2 Instances.Running;
+  Instances.finish t r2 ~tick:9 Frame.Timed_out;
+  Alcotest.(check int) "timed out" 1 (Instances.count t Instances.Timed_out);
+  Alcotest.(check int) "total admitted" 2 (Instances.total t)
+
+(* --- determinism --------------------------------------------------------- *)
+
+let bench_params ~jobs ~chaos =
+  {
+    Serve.Serve_bench.default_params with
+    instances = 120;
+    seed = 5;
+    jobs;
+    queue_capacity = 16;
+    batch = 8;
+    k_min = 4;
+    k_max = 12;
+    mean_gap = 0;
+    chaos;
+  }
+
+let check_same_results (a : Serve.Serve_bench.results) (b : Serve.Serve_bench.results)
+    =
+  Alcotest.(check int) "ticks" a.ticks b.ticks;
+  Alcotest.(check int) "matched" a.matched b.matched;
+  Alcotest.(check int) "failed" a.failed b.failed;
+  Alcotest.(check int) "queue rejects" a.queue_rejects b.queue_rejects;
+  Alcotest.(check int) "p50" a.p50_ticks b.p50_ticks;
+  Alcotest.(check int) "p99" a.p99_ticks b.p99_ticks;
+  Alcotest.(check string) "fingerprint" (Int64.to_string a.fingerprint)
+    (Int64.to_string b.fingerprint);
+  Alcotest.(check int) "request bytes" a.request_bytes b.request_bytes;
+  Alcotest.(check int) "response bytes" a.response_bytes b.response_bytes
+
+let test_load_seq_equals_par () =
+  let seq = Serve.Serve_bench.run (bench_params ~jobs:1 ~chaos:false) in
+  let par = Serve.Serve_bench.run (bench_params ~jobs:3 ~chaos:false) in
+  Alcotest.(check int) "all matched" 120 seq.matched;
+  check_same_results seq par;
+  (* And bit-identical JSON across two runs at the same jobs. *)
+  let again = Serve.Serve_bench.run (bench_params ~jobs:1 ~chaos:false) in
+  Alcotest.(check string) "replayable JSON"
+    (Serve.Serve_bench.to_json seq)
+    (Serve.Serve_bench.to_json again)
+
+let test_chaos_on_live_within_budget () =
+  let r = Serve.Serve_bench.run { (bench_params ~jobs:2 ~chaos:true) with instances = 40 } in
+  Alcotest.(check int) "no oracle violations" 0 r.violations;
+  Alcotest.(check int) "all matched under within-budget chaos" 40 r.matched
+
+(* --- live transport vs engine -------------------------------------------- *)
+
+let test_live_equals_engine () =
+  match Serve.Serve_bench.live_check ~k:3 ~seed:11 with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "live diverged from engine: %s" msg
+
+let test_live_equals_engine_under_faults () =
+  (* Same programs, same compiled fault schedule — omissions and
+     in-flight corruption — through both executors; statuses and
+     outputs must agree bit-for-bit. *)
+  let k = 2 in
+  let profile = SM.Profile.random (Rng.make 3) k in
+  let programs p =
+    Core.Distributed_gs.program ~input:(SM.Profile.prefs profile p) ~self:p
+  in
+  let schedule =
+    Schedule.all
+      [
+        Schedule.send_omission ~rate:0.3 (Party_id.right 0);
+        Schedule.during ~from_round:1 ~until_round:3
+          (Schedule.corrupt ~rate:0.5 ~kind:Bsm_chaos.Mutation.Bit_flip
+             (Party_id.left 1));
+      ]
+  in
+  let faults = Schedule.compile ~seed:9 schedule in
+  let max_rounds = 40 in
+  let link = Engine.Of_topology Topology.Bipartite in
+  let engine =
+    (Engine.run (Engine.config ~k ~max_rounds ~faults ~link ()) ~programs)
+      .Engine.parties
+  in
+  let live = Serve.Live.run ~max_rounds ~faults ~k ~link ~programs () in
+  List.iter2
+    (fun (e : Engine.party_result) (l : Engine.party_result) ->
+      Alcotest.(check bool)
+        (Format.asprintf "id %a" Party_id.pp e.Engine.id)
+        true
+        (Party_id.equal e.Engine.id l.Engine.id);
+      Alcotest.(check bool)
+        (Format.asprintf "status %a" Party_id.pp e.Engine.id)
+        true (e.Engine.status = l.Engine.status);
+      Alcotest.(check (option string))
+        (Format.asprintf "output %a" Party_id.pp e.Engine.id)
+        e.Engine.out l.Engine.out)
+    engine live
+
+(* --- socket transport ---------------------------------------------------- *)
+
+let test_uds_end_to_end () =
+  let path = Filename.temp_file "bsm-serve" ".sock" in
+  Sys.remove path;
+  let listener = Serve.Uds.listen ~path in
+  let n = 5 in
+  let client =
+    Domain.spawn (fun () ->
+        let c = Serve.Uds.connect ~path in
+        for i = 0 to n - 1 do
+          Serve.Uds.send c (Frame.Submit (gs_spec i))
+        done;
+        let dones = ref 0 and matched = ref 0 in
+        while !dones < n do
+          match Serve.Uds.recv c with
+          | Some (Frame.Done { outcome = Frame.Matched _; _ }) ->
+            incr dones;
+            incr matched
+          | Some (Frame.Done _) -> incr dones
+          | Some (Frame.Accepted _) -> ()
+          | Some (Frame.Rejected _) -> incr dones
+          | None -> failwith "server closed early"
+        done;
+        Serve.Uds.send c Frame.Bye;
+        Serve.Uds.close c;
+        !matched)
+  in
+  let s = server ~queue_capacity:16 () in
+  let routes = Hashtbl.create 8 in
+  let served = ref 0 in
+  let tick = ref 0 in
+  while !served < n do
+    incr tick;
+    if !tick > 10_000 then failwith "uds test: no progress";
+    List.iter
+      (fun event ->
+        match event with
+        | Serve.Uds.Request (conn, Frame.Submit spec) ->
+          let resp = Server.submit s ~tick:!tick spec in
+          (match resp with
+          | Frame.Accepted _ -> Hashtbl.replace routes spec.Frame.req_id conn
+          | _ -> ());
+          Serve.Uds.respond listener conn resp
+        | Serve.Uds.Request (conn, Frame.Bye) -> Serve.Uds.drop listener conn
+        | Serve.Uds.Bad_frame (_, reason) -> Alcotest.failf "bad frame: %s" reason
+        | Serve.Uds.Connect _ | Serve.Uds.Disconnect _ -> ())
+      (Serve.Uds.poll listener ~timeout_s:0.01);
+    List.iter
+      (fun resp ->
+        match resp with
+        | Frame.Done { req_id; _ } ->
+          incr served;
+          (match Hashtbl.find_opt routes req_id with
+          | Some conn -> Serve.Uds.respond listener conn resp
+          | None -> ())
+        | _ -> ())
+      (Server.tick s ~tick:!tick)
+  done;
+  let matched = Domain.join client in
+  Serve.Uds.shutdown listener;
+  Alcotest.(check int) "all matched over the socket" n matched
+
+let test_uds_rejects_bad_frames () =
+  (* A byzantine client: a giant length prefix must be a Bad_frame
+     event, not an allocation or a crash. *)
+  let path = Filename.temp_file "bsm-serve" ".sock" in
+  Sys.remove path;
+  let listener = Serve.Uds.listen ~path in
+  let writer =
+    Domain.spawn (fun () ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        let junk = Bytes.of_string "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f" in
+        ignore (Unix.write fd junk 0 (Bytes.length junk));
+        fd)
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec wait_bad () =
+    if Unix.gettimeofday () > deadline then Alcotest.fail "no Bad_frame event"
+    else
+      match
+        List.find_opt
+          (function Serve.Uds.Bad_frame _ -> true | _ -> false)
+          (Serve.Uds.poll listener ~timeout_s:0.05)
+      with
+      | Some _ -> ()
+      | None -> wait_bad ()
+  in
+  wait_bad ();
+  Unix.close (Domain.join writer);
+  Serve.Uds.shutdown listener
+
+(* --- frame codecs -------------------------------------------------------- *)
+
+let test_frame_codecs_roundtrip () =
+  let rng = Rng.make 21 in
+  for _ = 1 to 200 do
+    let w = Frame.gen_workload rng in
+    Alcotest.(check bool) "workload" true
+      (Wire.decode_exn Frame.workload_codec (Wire.encode Frame.workload_codec w) = w);
+    let q = Frame.gen_request rng in
+    Alcotest.(check bool) "request" true
+      (Wire.decode_exn Frame.request_codec (Wire.encode Frame.request_codec q) = q);
+    let r = Frame.gen_response rng in
+    Alcotest.(check bool) "response" true
+      (Wire.decode_exn Frame.response_codec (Wire.encode Frame.response_codec r) = r)
+  done;
+  (* Hardened decode: truncation and budget violations are Errors. *)
+  let bytes = Wire.encode Frame.workload_codec (gs_spec 0).Frame.workload in
+  Alcotest.(check bool) "truncated rejected" true
+    (Result.is_error
+       (Wire.decode Frame.workload_codec (String.sub bytes 0 (String.length bytes - 1))));
+  let invalid =
+    (* Bsm with t_left > k must not decode. *)
+    let buf = Wire.Enc.create () in
+    Wire.Enc.tag buf 1;
+    Wire.Enc.uint buf 2 (* k *);
+    Wire.Enc.uint buf 0 (* topology *);
+    Wire.Enc.uint buf 1 (* auth *);
+    Wire.Enc.uint buf 3 (* t_left > k *);
+    Wire.Enc.uint buf 0;
+    Wire.Enc.int buf 0;
+    Wire.Enc.int buf 0;
+    Wire.Enc.bool buf false;
+    Wire.Enc.to_string buf
+  in
+  Alcotest.(check bool) "over-budget setting rejected" true
+    (Result.is_error (Wire.decode Frame.workload_codec invalid))
+
+(* --- pool shutdown regression -------------------------------------------- *)
+
+let test_shutdown_waits_for_inflight_map () =
+  (* The serve-loop scenario: one domain is mid-[map] on the pool when
+     another calls [shutdown]. Shutdown must wait for the batch (the
+     map completes, results intact), stay idempotent, and leave later
+     maps rejected. *)
+  let pool = Pool.create ~jobs:2 () in
+  let started = Atomic.make false in
+  let mapper =
+    Domain.spawn (fun () ->
+        Pool.map pool
+          (fun i ->
+            Atomic.set started true;
+            Unix.sleepf 0.002;
+            i * i)
+          (List.init 200 Fun.id))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  let results = Domain.join mapper in
+  Alcotest.(check (list int))
+    "in-flight map completed under shutdown"
+    (List.init 200 (fun i -> i * i))
+    results;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [ 1 ]))
+
+let test_shutdown_global_while_serving () =
+  (* A server holding the global pool: shutdown_global mid-traffic must
+     not strand or crash it, and the next global () self-heals. *)
+  let s = Server.create () (* global pool *) in
+  for i = 0 to 7 do
+    ignore (Server.submit s ~tick:0 (gs_spec i))
+  done;
+  ignore (Server.tick s ~tick:1);
+  Pool.shutdown_global ();
+  Pool.shutdown_global () (* idempotent *);
+  (* The global pool self-heals for the next server. *)
+  let s2 = Server.create () in
+  ignore (Server.submit s2 ~tick:0 (gs_spec 0));
+  let dones = Server.tick s2 ~tick:1 in
+  Alcotest.(check int) "served after global shutdown" 1 (List.length dones)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "spsc ordering across domains" `Quick
+            test_ring_spsc_ordering;
+          Alcotest.test_case "try ops and close" `Quick test_ring_try_ops_and_close;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "backpressure and typed rejects" `Quick
+            test_backpressure_reject;
+          Alcotest.test_case "instance lifecycle" `Quick test_lifecycle_transitions;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "load bench seq == par" `Quick test_load_seq_equals_par;
+          Alcotest.test_case "chaos-on-live within budget" `Quick
+            test_chaos_on_live_within_budget;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "live == engine (fault-free)" `Quick
+            test_live_equals_engine;
+          Alcotest.test_case "live == engine (faults + corruption)" `Quick
+            test_live_equals_engine_under_faults;
+        ] );
+      ( "uds",
+        [
+          Alcotest.test_case "end to end over a socket" `Quick test_uds_end_to_end;
+          Alcotest.test_case "bad frames drop the connection" `Quick
+            test_uds_rejects_bad_frames;
+        ] );
+      ( "frames",
+        [
+          Alcotest.test_case "codec roundtrips and hardening" `Quick
+            test_frame_codecs_roundtrip;
+        ] );
+      ( "pool-shutdown",
+        [
+          Alcotest.test_case "waits for in-flight map" `Quick
+            test_shutdown_waits_for_inflight_map;
+          Alcotest.test_case "global shutdown while serving" `Quick
+            test_shutdown_global_while_serving;
+        ] );
+    ]

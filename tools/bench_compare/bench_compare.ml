@@ -9,11 +9,14 @@
    whole-run parallel wall. T-scale files carry one record per
    "{\"row\": ..." marker instead; for those the Gale-Shapley wall
    (gs_ms) and the sequential verification wall (verify_sequential_ms)
-   are compared per row. Exits 1 if any compared number regresses by
-   more than the threshold (default 20%) AND by more than 1 ms (quick
-   runs have millisecond-scale walls where percentages alone are
-   noise). Tables/rows present on only one side are reported but don't
-   fail the diff: the bench grows across PRs.
+   are compared per row. BENCH_serve.json carries one record per
+   "{\"workload\": ..." marker; for those the drain time (ticks) and
+   latency quantiles (p50_ticks, p99_ticks) are compared — virtual
+   scheduler ticks, but the same gate applies. Exits 1 if any compared
+   number regresses by more than the threshold (default 20%) AND by
+   more than 1 unit (quick runs have millisecond-scale walls where
+   percentages alone are noise). Tables/rows present on only one side
+   are reported but don't fail the diff: the bench grows across PRs.
 
    The container has no JSON library, so this is a minimal scanner over
    the bench writers' known layouts ("key": number pairs inside each
@@ -111,6 +114,11 @@ let records s =
 let scale_rows s =
   scan s ~marker:"{\"row\": \"" ~keys:[ "gs_ms"; "verify_sequential_ms" ]
 
+(* BENCH_serve.json workloads: drain time and latency quantiles, all in
+   virtual scheduler ticks (deterministic across runs and job counts). *)
+let serve_rows s =
+  scan s ~marker:"{\"workload\": \"" ~keys:[ "ticks"; "p50_ticks"; "p99_ticks" ]
+
 (* The whole_run block's parallel wall, if the file has one. *)
 let whole_run_parallel_ms s =
   match find s 0 "\"whole_run\":" with
@@ -150,22 +158,27 @@ let () =
   let old_s = read_file old_path and new_s = read_file new_path in
   let olds = records old_s and news = records new_s in
   let regressions = ref 0 in
-  let compare_ms label old_ms new_ms =
-    let pct = (new_ms -. old_ms) /. old_ms *. 100. in
+  let compare_value ?(unit = "ms") label old_v new_v =
+    let pct = (new_v -. old_v) /. old_v *. 100. in
     let regressed =
-      old_ms > 0.
-      && new_ms > old_ms *. (1. +. (!threshold /. 100.))
-      && new_ms -. old_ms > 1.0
+      old_v > 0.
+      && new_v > old_v *. (1. +. (!threshold /. 100.))
+      && new_v -. old_v > 1.0
     in
-    Printf.printf "  %-40s %10.3f -> %10.3f ms  (%+.1f%%)%s\n" label old_ms
-      new_ms pct
+    Printf.printf "  %-40s %10.3f -> %10.3f %s  (%+.1f%%)%s\n" label old_v
+      new_v unit pct
       (if regressed then "  REGRESSION" else "");
     if regressed then incr regressions
   in
+  let compare_ms = compare_value ~unit:"ms" in
   Printf.printf "bench_compare: %s -> %s (threshold %.0f%%)\n" old_path new_path
     !threshold;
   let old_rows = scale_rows old_s and new_rows = scale_rows new_s in
-  if olds <> [] || news <> [] || (old_rows = [] && new_rows = []) then begin
+  let old_serve = serve_rows old_s and new_serve = serve_rows new_s in
+  if
+    olds <> [] || news <> []
+    || (old_rows = [] && new_rows = [] && old_serve = [] && new_serve = [])
+  then begin
     Printf.printf "sequential wall per table:\n";
     List.iter
       (fun (n : record) ->
@@ -204,12 +217,37 @@ let () =
           Printf.printf "  %-40s (dropped from new run)\n" name)
       old_rows
   end;
+  if old_serve <> [] || new_serve <> [] then begin
+    Printf.printf "ticks + latency quantiles per serve workload:\n";
+    List.iter
+      (fun (name, new_values) ->
+        match List.assoc_opt name old_serve with
+        | None -> Printf.printf "  %-40s (new workload, no baseline)\n" name
+        | Some old_values ->
+          List.iter
+            (fun (key, nv) ->
+              match List.assoc_opt key old_values, nv with
+              | Some (Some ov), Some nv ->
+                compare_value ~unit:"ticks"
+                  (Printf.sprintf "%s %s" name key)
+                  ov nv
+              | _ -> Printf.printf "  %-40s (no %s to compare)\n" name key)
+            new_values)
+      new_serve;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name new_serve) then
+          Printf.printf "  %-40s (dropped from new run)\n" name)
+      old_serve
+  end;
   (match whole_run_parallel_ms old_s, whole_run_parallel_ms new_s with
   | Some om, Some nm ->
     Printf.printf "whole-run parallel wall:\n";
     compare_ms "whole_run" om nm
-  | None, None when old_rows <> [] || new_rows <> [] ->
-    (* Scale files carry no whole_run block; nothing to say. *)
+  | None, None
+    when old_rows <> [] || new_rows <> [] || old_serve <> [] || new_serve <> []
+    ->
+    (* Scale and serve files carry no whole_run block; nothing to say. *)
     ()
   | _ ->
     Printf.printf
