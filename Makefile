@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-compare chaos-quick fuzz-quick scale-quick serve-quick smoke fmt ci clean
+.PHONY: all build test bench bench-quick bench-compare chaos-quick fuzz-quick scale-quick serve-quick plane-quick smoke fmt ci clean
 
 all: build
 
@@ -41,6 +41,14 @@ chaos-quick:
 fuzz-quick:
 	dune exec bin/main.exe -- fuzz --cases 500
 
+# Message-plane micro-bench: the three legs of the batched delivery
+# path (arena encode, engine delivery pass, zero-copy slice decode),
+# timed separately. Writes BENCH_plane.json; every field except the
+# *_ms walls is deterministic, and tools/bench_compare diffs two runs
+# under the usual 20% + 1 ms gate. Finishes in under a second.
+plane-quick:
+	dune exec bench/plane.exe
+
 # T-scale gate: GS + sharded early-exit verification on implicit (Flat)
 # instances at k = 10^3 (both families), seq==par shard identity
 # enforced. Writes BENCH_scale.quick.json; finishes in seconds.
@@ -70,7 +78,7 @@ fmt:
 	  echo "ocamlformat not found; skipping format check"; \
 	fi
 
-ci: build test bench-quick chaos-quick fuzz-quick scale-quick serve-quick fmt
+ci: build test bench-quick chaos-quick fuzz-quick scale-quick serve-quick plane-quick fmt
 
 clean:
 	dune clean

@@ -432,8 +432,8 @@ let table_t3_protocols ~sched () =
           string_of_int k;
           string_of_int m.Engine.messages_sent;
           string_of_int (Core.Complexity.predicted_messages s);
-          string_of_int m.Engine.bytes_sent;
-          string_of_int (m.Engine.bytes_sent / (2 * k));
+          string_of_int m.Engine.bytes_delivered;
+          string_of_int (m.Engine.bytes_delivered / (2 * k));
         ])
       cells
   in
@@ -535,7 +535,7 @@ let table_a1 ~sched () =
             tolerates;
             string_of_int m.Engine.rounds_used;
             string_of_int m.Engine.messages_sent;
-            string_of_int m.Engine.bytes_sent;
+            string_of_int m.Engine.bytes_delivered;
           ]
         in
         [
@@ -587,7 +587,7 @@ let table_a2 ~sched () =
           needs;
           string_of_int m.Engine.rounds_used;
           string_of_int m.Engine.messages_sent;
-          string_of_int m.Engine.bytes_sent;
+          string_of_int m.Engine.bytes_delivered;
         ])
       cells
   in
@@ -683,7 +683,7 @@ let table_a4 ~sched () =
         let m =
           (H.Scenario.run (H.Sweep.scenario_of_case case)).H.Scenario.metrics
         in
-        m.Engine.rounds_used, m.Engine.messages_sent, m.Engine.bytes_sent)
+        m.Engine.rounds_used, m.Engine.messages_sent, m.Engine.bytes_delivered)
       cells
   in
   fun () ->

@@ -215,13 +215,14 @@ let run_cmd =
         report.H.Scenario.outcome.Core.Problem.decisions
     end;
     let m = report.H.Scenario.metrics in
-    Format.printf "cost: %d rounds, %d messages, %d bytes@."
+    Format.printf "cost: %d rounds, %d messages, %d bytes sent@."
       m.Bsm_runtime.Engine.rounds_used m.Bsm_runtime.Engine.messages_sent
       m.Bsm_runtime.Engine.bytes_sent;
     Format.printf
-      "message fates: %d delivered (%d corrupted in flight), %d dropped by \
-       topology, %d dropped by faults@."
+      "message fates: %d delivered (%d bytes, %d corrupted in flight), %d \
+       dropped by topology, %d dropped by faults@."
       m.Bsm_runtime.Engine.messages_delivered
+      m.Bsm_runtime.Engine.bytes_delivered
       m.Bsm_runtime.Engine.messages_corrupted
       m.Bsm_runtime.Engine.messages_dropped_topology
       m.Bsm_runtime.Engine.messages_dropped_fault;
@@ -917,7 +918,7 @@ let complexity_cmd =
                 string_of_int m.Bsm_runtime.Engine.rounds_used;
                 string_of_int m.Bsm_runtime.Engine.messages_sent;
                 string_of_int (Core.Complexity.predicted_messages s);
-                string_of_int m.Bsm_runtime.Engine.bytes_sent;
+                string_of_int m.Bsm_runtime.Engine.bytes_delivered;
               ])
           (settings k))
       (List.filter (fun k -> k >= 2) (Util.range 2 (max_k + 1)));

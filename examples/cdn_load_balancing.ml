@@ -115,4 +115,4 @@ let () =
   Printf.printf "Cost: %d rounds, %d messages, %d bytes.\n"
     report.H.Scenario.metrics.Bsm_runtime.Engine.rounds_used
     report.H.Scenario.metrics.Bsm_runtime.Engine.messages_sent
-    report.H.Scenario.metrics.Bsm_runtime.Engine.bytes_sent
+    report.H.Scenario.metrics.Bsm_runtime.Engine.bytes_delivered

@@ -43,7 +43,7 @@ let () =
   Printf.printf "Rounds:   %d\n" report.H.Scenario.metrics.Bsm_runtime.Engine.rounds_used;
   Printf.printf "Messages: %d (%d bytes)\n\n"
     report.H.Scenario.metrics.Bsm_runtime.Engine.messages_sent
-    report.H.Scenario.metrics.Bsm_runtime.Engine.bytes_sent;
+    report.H.Scenario.metrics.Bsm_runtime.Engine.bytes_delivered;
 
   print_endline "Honest decisions:";
   List.iter

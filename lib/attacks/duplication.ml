@@ -80,7 +80,7 @@ let run (protocol : Protocol_under_test.t) =
             o.Simulate.out_body ))
       ~route_in:(fun e ->
         let src_label, _ = label_of e.Engine.src in
-        Some { Simulate.in_tag = "node"; in_src = src_label; in_body = e.Engine.data })
+        Some { Simulate.in_tag = "node"; in_src = src_label; in_body = Bsm_wire.Wire.Slice.to_string e.Engine.data })
       ~on_output:(fun _ payload ->
         Hashtbl.replace outputs (Party_id.to_string big)
           (Protocol_under_test.decode_decision payload))

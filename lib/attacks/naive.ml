@@ -65,7 +65,7 @@ let program ~topology ~k ~favorite ~self (env : Engine.env) =
   let direct =
     List.filter_map
       (fun (e : Engine.envelope) ->
-        match Wire.decode codec e.data with
+        match Wire.decode_slice codec e.data with
         | Ok (Announce f) -> Some (e.src, f)
         | Ok (Gossip _) | Error _ -> None)
       inbox1
@@ -75,7 +75,7 @@ let program ~topology ~k ~favorite ~self (env : Engine.env) =
   let gossip =
     List.filter_map
       (fun (e : Engine.envelope) ->
-        match Wire.decode codec e.data with
+        match Wire.decode_slice codec e.data with
         | Ok (Gossip (owner, f)) -> Some (owner, f)
         | Ok (Announce _) | Error _ -> None)
       inbox2

@@ -66,7 +66,7 @@ let shrink ~big_k ~small_k (protocol : Protocol_under_test.t) =
               }
         else Simulate.Physical (host, Wire.encode wrapped (src, dst, o.Simulate.out_body)))
       ~route_in:(fun e ->
-        match Wire.decode wrapped e.Engine.data with
+        match Wire.decode_slice wrapped e.Engine.data with
         | Ok (src, dst, body) ->
           (* Anti-spoofing: the physical sender must host [src], and [dst]
              must be ours — otherwise this is byzantine noise. *)

@@ -1,5 +1,6 @@
 open Bsm_prelude
 module Engine = Bsm_runtime.Engine
+module Wire = Bsm_wire.Wire
 
 type instance = {
   tag : string;
@@ -48,6 +49,19 @@ let run env ~instances ~rounds ~route_out ~route_in ~on_output =
       k = inst.simulated_k;
       round = (fun () -> !physical_round);
       send = (fun dst body -> Effect.perform (Sim_send (inst.tag, dst, body)));
+      send_w =
+        (fun c dst v -> Effect.perform (Sim_send (inst.tag, dst, Wire.encode c v)));
+      send_slice =
+        (fun dst s ->
+          Effect.perform (Sim_send (inst.tag, dst, Wire.Slice.to_string s)));
+      send_multi_w =
+        (fun c dsts v ->
+          (* Simulated channels are string-queued: encode once, enqueue
+             the shared string per destination. *)
+          let body = Wire.encode c v in
+          List.iter
+            (fun dst -> Effect.perform (Sim_send (inst.tag, dst, body)))
+            dsts);
       next_round = (fun () -> Effect.perform (Sim_next inst.tag));
       output = (fun payload -> Effect.perform (Sim_output (inst.tag, payload)));
       log = (fun _ -> ());
@@ -101,7 +115,7 @@ let run env ~instances ~rounds ~route_out ~route_in ~on_output =
     let stash { in_tag; in_src; in_body } =
       let existing = try Hashtbl.find routed in_tag with Not_found -> [] in
       Hashtbl.replace routed in_tag
-        ({ Engine.src = in_src; data = in_body } :: existing)
+        ({ Engine.src = in_src; data = Wire.Slice.of_string in_body } :: existing)
     in
     (* Local messages first so per-sender order within a round is
        deterministic; the per-instance inbox is re-sorted below anyway. *)

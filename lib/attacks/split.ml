@@ -49,11 +49,11 @@ let byz_program (protocol : Protocol_under_test.t) self (env : Engine.env) =
       else Simulate.Drop)
     ~route_in:(fun e ->
       if Party_id.equal e.Engine.src a then
-        Some { Simulate.in_tag = "1"; in_src = a; in_body = e.Engine.data }
+        Some { Simulate.in_tag = "1"; in_src = a; in_body = Wire.Slice.to_string e.Engine.data }
       else if Party_id.equal e.Engine.src c then
-        Some { Simulate.in_tag = "2"; in_src = c; in_body = e.Engine.data }
+        Some { Simulate.in_tag = "2"; in_src = c; in_body = Wire.Slice.to_string e.Engine.data }
       else
-        match Wire.decode wrapped e.Engine.data with
+        match Wire.decode_slice wrapped e.Engine.data with
         | Ok (group, body) when group = 1 || group = 2 ->
           Some
             { Simulate.in_tag = string_of_int group; in_src = e.Engine.src; in_body = body }

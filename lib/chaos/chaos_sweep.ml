@@ -112,7 +112,8 @@ let to_json ~jobs outcomes =
             \"%s\", \"corrupted\": \"%s\", \"violations\": %d,\n\
            \     \"rounds\": %d, \"sent\": %d, \"delivered\": %d, \
             \"dropped_topology\": %d, \"dropped_fault\": %d, \"corrupted_frames\": \
-            %d, \"dropped_by_label\": {%s}}%s\n"
+            %d, \"bytes_sent\": %d, \"bytes_delivered\": %d, \
+            \"dropped_by_label\": {%s}}%s\n"
            (json_escape o.cell.case.Sweep.label)
            (json_escape (Schedule.describe o.cell.schedule))
            o.cell.chaos_seed
@@ -123,7 +124,8 @@ let to_json ~jobs outcomes =
            (List.length r.Oracle.violations)
            m.Engine.rounds_used m.Engine.messages_sent m.Engine.messages_delivered
            m.Engine.messages_dropped_topology m.Engine.messages_dropped_fault
-           m.Engine.messages_corrupted by_label
+           m.Engine.messages_corrupted m.Engine.bytes_sent
+           m.Engine.bytes_delivered by_label
            (if i = n - 1 then "" else ",")))
     outcomes;
   Buffer.add_string buf "  ]\n}\n";

@@ -101,6 +101,29 @@ let gen_repro rng =
 
 let e = Fuzz.entry
 
+(* Re-route a codec's decode path through an arena-slice view. The value
+   is encoded as a length-prefixed body; decoding reads the body, embeds
+   it mid-base between continuation-heavy sentinel bytes (standing in for
+   the neighbouring frames of a shared arena), and decodes the span with
+   [decode_slice_exn]. Fuzz mutations on the outer bytes then probe the
+   slice machinery directly: a flipped length prefix moves the span
+   boundary, and a decoder that walked past the pinned limit would read
+   the sentinels instead of raising [Wire.Malformed]. *)
+let via_slice (codec : 'a Wire.t) : 'a Wire.t =
+  let sentinel = String.make 9 '\xff' in
+  {
+    Wire.write = (fun enc v -> Wire.Enc.string enc (Wire.encode codec v));
+    read =
+      (fun dec ->
+        let body = Wire.Dec.string dec in
+        let base = sentinel ^ body ^ sentinel in
+        let span =
+          Wire.Slice.make base ~off:(String.length sentinel)
+            ~len:(String.length body)
+        in
+        Wire.decode_slice_exn codec span);
+  }
+
 (* Extension point for layers above chaos: registered thunks run on
    every [entries] call, after the built-in corpus, in registration
    order. *)
@@ -198,6 +221,41 @@ let entries () =
       ~gen:(fun rng ->
         SM.Matching.of_l2r_exn (Array.of_list (Rng.permutation rng (1 + Rng.int rng 6))))
       ~equal:SM.Matching.equal SM.Matching.codec;
+    (* Arena-slice views: the same decoders the engine's message plane
+       runs zero-copy out of the per-round frame arena, with mutations
+       landing on the span boundaries. *)
+    e ~name:"slice.uint" ~gen:(fun rng -> Rng.int rng 0x3FFFFFFF) ~equal:Int.equal
+      (via_slice Wire.uint);
+    e ~name:"slice.string" ~gen:(gen_bytes ~max_len:24) ~equal:String.equal
+      (via_slice Wire.string);
+    e ~name:"slice.list-int"
+      ~gen:(fun rng -> List.init (Rng.int rng 8) (fun _ -> Rng.int rng 1000 - 500))
+      ~equal:(List.equal Int.equal)
+      (via_slice (Wire.list Wire.int));
+    e ~name:"slice.channels.relay"
+      ~gen:(fun rng ->
+        match Rng.int rng 3 with
+        | 0 -> Core.Channels.Direct (gen_bytes rng)
+        | _ ->
+          Core.Channels.Request
+            {
+              Core.Channels.src = gen_party rng;
+              dst = gen_party rng;
+              vround = Rng.int rng 64;
+              id = Rng.int rng 64;
+              body = gen_bytes rng;
+              signature = (if Rng.bool rng then Some (gen_signature rng) else None);
+            })
+      ~equal:( = )
+      (via_slice Core.Channels.relay_codec);
+    e ~name:"slice.pi-bsm.msg"
+      ~gen:(fun rng ->
+        if Rng.bool rng then Core.Pi_bsm.Msg.Prefs (gen_bytes rng)
+        else
+          Core.Pi_bsm.Msg.Suggest
+            (if Rng.bool rng then Some (gen_party rng) else None))
+      ~equal:( = )
+      (via_slice Core.Pi_bsm.Msg.codec);
     (* The chaos subsystem's own serialized forms. *)
     e ~name:"chaos.mutation-kind"
       ~gen:(fun rng -> Rng.choose rng Mutation.all_kinds)

@@ -31,7 +31,7 @@ let fingerprint_of_report (r : Oracle.report) =
        (List.map
           (fun (l, n) -> Printf.sprintf "%s=%d" l n)
           m.Engine.messages_dropped_by_label))
-    m.Engine.bytes_sent m.Engine.rounds_used
+    m.Engine.bytes_delivered m.Engine.rounds_used
 
 let make ?max_rounds ~case ~schedule ~seed report =
   match case.Sweep.adversary with

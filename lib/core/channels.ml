@@ -72,31 +72,62 @@ let signing_bytes p = Wire.encode payload_codec { p with signature = None }
 (* --- forwarding duty ---------------------------------------------------- *)
 
 let request_tag = '\001'
+let forward_tag = '\002'
+
+(* [src], [dst], [vround] and [id] sit at a fixed position right after
+   the variant tag, so relays and receivers can read them without paying
+   for the body (the expensive field: a preference list, a broadcast
+   round's worth of votes). [None] on anything that doesn't parse that
+   far — the caller treats it like a malformed frame. *)
+let peek_header (s : Wire.Slice.t) =
+  try
+    let d = Wire.Dec.of_slice s in
+    let _tag = Wire.Dec.tag d in
+    let src = Wire.party_id.Wire.read d in
+    let dst = Wire.party_id.Wire.read d in
+    let hvround = Wire.Dec.uint d in
+    let id = Wire.Dec.uint d in
+    Some (src, dst, hvround, id)
+  with Wire.Malformed _ -> None
 
 (* A [Forward] differs from the [Request] it answers only in the leading
    variant tag, so a forwarder can reuse the received bytes wholesale —
-   flip one byte instead of walking the codec again. The receiver decodes
-   the same payload either way (and the signature check re-encodes
-   canonically), so behavior is unchanged. *)
-let forward_frame data =
-  let b = Bytes.of_string data in
-  Bytes.set b 0 '\002';
-  Bytes.unsafe_to_string b
+   replay the span with one byte rewritten instead of walking the codec
+   again. The write-only codec below streams the received view straight
+   into the sender's round arena (tag byte, then the rest of the span),
+   so forwarding allocates nothing outside the arena. The receiver
+   decodes the same payload either way (and the signature check
+   re-encodes canonically), so behavior is unchanged. *)
+let forward_slice_codec : Wire.Slice.t Wire.t =
+  {
+    Wire.write =
+      (fun e (s : Wire.Slice.t) ->
+        Wire.Enc.append e "\002";
+        Wire.Enc.append_sub e s.Wire.Slice.base ~off:(s.Wire.Slice.off + 1)
+          ~len:(Wire.Slice.length s - 1));
+    read = (fun _ -> raise (Wire.Malformed "forward_slice_codec is write-only"));
+  }
 
-let forward_payload (env : Engine.env) ~topology ~from ~data p =
-  if
-    Party_id.equal from p.src
-    && Topology.connected topology env.self p.dst
-    && not (Party_id.equal p.dst env.self)
-  then env.send p.dst (forward_frame data)
+(* Forwarding needs only the header: a relay replays the claimed-[src]
+   frame towards [dst] verbatim (body and all), and the receiver is the
+   one who judges the payload — signature check or majority vote. A
+   frame whose body is garbage is forwarded like any other and dies at
+   the receiver's decode, exactly as a byzantine relay could arrange
+   anyway. *)
+let forward_payload (env : Engine.env) ~topology ~from ~(data : Wire.Slice.t) =
+  match peek_header data with
+  | Some (src, dst, _, _)
+    when Party_id.equal from src
+         && Topology.connected topology env.self dst
+         && not (Party_id.equal dst env.self) ->
+    env.send_w forward_slice_codec dst data
+  | Some _ | None -> ()
 
 let forward_duty (env : Engine.env) ~topology (e : Engine.envelope) =
   (* Only Request frames matter here, and most traffic is Direct — check
-     the leading tag byte before paying for a full decode. *)
-  if String.length e.data > 0 && e.data.[0] = request_tag then
-    match Wire.decode relay_codec e.data with
-    | Ok (Request p) -> forward_payload env ~topology ~from:e.src ~data:e.data p
-    | Ok (Direct _ | Forward _) | Error _ -> ()
+     the leading tag byte before paying for any parsing. *)
+  if Wire.Slice.length e.data > 0 && Wire.Slice.get e.data 0 = request_tag then
+    forward_payload env ~topology ~from:e.src ~data:e.data
 
 (* --- the virtual net ----------------------------------------------------- *)
 
@@ -114,7 +145,7 @@ let virtual_net (env : Engine.env) ~topology ~auth =
   let send dst body =
     if Party_id.equal dst self then ()
     else if Topology.connected topology self dst then
-      env.send dst (Wire.encode relay_codec (Direct body))
+      env.send_w relay_codec dst (Direct body)
     else begin
       let p =
         { src = self; dst; vround = !vround; id = !next_id; body; signature = None }
@@ -126,22 +157,39 @@ let virtual_net (env : Engine.env) ~topology ~auth =
         | Signed { signer; _ } ->
           { p with signature = Some (Crypto.Signer.sign signer (signing_bytes p)) }
       in
-      let msg = Wire.encode relay_codec (Request p) in
-      List.iter (fun r -> env.send r msg) opposite
+      (* One arena encode (and one signature already paid above) shared
+         by every relay: the request bytes are identical per target. *)
+      env.send_multi_w relay_codec opposite (Request p)
     end
   in
+  let signed = match auth with Signed _ -> true | Majority -> false in
   let sync () =
     let direct = ref [] in
     let forwards = ref [] in
+    (* Signed mode defers Forward decoding: frames are kept as raw spans
+       and only the first fresh copy per (src, id) pays for a body
+       decode below. Majority mode must decode every copy anyway (the
+       vote groups payloads), so it keeps the eager path. *)
+    let fwd_frames = ref [] in
     for _ = 1 to stride do
       let inbox = env.next_round () in
       List.iter
         (fun (e : Engine.envelope) ->
-          match Wire.decode relay_codec e.data with
-          | Ok (Direct body) -> direct := (e.src, body) :: !direct
-          | Ok (Request p) -> forward_payload env ~topology ~from:e.src ~data:e.data p
-          | Ok (Forward p) -> forwards := (e.src, p) :: !forwards
-          | Error _ -> ())
+          let tag =
+            if Wire.Slice.length e.data > 0 then Wire.Slice.get e.data 0
+            else '\255'
+          in
+          if tag = request_tag then
+            (* Relay duty never needs the body — header peek only. *)
+            forward_payload env ~topology ~from:e.src ~data:e.data
+          else if signed && tag = forward_tag then
+            fwd_frames := e.data :: !fwd_frames
+          else
+            match Wire.decode_slice relay_codec e.data with
+            | Ok (Direct body) -> direct := (e.src, body) :: !direct
+            | Ok (Request _) -> ()
+            | Ok (Forward p) -> forwards := (e.src, p) :: !forwards
+            | Error _ -> ())
         inbox
     done;
     let fresh p =
@@ -156,15 +204,21 @@ let virtual_net (env : Engine.env) ~topology ~auth =
       match auth with
       | Signed { verifier; _ } ->
         List.filter_map
-          (fun (_, p) ->
-            match p.signature with
-            | Some signature
-              when fresh p
-                   && Crypto.Verifier.verify verifier ~signer:p.src
-                        ~msg:(signing_bytes p) signature ->
-              Some (deliver p)
+          (fun frame ->
+            match peek_header frame with
+            | Some (src, dst, hvround, id)
+              when Party_id.equal dst self && hvround = !vround
+                   && not (Hashtbl.mem delivered (src, id)) -> begin
+              match Wire.decode_slice relay_codec frame with
+              | Ok (Forward ({ signature = Some signature; _ } as p))
+                when fresh p
+                     && Crypto.Verifier.verify verifier ~signer:p.src
+                          ~msg:(signing_bytes p) signature ->
+                Some (deliver p)
+              | Ok _ | Error _ -> None
+            end
             | Some _ | None -> None)
-          !forwards
+          !fwd_frames
       | Majority ->
         (* Group identical payloads; accept those vouched for by a strict
            majority of distinct forwarders on the opposite side. *)

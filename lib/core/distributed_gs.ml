@@ -40,7 +40,7 @@ let rounds_bound ~k = 2 * ((k * k) + 1)
 let decode_inbox inbox =
   List.filter_map
     (fun (e : Engine.envelope) ->
-      match Wire.decode msg_codec e.data with
+      match Wire.decode_slice msg_codec e.data with
       | Ok m -> Some (e.src, m)
       | Error _ -> None)
     inbox
@@ -58,7 +58,7 @@ let left_program ~input (env : Engine.env) =
       let target = Party_id.right (SM.Prefs.at input !next_rank) in
       incr next_rank;
       incr proposals;
-      env.send target (Wire.encode msg_codec Propose)
+      env.send_w msg_codec target Propose
     end
   in
   propose_if_free ();
@@ -109,14 +109,14 @@ let right_program ~input (env : Engine.env) =
           | Some c -> rank c < rank best
           | None -> false
         in
-        let reject p = env.send p (Wire.encode msg_codec Reject) in
+        let reject p = env.send_w msg_codec p Reject in
         if keep_current then List.iter reject proposers
         else begin
           (match !current with
           | Some c -> reject c (* divorce declaration *)
           | None -> ());
           current := Some best;
-          env.send best (Wire.encode msg_codec Accept);
+          env.send_w msg_codec best Accept;
           List.iter (fun p -> if not (Party_id.equal p best) then reject p) proposers
         end
     end

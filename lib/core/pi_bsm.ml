@@ -73,7 +73,7 @@ let computing_program (setting : Setting.t) ~pki ~computing_side ~input ~self
       (fun (e : Engine.envelope) ->
         if not (Side.equal (Party_id.side e.src) other_side) then None
         else
-          match Wire.decode Msg.codec e.data with
+          match Wire.decode_slice Msg.codec e.data with
           | Ok (Msg.Prefs bytes) -> Some (e.src, bytes)
           | Ok (Msg.Suggest _) | Error _ -> None)
       inbox
@@ -131,7 +131,7 @@ let computing_program (setting : Setting.t) ~pki ~computing_side ~input ~self
     List.iter
       (fun o ->
         let suggestion = Msg.Suggest (Some (SM.Matching.partner matching o)) in
-        env.send o (Wire.encode Msg.codec suggestion))
+        env.send_w Msg.codec o suggestion)
       o_members;
     env.output
       (Wire.encode Problem.decision_codec (Some (SM.Matching.partner matching self)))
@@ -141,8 +141,8 @@ let relay_program (setting : Setting.t) ~computing_side ~input (env : Engine.env
   let k = setting.k in
   let c_members = Party_id.side_members computing_side ~k in
   (* Round 0: disseminate own preference list to the computing side. *)
-  let prefs_msg = Wire.encode Msg.codec (Msg.Prefs (Wire.encode SM.Prefs.codec input)) in
-  List.iter (fun c -> env.send c prefs_msg) c_members;
+  let prefs_msg = Msg.Prefs (Wire.encode SM.Prefs.codec input) in
+  env.send_multi_w Msg.codec c_members prefs_msg;
   (* Forwarding duty until the suggestions arrive. Suggestions are sent by
      C at engine round 1 + 2·V and arrive at 2 + 2·V. *)
   let last_round = engine_rounds setting ~computing_side in
@@ -157,10 +157,10 @@ let relay_program (setting : Setting.t) ~computing_side ~input (env : Engine.env
            decoding. *)
         if
           Side.equal (Party_id.side e.src) computing_side
-          && String.length e.data > 0
-          && e.data.[0] = '\004'
+          && Wire.Slice.length e.data > 0
+          && Wire.Slice.get e.data 0 = '\004'
         then
-          match Wire.decode Msg.codec e.data with
+          match Wire.decode_slice Msg.codec e.data with
           | Ok (Msg.Suggest partner) -> suggestions := (e.src, partner) :: !suggestions
           | Ok (Msg.Prefs _) | Error _ -> ())
       inbox

@@ -1,5 +1,6 @@
 open Bsm_prelude
 module Topology = Bsm_topology.Topology
+module Wire = Bsm_wire.Wire
 
 let src = Logs.Src.create "bsm.engine" ~doc:"synchronous round engine"
 
@@ -9,7 +10,7 @@ type payload = string
 
 type envelope = {
   src : Party_id.t;
-  data : payload;
+  data : Wire.Slice.t;
 }
 
 type env = {
@@ -17,6 +18,9 @@ type env = {
   k : int;
   round : unit -> int;
   send : Party_id.t -> payload -> unit;
+  send_w : 'a. 'a Wire.t -> Party_id.t -> 'a -> unit;
+  send_slice : Party_id.t -> Wire.Slice.t -> unit;
+  send_multi_w : 'a. 'a Wire.t -> Party_id.t list -> 'a -> unit;
   next_round : unit -> envelope list;
   output : payload -> unit;
   log : string -> unit;
@@ -25,6 +29,11 @@ type env = {
 let broadcast env targets msg =
   let send_unless_self p = if not (Party_id.equal p env.self) then env.send p msg in
   List.iter send_unless_self targets
+
+let broadcast_w env c targets v =
+  env.send_multi_w c
+    (List.filter (fun p -> not (Party_id.equal p env.self)) targets)
+    v
 
 type program = env -> unit
 
@@ -107,6 +116,7 @@ type metrics = {
   messages_corrupted : int;
   messages_dropped_by_label : (string * int) list;
   bytes_sent : int;
+  bytes_delivered : int;
 }
 
 type result = {
@@ -115,10 +125,128 @@ type result = {
   trace : event list;
 }
 
+(* --- Binary trace log ------------------------------------------------- *)
+
+(* Traces spill to fixed-width binary records instead of an in-memory
+   event array: one [Bytes.t] grown geometrically (capped at
+   [trace_limit] records) holds the whole log, so tracing costs zero
+   per-event heap allocations. Layout, little-endian:
+
+     round   : 4 bytes (int32)
+     src     : 8 bytes (int64, [index lsl 1 lor side_bit])
+     dst     : 8 bytes (same packing; dst may lie outside the roster)
+     bytes   : 4 bytes (int32)
+     fate    : 1 byte  (0 delivered, 1 no-channel, 2 omitted, 3 corrupted)
+     label   : 2 bytes (intern-table id + 1; 0 = no label)
+
+   Labels are interned once per distinct string (fault schedules use a
+   handful of component names), so the u16 is not a practical limit.
+   The log keeps the {e first} [trace_limit] events — identical
+   truncation semantics to the old flat buffer — and is decoded back to
+   [event list] only once, when the run returns. *)
+
+let trace_rec_size = 27
+
+type trace_log = {
+  t_limit : int;
+  mutable t_buf : Bytes.t;
+  mutable t_count : int;
+  mutable t_labels : (string * int) list; (* label -> id *)
+  mutable t_labels_rev : string list; (* reversed intern order *)
+  mutable t_nlabels : int;
+}
+
+let trace_log limit =
+  {
+    t_limit = max 0 limit;
+    t_buf = Bytes.empty;
+    t_count = 0;
+    t_labels = [];
+    t_labels_rev = [];
+    t_nlabels = 0;
+  }
+
+let trace_intern t l =
+  match List.assoc_opt l t.t_labels with
+  | Some i -> i
+  | None ->
+    let i = t.t_nlabels in
+    t.t_nlabels <- i + 1;
+    t.t_labels <- (l, i) :: t.t_labels;
+    t.t_labels_rev <- l :: t.t_labels_rev;
+    i
+
+let pack_pid p =
+  (Party_id.index p lsl 1)
+  lor (match Party_id.side p with Side.Left -> 0 | Side.Right -> 1)
+
+let unpack_pid v =
+  Party_id.make (if v land 1 = 0 then Side.Left else Side.Right) (v lsr 1)
+
+let fate_code = function
+  | `Delivered -> 0
+  | `No_channel -> 1
+  | `Omitted -> 2
+  | `Corrupted -> 3
+
+let fate_of_code = function
+  | 0 -> `Delivered
+  | 1 -> `No_channel
+  | 2 -> `Omitted
+  | _ -> `Corrupted
+
+let trace_record t ~round ~src ~dst ~bytes ~fate ~label =
+  if t.t_count < t.t_limit then begin
+    let need = (t.t_count + 1) * trace_rec_size in
+    if Bytes.length t.t_buf < need then begin
+      let cap =
+        min (t.t_limit * trace_rec_size)
+          (max (2 * Bytes.length t.t_buf) (64 * trace_rec_size))
+      in
+      let cap = max cap need in
+      let b = Bytes.create cap in
+      Bytes.blit t.t_buf 0 b 0 (t.t_count * trace_rec_size);
+      t.t_buf <- b
+    end;
+    let b = t.t_buf and p = t.t_count * trace_rec_size in
+    Bytes.set_int32_le b p (Int32.of_int round);
+    Bytes.set_int64_le b (p + 4) (Int64.of_int (pack_pid src));
+    Bytes.set_int64_le b (p + 12) (Int64.of_int (pack_pid dst));
+    Bytes.set_int32_le b (p + 20) (Int32.of_int bytes);
+    Bytes.set_uint8 b (p + 24) (fate_code fate);
+    Bytes.set_uint16_le b (p + 25)
+      (match label with None -> 0 | Some l -> trace_intern t l + 1);
+    t.t_count <- t.t_count + 1
+  end
+
+let trace_round_at t i = Int32.to_int (Bytes.get_int32_le t.t_buf (i * trace_rec_size))
+
+let trace_events t =
+  let labels = Array.of_list (List.rev t.t_labels_rev) in
+  let b = t.t_buf in
+  List.init t.t_count (fun i ->
+      let p = i * trace_rec_size in
+      let label =
+        match Bytes.get_uint16_le b (p + 25) with
+        | 0 -> None
+        | li -> Some labels.(li - 1)
+      in
+      {
+        event_round = Int32.to_int (Bytes.get_int32_le b p);
+        event_src = unpack_pid (Int64.to_int (Bytes.get_int64_le b (p + 4)));
+        event_dst = unpack_pid (Int64.to_int (Bytes.get_int64_le b (p + 12)));
+        event_bytes = Int32.to_int (Bytes.get_int32_le b (p + 20));
+        event_fate = fate_of_code (Bytes.get_uint8 b (p + 24));
+        event_label = label;
+      })
+
 (* --- Fiber machinery ------------------------------------------------- *)
 
 type _ Effect.t +=
   | Send : Party_id.t * payload -> unit Effect.t
+  | Send_w : 'a Wire.t * Party_id.t * 'a -> unit Effect.t
+  | Send_slice : Party_id.t * Wire.Slice.t -> unit Effect.t
+  | Send_multi_w : 'a Wire.t * Party_id.t list * 'a -> unit Effect.t
   | Next_round : envelope list Effect.t
   | Get_round : int Effect.t
   | Output : payload -> unit Effect.t
@@ -129,58 +257,91 @@ type fiber_state =
   | Finished
   | Failed of string
 
-(* Growable (destination, payload) vector reused across rounds: sends
-   append, delivery scans [0 .. len-1] in natural send order (no list
-   reversal), then the round resets [len] keeping the capacity. *)
+(* Per-sender frame arena: every send this round appends its bytes into
+   one shared encoder ([send_w] encodes in place — no per-message string
+   exists at all), and frame [i] is the explicit span
+   [out_offs.(i) .. out_offs.(i) + out_lens.(i)). Spans may be shared:
+   a multicast ([send_multi_w]) encodes its value once and records the
+   same span under every target, and [send] of the {e same} string it
+   just appended ([last_data], physical equality — the
+   [Engine.broadcast] pattern) reuses the existing span instead of
+   appending again. Delivery freezes the arena into one immutable base
+   string and hands out [(offset, len)] views of it; the encoder's
+   storage is then reset and reused next round. *)
 type outbox = {
+  arena : Wire.Enc.t;
   mutable out_dsts : Party_id.t array;
-  mutable out_data : payload array;
+  mutable out_offs : int array;
+  mutable out_lens : int array;
   mutable out_len : int;
+  mutable last_data : payload; (* last string appended via [Send] this round *)
+  mutable last_off : int;
 }
 
-(* One inbox bucket per sender: payloads in send order. Delivery fills
-   buckets; the resume step walks senders in dense roster order, which
-   yields exactly the old sorted-by-sender, per-sender-order-preserving
-   inbox without any per-round sort. *)
-type bucket = {
-  mutable bkt_data : payload array;
-  mutable bkt_len : int;
+(* Per-recipient span vector: the round's delivery sweep appends
+   [(sender, base, off, len)] rows in sender-dense order (the sweep
+   walks sender cells in roster order), so the append order {e is} the
+   inbox order — sorted by sender, send order preserved per sender —
+   with no per-sender buckets and no sort. *)
+type inbox = {
+  mutable in_src : int array; (* sender dense id *)
+  mutable in_base : string array;
+  mutable in_off : int array;
+  mutable in_len : int array;
+  mutable in_count : int;
 }
 
 type cell = {
   id : Party_id.t;
   outbox : outbox;
-  buckets : bucket array; (* 2k slots, indexed by sender dense id *)
-  mutable inbox_count : int; (* messages across all buckets this round *)
+  inbox : inbox;
   mutable state : fiber_state;
   mutable out : payload option;
 }
 
-let no_strings : payload array = [||]
+let no_strings : string array = [||]
 
-let outbox_push ob dst data =
-  let cap = Array.length ob.out_data in
+let outbox_record ob dst ~off ~len =
+  let cap = Array.length ob.out_dsts in
   if ob.out_len = cap then begin
     let cap' = max 8 (2 * cap) in
-    let dsts' = Array.make cap' dst and data' = Array.make cap' "" in
+    let dsts' = Array.make cap' dst
+    and offs' = Array.make cap' 0
+    and lens' = Array.make cap' 0 in
     Array.blit ob.out_dsts 0 dsts' 0 ob.out_len;
-    Array.blit ob.out_data 0 data' 0 ob.out_len;
+    Array.blit ob.out_offs 0 offs' 0 ob.out_len;
+    Array.blit ob.out_lens 0 lens' 0 ob.out_len;
     ob.out_dsts <- dsts';
-    ob.out_data <- data'
+    ob.out_offs <- offs';
+    ob.out_lens <- lens'
   end;
   ob.out_dsts.(ob.out_len) <- dst;
-  ob.out_data.(ob.out_len) <- data;
+  ob.out_offs.(ob.out_len) <- off;
+  ob.out_lens.(ob.out_len) <- len;
   ob.out_len <- ob.out_len + 1
 
-let bucket_push b data =
-  let cap = Array.length b.bkt_data in
-  if b.bkt_len = cap then begin
-    let data' = Array.make (max 4 (2 * cap)) "" in
-    Array.blit b.bkt_data 0 data' 0 b.bkt_len;
-    b.bkt_data <- data'
+let inbox_push ib ~src_dense ~base ~off ~len =
+  let cap = Array.length ib.in_src in
+  if ib.in_count = cap then begin
+    let cap' = max 8 (2 * cap) in
+    let src' = Array.make cap' 0
+    and base' = Array.make cap' ""
+    and off' = Array.make cap' 0
+    and len' = Array.make cap' 0 in
+    Array.blit ib.in_src 0 src' 0 ib.in_count;
+    Array.blit ib.in_base 0 base' 0 ib.in_count;
+    Array.blit ib.in_off 0 off' 0 ib.in_count;
+    Array.blit ib.in_len 0 len' 0 ib.in_count;
+    ib.in_src <- src';
+    ib.in_base <- base';
+    ib.in_off <- off';
+    ib.in_len <- len'
   end;
-  b.bkt_data.(b.bkt_len) <- data;
-  b.bkt_len <- b.bkt_len + 1
+  ib.in_src.(ib.in_count) <- src_dense;
+  ib.in_base.(ib.in_count) <- base;
+  ib.in_off.(ib.in_count) <- off;
+  ib.in_len.(ib.in_count) <- len;
+  ib.in_count <- ib.in_count + 1
 
 let run cfg ~programs =
   let k = cfg.k in
@@ -196,10 +357,24 @@ let run cfg ~programs =
       (fun id ->
         {
           id;
-          outbox = { out_dsts = [||]; out_data = no_strings; out_len = 0 };
-          buckets =
-            Array.init (2 * k) (fun _ -> { bkt_data = no_strings; bkt_len = 0 });
-          inbox_count = 0;
+          outbox =
+            {
+              arena = Wire.Enc.create ();
+              out_dsts = [||];
+              out_offs = [||];
+              out_lens = [||];
+              out_len = 0;
+              last_data = "";
+              last_off = 0;
+            };
+          inbox =
+            {
+              in_src = [||];
+              in_base = no_strings;
+              in_off = [||];
+              in_len = [||];
+              in_count = 0;
+            };
           state = Finished;
           out = None;
         })
@@ -208,36 +383,10 @@ let run cfg ~programs =
   let cell_of id = cells.(Party_id.to_dense ~k id) in
   let iter_cells f = Array.iter f cells in
   let round = ref 0 in
-  (* Flat trace buffer: the trace keeps the {e first} [trace_limit] events,
-     so a fixed-size array filled left to right replaces the old cons list
-     (one allocation up front instead of one cons per event). *)
-  let trace_buf =
-    if cfg.trace_limit <= 0 then [||]
-    else
-      Array.make cfg.trace_limit
-        {
-          event_round = 0;
-          event_src = Party_id.left 0;
-          event_dst = Party_id.left 0;
-          event_bytes = 0;
-          event_fate = `Delivered;
-          event_label = None;
-        }
-  in
-  let trace_count = ref 0 in
+  let tlog = trace_log cfg.trace_limit in
   let record ?(label = None) event_src event_dst event_bytes event_fate =
-    if !trace_count < cfg.trace_limit then begin
-      trace_buf.(!trace_count) <-
-        {
-          event_round = !round;
-          event_src;
-          event_dst;
-          event_bytes;
-          event_fate;
-          event_label = label;
-        };
-      incr trace_count
-    end
+    trace_record tlog ~round:!round ~src:event_src ~dst:event_dst ~bytes:event_bytes
+      ~fate:event_fate ~label
   in
   let messages_sent = ref 0 in
   let messages_delivered = ref 0 in
@@ -253,13 +402,15 @@ let run cfg ~programs =
   in
   let messages_corrupted = ref 0 in
   let bytes_sent = ref 0 in
+  let bytes_delivered = ref 0 in
 
   (* Replay support for corrupting fault models: the last payload
      {e delivered} on each ordered link in any {e earlier} round, indexed
      by [src_dense * 2k + dst_dense]. Updates are staged during a
      delivery sweep and committed only after it, so a replay mutation can
      never echo bytes from the round currently being delivered. Gated on
-     physical inequality with [no_corrupt]: fault-free runs pay nothing. *)
+     physical inequality with [no_corrupt]: fault-free runs pay nothing
+     (no per-frame string materialization, no staging). *)
   let track_prev = cfg.faults.corrupt != no_corrupt in
   let prev_frames : payload option array =
     if track_prev then Array.make (4 * k * k) None else [||]
@@ -289,7 +440,73 @@ let run cfg ~programs =
               Some
                 (fun (cont : (a, _) continuation) ->
                   incr messages_sent;
-                  outbox_push cell.outbox dst data;
+                  let len = String.length data in
+                  bytes_sent := !bytes_sent + len;
+                  let ob = cell.outbox in
+                  (* [Engine.broadcast] sends one string to many targets
+                     back to back: physical equality with the last
+                     appended string means the bytes are already in the
+                     arena — share the span. *)
+                  if data == ob.last_data && len > 0 then
+                    outbox_record ob dst ~off:ob.last_off ~len
+                  else begin
+                    let off = Wire.Enc.length ob.arena in
+                    Wire.Enc.append ob.arena data;
+                    ob.last_data <- data;
+                    ob.last_off <- off;
+                    outbox_record ob dst ~off ~len
+                  end;
+                  continue cont ())
+            | Send_w (c, dst, v) ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  let arena = cell.outbox.arena in
+                  let start = Wire.Enc.length arena in
+                  match c.Wire.write arena v with
+                  | () ->
+                    incr messages_sent;
+                    let len = Wire.Enc.length arena - start in
+                    bytes_sent := !bytes_sent + len;
+                    outbox_record cell.outbox dst ~off:start ~len;
+                    continue cont ()
+                  | exception exn ->
+                    (* A codec that raises mid-write must not leave half a
+                       frame in the shared arena. *)
+                    Wire.Enc.truncate arena start;
+                    discontinue cont exn)
+            | Send_multi_w (c, dsts, v) ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  (* One in-place encode, one span, many targets: the
+                     relay/broadcast fan-out pattern without re-walking
+                     the codec or duplicating the bytes per recipient. *)
+                  let arena = cell.outbox.arena in
+                  let start = Wire.Enc.length arena in
+                  match c.Wire.write arena v with
+                  | () ->
+                    let len = Wire.Enc.length arena - start in
+                    if dsts = [] then Wire.Enc.truncate arena start
+                    else
+                      List.iter
+                        (fun dst ->
+                          incr messages_sent;
+                          bytes_sent := !bytes_sent + len;
+                          outbox_record cell.outbox dst ~off:start ~len)
+                        dsts;
+                    continue cont ()
+                  | exception exn ->
+                    Wire.Enc.truncate arena start;
+                    discontinue cont exn)
+            | Send_slice (dst, s) ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  incr messages_sent;
+                  let len = Wire.Slice.length s in
+                  bytes_sent := !bytes_sent + len;
+                  let off = Wire.Enc.length cell.outbox.arena in
+                  Wire.Enc.append_sub cell.outbox.arena s.Wire.Slice.base
+                    ~off:s.Wire.Slice.off ~len:s.Wire.Slice.len;
+                  outbox_record cell.outbox dst ~off ~len;
                   continue cont ())
             | Next_round ->
               Some
@@ -316,6 +533,9 @@ let run cfg ~programs =
       k;
       round = (fun () -> Effect.perform Get_round);
       send = (fun dst data -> Effect.perform (Send (dst, data)));
+      send_w = (fun c dst v -> Effect.perform (Send_w (c, dst, v)));
+      send_slice = (fun dst s -> Effect.perform (Send_slice (dst, s)));
+      send_multi_w = (fun c dsts v -> Effect.perform (Send_multi_w (c, dsts, v)));
       next_round = (fun () -> Effect.perform Next_round);
       output = (fun p -> Effect.perform (Output p));
       log = (fun s -> Effect.perform (Log_line s));
@@ -327,18 +547,22 @@ let run cfg ~programs =
       let program = programs cell.id in
       drive cell (fun () -> program (env_of cell.id)));
 
-  (* Deliver this round's traffic into the receivers' per-sender buckets,
-     then resume waiting fibers. *)
+  (* Deliver this round's traffic: freeze each sender's arena into one
+     immutable base string and fan its [(offset, len)] spans out to the
+     recipients' span vectors — one pass per sender, zero copies on the
+     clean path. Drop precedence is unchanged: topology > fault-drop >
+     corrupt. *)
   let deliver () =
     iter_cells (fun cell ->
         let ob = cell.outbox in
         if ob.out_len > 0 then begin
           let src = cell.id in
           let src_dense = Party_id.to_dense ~k src in
+          let base = Wire.Enc.to_string ob.arena in
           for i = 0 to ob.out_len - 1 do
+            let off = ob.out_offs.(i) in
+            let len = ob.out_lens.(i) in
             let dst = ob.out_dsts.(i) in
-            let data = ob.out_data.(i) in
-            let len = String.length data in
             let dst_index = Party_id.index dst in
             if dst_index < 0 then
               invalid_arg
@@ -362,56 +586,75 @@ let run cfg ~programs =
               record ~label src dst len `Omitted
             end
             else begin
-              let link_idx = (src_dense * 2 * k) + Party_id.to_dense ~k dst in
-              let prev = if track_prev then prev_frames.(link_idx) else None in
-              (* The wire carries whatever the corrupt hook returns; bytes
-                 and the replay memory both reflect the mutated frame. *)
-              let data, fate, label =
-                match cfg.faults.corrupt ~round:!round ~src ~dst ~prev data with
-                | None -> data, `Delivered, None
+              let target = cell_of dst in
+              if track_prev then begin
+                (* The corrupt hook and its replay memory are string-based:
+                   materialize a span-local copy so mutations never alias
+                   the shared arena, and deliver whatever the hook returns
+                   (bytes and replay memory both reflect the mutated
+                   frame). *)
+                let link_idx = (src_dense * 2 * k) + Party_id.to_dense ~k dst in
+                let data = String.sub base off len in
+                match
+                  cfg.faults.corrupt ~round:!round ~src ~dst
+                    ~prev:prev_frames.(link_idx) data
+                with
+                | None ->
+                  incr messages_delivered;
+                  bytes_delivered := !bytes_delivered + len;
+                  record src dst len `Delivered;
+                  staged_prev := (link_idx, data) :: !staged_prev;
+                  inbox_push target.inbox ~src_dense ~base ~off ~len
                 | Some (data', l) ->
                   incr messages_corrupted;
                   count_label l;
-                  data', `Corrupted, Some l
-              in
-              let len = String.length data in
-              incr messages_delivered;
-              bytes_sent := !bytes_sent + len;
-              record ~label src dst len fate;
-              if track_prev then staged_prev := (link_idx, data) :: !staged_prev;
-              let target = cell_of dst in
-              bucket_push target.buckets.(src_dense) data;
-              target.inbox_count <- target.inbox_count + 1
+                  let len' = String.length data' in
+                  incr messages_delivered;
+                  bytes_delivered := !bytes_delivered + len';
+                  record ~label:(Some l) src dst len' `Corrupted;
+                  staged_prev := (link_idx, data') :: !staged_prev;
+                  inbox_push target.inbox ~src_dense ~base:data' ~off:0 ~len:len'
+              end
+              else begin
+                incr messages_delivered;
+                bytes_delivered := !bytes_delivered + len;
+                record src dst len `Delivered;
+                inbox_push target.inbox ~src_dense ~base ~off ~len
+              end
             end
           done;
-          (* Reset, dropping payload references so delivered strings are not
-             retained past the round by the reused storage. *)
-          Array.fill ob.out_data 0 ob.out_len "";
-          ob.out_len <- 0
+          (* Reset keeps the encoder's storage for next round; the frozen
+             base string is owned by the delivered spans alone. *)
+          Wire.Enc.reset ob.arena;
+          ob.out_len <- 0;
+          ob.last_data <- "";
+          ob.last_off <- 0
         end);
     if track_prev then commit_prev ()
   in
 
-  (* Collect [cell]'s buckets into the inbox list the fiber sees: senders
-     in dense roster order (= sorted by [Party_id.compare]), send order
-     preserved within each sender — the invariant the old
-     [List.stable_sort] established, now true by construction. *)
+  (* Collect [cell]'s span vector into the inbox list the fiber sees.
+     The vector was appended in sender-dense order with send order
+     preserved per sender (the delivery sweep walks sender cells in
+     roster order), so the list is exactly the old sorted-by-sender
+     inbox — by construction, no sort. *)
   let collect_inbox cell =
-    if cell.inbox_count = 0 then []
+    let ib = cell.inbox in
+    if ib.in_count = 0 then []
     else begin
       let acc = ref [] in
-      for sender = 2 * k - 1 downto 0 do
-        let b = cell.buckets.(sender) in
-        if b.bkt_len > 0 then begin
-          let src = roster_arr.(sender) in
-          for i = b.bkt_len - 1 downto 0 do
-            acc := { src; data = b.bkt_data.(i) } :: !acc
-          done;
-          Array.fill b.bkt_data 0 b.bkt_len "";
-          b.bkt_len <- 0
-        end
+      for i = ib.in_count - 1 downto 0 do
+        acc :=
+          {
+            src = roster_arr.(ib.in_src.(i));
+            data = Wire.Slice.make ib.in_base.(i) ~off:ib.in_off.(i) ~len:ib.in_len.(i);
+          }
+          :: !acc
       done;
-      cell.inbox_count <- 0;
+      (* Drop the base-string references so arenas from this round are
+         not retained past it by the reused vector. *)
+      Array.fill ib.in_base 0 ib.in_count "";
+      ib.in_count <- 0;
       !acc
     end
   in
@@ -448,9 +691,9 @@ let run cfg ~programs =
   deliver ();
   assert (
     let ok = ref true in
-    for i = 0 to !trace_count - 1 do
-      let r = trace_buf.(i).event_round in
-      if r > !round || (i > 0 && r < trace_buf.(i - 1).event_round) then ok := false
+    for i = 0 to tlog.t_count - 1 do
+      let r = trace_round_at tlog i in
+      if r > !round || (i > 0 && r < trace_round_at tlog (i - 1)) then ok := false
     done;
     !ok);
 
@@ -465,7 +708,7 @@ let run cfg ~programs =
   in
   {
     parties = List.map party_result (Array.to_list cells);
-    trace = List.init !trace_count (fun i -> trace_buf.(i));
+    trace = trace_events tlog;
     metrics =
       {
         rounds_used = !round;
@@ -479,6 +722,7 @@ let run cfg ~programs =
             (fun (a, _) (b, _) -> String.compare a b)
             (List.map (fun (l, r) -> l, !r) !dropped_by_label);
         bytes_sent = !bytes_sent;
+        bytes_delivered = !bytes_delivered;
       };
   }
 

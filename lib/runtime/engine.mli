@@ -31,9 +31,13 @@ open Bsm_prelude
 (** Raw message bytes; protocols serialize with {!Bsm_wire.Wire}. *)
 type payload = string
 
+(** An inbox frame: a zero-copy [(offset, len)] view into the sender's
+    frozen per-round frame arena. Decode directly with
+    {!Bsm_wire.Wire.decode_slice}; [Wire.Slice.to_string] materializes
+    when bytes must outlive the view's backing. *)
 type envelope = {
   src : Party_id.t;
-  data : payload;
+  data : Bsm_wire.Wire.Slice.t;
 }
 
 (** The capabilities handed to a party's fiber. Attack constructions wrap
@@ -51,6 +55,27 @@ type env = {
           (impossible through the public [Party_id] API — it would mean
           memory corruption or unsafe casts) raises [Invalid_argument]
           at delivery time rather than being dropped. *)
+  send_w : 'a. 'a Bsm_wire.Wire.t -> Party_id.t -> 'a -> unit;
+      (** [send_w codec dst v] is [send dst (Wire.encode codec v)]
+          without the intermediate string: the value is encoded in place
+          into the sender's round arena. The hot path for protocol
+          messages. A codec that raises mid-write leaves no partial
+          frame behind (the arena is rolled back) and the exception
+          propagates to the fiber. *)
+  send_slice : Party_id.t -> Bsm_wire.Wire.Slice.t -> unit;
+      (** forward bytes already in hand (typically a received envelope's
+          [data]) without materializing a string: the view's bytes are
+          appended into the round arena. *)
+  send_multi_w : 'a. 'a Bsm_wire.Wire.t -> Party_id.t list -> 'a -> unit;
+      (** [send_multi_w codec dsts v] encodes [v] {e once} into the round
+          arena and queues the same span for every destination in [dsts],
+          in list order — the fan-out pattern (relay requests, protocol
+          broadcasts) without re-walking the codec or duplicating the
+          bytes per recipient. Observationally identical to
+          [List.iter (fun d -> send_w codec d v) dsts]: each destination
+          counts as its own message in the metrics and the trace, and
+          topology/fault/corruption checks still run per destination. A
+          codec that raises leaves no partial frame and sends nothing. *)
   next_round : unit -> envelope list;
       (** finish the current round; returns the next round's inbox, sorted
           by sender (send order preserved per sender) *)
@@ -61,6 +86,11 @@ type env = {
 (** [broadcast env targets msg] sends [msg] to every party in [targets]
     (not to [env.self] even if listed). *)
 val broadcast : env -> Party_id.t list -> payload -> unit
+
+(** [broadcast_w env codec targets v] is {!broadcast} through
+    {!type-env.send_w}: one in-place arena encode per target, no
+    intermediate string. *)
+val broadcast_w : env -> 'a Bsm_wire.Wire.t -> Party_id.t list -> 'a -> unit
 
 (** A party's program. Returning terminates the party; a party that never
     returns within the round budget is reported as not terminated. *)
@@ -195,12 +225,19 @@ type metrics = {
           sum to at most [messages_dropped_fault + messages_corrupted].
           Empty when the fault model never labels. *)
   bytes_sent : int;
+      (** payload bytes of every [send]/[send_w]/[send_slice] call, at
+          the length the sender wrote — the symmetric counterpart of
+          [messages_sent], counted before topology, omission, or
+          corruption touch the frame. *)
+  bytes_delivered : int;
       (** payload bytes of {e delivered} messages — the communication the
           network actually carried, counting corrupted frames at their
           mutated length. Messages dropped by the topology or omitted by
           the fault model contribute to their drop counters but never to
-          [bytes_sent], so [bytes_sent] and [messages_delivered]
-          describe the same message set. *)
+          [bytes_delivered], so [bytes_delivered] and
+          [messages_delivered] describe the same message set. (This is
+          the quantity the communication-complexity experiments and the
+          metrics fingerprints use.) *)
 }
 
 type result = {

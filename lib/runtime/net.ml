@@ -14,7 +14,9 @@ let direct (env : Engine.env) =
     send = env.send;
     sync =
       (fun () ->
-        List.map (fun (e : Engine.envelope) -> e.src, e.data) (env.next_round ()));
+        List.map
+          (fun (e : Engine.envelope) -> e.src, Bsm_wire.Wire.Slice.to_string e.data)
+          (env.next_round ()));
   }
 
 let send_all t parties msg =

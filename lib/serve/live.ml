@@ -1,5 +1,6 @@
 open Bsm_prelude
 module Engine = Bsm_runtime.Engine
+module Wire = Bsm_wire.Wire
 module Topology = Bsm_topology.Topology
 
 (* Two-phase lockstep: phase one ends the round's sends (after it, every
@@ -37,6 +38,54 @@ let await b =
 
 exception Out_of_rounds_
 
+(* Rings carry one span batch per (src, dst) channel per round: the
+   sender accumulates the round's frames contiguously in a per-channel
+   arena and pushes a single frozen (base, ends) element at round end,
+   so ring traffic is O(channels) per round instead of O(messages) and
+   the receiver hands out zero-copy [(offset, len)] views. [ends.(j)]
+   is where frame [j] ends; frame [j] starts at [ends.(j-1)] (0 for
+   [j = 0]). *)
+type batch = {
+  base : string;
+  ends : int array;
+  count : int;
+}
+
+(* Sender-side accumulator for one channel's current round. *)
+type accum = {
+  buf : Buffer.t;
+  mutable acc_ends : int array;
+  mutable acc_count : int;
+}
+
+let accum () = { buf = Buffer.create 64; acc_ends = [||]; acc_count = 0 }
+
+let accum_push a data =
+  Buffer.add_string a.buf data;
+  let cap = Array.length a.acc_ends in
+  if a.acc_count = cap then begin
+    let ends' = Array.make (max 8 (2 * cap)) 0 in
+    Array.blit a.acc_ends 0 ends' 0 a.acc_count;
+    a.acc_ends <- ends'
+  end;
+  a.acc_ends.(a.acc_count) <- Buffer.length a.buf;
+  a.acc_count <- a.acc_count + 1
+
+let accum_flush a ring =
+  if a.acc_count > 0 then begin
+    let b =
+      {
+        base = Buffer.contents a.buf;
+        ends = Array.sub a.acc_ends 0 a.acc_count;
+        count = a.acc_count;
+      }
+    in
+    Buffer.clear a.buf;
+    a.acc_count <- 0;
+    if not (Ring.try_push ring b) then
+      failwith "Live: per-channel ring overflow (raise ring_capacity)"
+  end
+
 let drain ring =
   let rec go acc =
     match Ring.try_pop ring with None -> List.rev acc | Some x -> go (x :: acc)
@@ -63,6 +112,7 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
               Some (Ring.create ~capacity:ring_capacity ())
             else None))
   in
+  let track_prev = faults.Engine.corrupt != Engine.no_corrupt in
   let b1 = barrier n and b2 = barrier n in
   let finished = Atomic.make 0 in
   let worker i =
@@ -71,19 +121,53 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
     let out = ref None in
     (* Per-link replay memory for the corrupt hook: last payload
        delivered (post-corruption) from each sender in a strictly
-       earlier round — the engine's [prev] semantics. *)
+       earlier round — the engine's [prev] semantics. Only maintained
+       when the hook is live, like the engine. *)
     let prev = Array.make n None in
+    (* This worker's per-destination round arenas, created lazily on
+       first send down a channel. *)
+    let accums : accum option array = Array.make n None in
     let send dst data =
       if Party_id.index dst >= k then () (* outside the roster: no channel *)
       else
-        match rings.(i).(Party_id.to_dense ~k dst) with
+        let d = Party_id.to_dense ~k dst in
+        match rings.(i).(d) with
         | None -> () (* topology drop *)
-        | Some ring ->
-          if not (Ring.try_push ring data) then
-            failwith "Live: per-channel ring overflow (raise ring_capacity)"
+        | Some _ ->
+          let a =
+            match accums.(d) with
+            | Some a -> a
+            | None ->
+              let a = accum () in
+              accums.(d) <- Some a;
+              a
+          in
+          accum_push a data
+    in
+    let send_w c dst v = send dst (Wire.encode c v) in
+    let send_slice dst s = send dst (Wire.Slice.to_string s) in
+    (* Per-destination accumulators can't share one span, but the encode
+       still happens only once. *)
+    let send_multi_w c dsts v =
+      let body = Wire.encode c v in
+      List.iter (fun dst -> send dst body) dsts
+    in
+    (* Freeze every non-empty accumulator into its ring — once per round
+       at [next_round], and once more when the program stops, so frames
+       sent before a return or crash are still delivered. *)
+    let flush_accums () =
+      for d = 0 to n - 1 do
+        match accums.(d) with
+        | Some a -> (
+          match rings.(i).(d) with
+          | Some ring -> accum_flush a ring
+          | None -> ())
+        | None -> ()
+      done
     in
     let next_round () =
       if !round >= max_rounds then raise Out_of_rounds_;
+      flush_accums ();
       await b1;
       let r = !round in
       let inbox = ref [] in
@@ -93,28 +177,43 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
         | Some ring ->
           let src = roster.(s) in
           let last_delivered = ref None in
-          let delivered =
-            List.filter_map
-              (fun data ->
-                if faults.Engine.drop ~round:r ~src ~dst:self then None
-                else begin
-                  let data =
+          let delivered = ref [] in
+          List.iter
+            (fun b ->
+              let start = ref 0 in
+              for j = 0 to b.count - 1 do
+                let off = !start in
+                let len = b.ends.(j) - off in
+                start := b.ends.(j);
+                if not (faults.Engine.drop ~round:r ~src ~dst:self) then begin
+                  if track_prev then begin
+                    let data = String.sub b.base off len in
                     match
                       faults.Engine.corrupt ~round:r ~src ~dst:self ~prev:prev.(s)
                         data
                     with
-                    | Some (bytes, _label) -> bytes
-                    | None -> data
-                  in
-                  last_delivered := Some data;
-                  Some { Engine.src; data }
-                end)
-              (drain ring)
-          in
+                    | None ->
+                      last_delivered := Some data;
+                      delivered :=
+                        { Engine.src; data = Wire.Slice.make b.base ~off ~len }
+                        :: !delivered
+                    | Some (data', _label) ->
+                      last_delivered := Some data';
+                      delivered :=
+                        { Engine.src; data = Wire.Slice.of_string data' }
+                        :: !delivered
+                  end
+                  else
+                    delivered :=
+                      { Engine.src; data = Wire.Slice.make b.base ~off ~len }
+                      :: !delivered
+                end
+              done)
+            (drain ring);
           (match !last_delivered with
           | Some data -> prev.(s) <- Some data
           | None -> ());
-          inbox := delivered @ !inbox
+          inbox := List.rev_append !delivered !inbox
       done;
       await b2;
       incr round;
@@ -128,6 +227,9 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
             k;
             round = (fun () -> !round);
             send;
+            send_w;
+            send_slice;
+            send_multi_w;
             next_round;
             output = (fun p -> out := Some p);
             log = ignore;
@@ -137,6 +239,9 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
       | exception Out_of_rounds_ -> Engine.Out_of_rounds
       | exception exn -> Engine.Crashed (Printexc.to_string exn)
     in
+    (* Frames queued before the program stopped still belong to the
+       round in flight. *)
+    flush_accums ();
     (* Ghost: keep the lockstep alive (and this party's rings drained)
        until everyone finished or the round cap stops the world. *)
     Atomic.incr finished;

@@ -1,0 +1,66 @@
+/* poll(2) readiness for the Uds listener.
+
+   Unix.select caps out at FD_SETSIZE (typically 1024) descriptors; a
+   daemon holding more connections than that corrupts the fd_set. poll
+   has no such ceiling, so the listener's readiness sweep goes through
+   this stub instead. Unix file descriptors are plain ints in the OCaml
+   runtime, so no unixsupport glue is needed. */
+
+#include <poll.h>
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+/* bsm_poll_readable(fds, timeout_ms) -> bool array
+
+   fds is an array of Unix file descriptors; timeout_ms < 0 blocks
+   indefinitely. Returns one flag per descriptor: readable, hung up, or
+   errored (the read path must run to observe EOF/errors, exactly as
+   with select). EINTR is reported as nothing-ready rather than an
+   exception so callers just poll again on their next tick. */
+CAMLprim value bsm_poll_readable(value v_fds, value v_timeout_ms)
+{
+  CAMLparam2(v_fds, v_timeout_ms);
+  CAMLlocal1(v_res);
+  mlsize_t n = Wosize_val(v_fds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds = NULL;
+  int rc;
+  mlsize_t i;
+
+  if (n > 0) {
+    pfds = calloc(n, sizeof(struct pollfd));
+    if (pfds == NULL) caml_raise_out_of_memory();
+    for (i = 0; i < n; i++) {
+      pfds[i].fd = Int_val(Field(v_fds, i));
+      pfds[i].events = POLLIN;
+    }
+  }
+
+  caml_release_runtime_system();
+  rc = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (rc < 0 && errno != EINTR) {
+    int err = errno;
+    char msg[128];
+    free(pfds);
+    snprintf(msg, sizeof(msg), "poll: %s", strerror(err));
+    caml_failwith(msg);
+  }
+
+  v_res = caml_alloc(n, 0);
+  for (i = 0; i < n; i++) {
+    int ready =
+        rc > 0 && (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    Store_field(v_res, i, Val_bool(ready));
+  }
+  free(pfds);
+  CAMLreturn(v_res);
+}

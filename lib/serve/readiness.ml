@@ -1,0 +1,12 @@
+external poll_readable : Unix.file_descr array -> int -> bool array
+  = "bsm_poll_readable"
+
+let readable fds ~timeout_s =
+  let timeout_ms =
+    if timeout_s < 0. then -1
+    else
+      (* Round up so a positive sub-millisecond timeout still waits one
+         tick instead of busy-polling. *)
+      int_of_float (ceil (timeout_s *. 1000.))
+  in
+  poll_readable fds timeout_ms

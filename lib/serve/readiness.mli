@@ -1,0 +1,15 @@
+(** Readiness sweep over a set of file descriptors, built on [poll(2)].
+
+    [Unix.select] silently caps out (and corrupts its [fd_set]s) past
+    [FD_SETSIZE] descriptors — typically 1024 — so a daemon holding more
+    connections than that cannot use it. [poll] has no such ceiling;
+    the {!Uds} listener runs its readiness sweep through this module. *)
+
+(** [readable fds ~timeout_s] waits up to [timeout_s] seconds (negative
+    blocks indefinitely; [0.] polls) and returns one flag per
+    descriptor in [fds]: [true] when it is readable, hung up, or
+    errored — in each case a [read] must run to observe the data, EOF,
+    or error, matching [select] semantics. An interrupted wait (EINTR)
+    reports nothing ready; callers simply sweep again. Raises [Failure]
+    on any other [poll] error. *)
+val readable : Unix.file_descr array -> timeout_s:float -> bool array

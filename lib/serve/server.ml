@@ -70,7 +70,7 @@ let metrics_fingerprint (m : Bsm_runtime.Engine.metrics) =
   let h = Rng.mix64_absorb h m.rounds_used in
   let h = Rng.mix64_absorb h m.messages_sent in
   let h = Rng.mix64_absorb h m.messages_delivered in
-  let h = Rng.mix64_absorb h m.bytes_sent in
+  let h = Rng.mix64_absorb h m.bytes_delivered in
   h
 
 (* Within-budget fault schedules for chaos-on-live traffic: each

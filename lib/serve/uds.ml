@@ -116,10 +116,15 @@ let extract l id conn events =
 let poll l ~timeout_s =
   if not l.open_ then []
   else begin
-    let fds = l.sock :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) l.conns [] in
-    let readable, _, _ = Unix.select fds [] [] timeout_s in
+    (* poll(2), not select: the daemon must survive >1024 fds, which is
+       where [Unix.select]'s fd_set silently stops working. Slot 0 is
+       the listening socket; slot [i+1] is connection [i]. *)
+    let conns = Hashtbl.fold (fun id c acc -> (id, c) :: acc) l.conns [] in
+    let fds = Array.make (1 + List.length conns) l.sock in
+    List.iteri (fun i (_, c) -> fds.(i + 1) <- c.fd) conns;
+    let ready = Readiness.readable fds ~timeout_s in
     let events = ref [] in
-    if List.mem l.sock readable then begin
+    if ready.(0) then begin
       let rec accept_all () =
         match Unix.accept l.sock with
         | fd, _ ->
@@ -134,9 +139,9 @@ let poll l ~timeout_s =
       accept_all ()
     end;
     let chunk = Bytes.create 4096 in
-    Hashtbl.iter
-      (fun id conn ->
-        if List.memq conn.fd readable then begin
+    List.iteri
+      (fun i (id, conn) ->
+        if ready.(i + 1) then begin
           let rec read_all () =
             match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
             | 0 ->
@@ -153,7 +158,7 @@ let poll l ~timeout_s =
           in
           read_all ()
         end)
-      (Hashtbl.copy l.conns);
+      conns;
     List.rev !events
   end
 

@@ -3,10 +3,12 @@
     Stream framing is one {!Bsm_wire.Wire} varint length prefix
     followed by that many payload bytes; the payload is a
     {!Frame.request} (client → daemon) or {!Frame.response}
-    (daemon → client). The listener is non-blocking and select-driven
-    so the daemon's single coordinator thread can interleave socket
-    traffic with scheduler ticks; clients are blocking (they are either
-    humans' tools or the load generator, which wants backpressure).
+    (daemon → client). The listener is non-blocking and poll-driven
+    (via {!Readiness}, so it survives more than [FD_SETSIZE] open
+    connections) and the daemon's single coordinator thread can
+    interleave socket traffic with scheduler ticks; clients are
+    blocking (they are either humans' tools or the load generator,
+    which wants backpressure).
 
     Decoder hardening carries over from the wire layer: length prefixes
     are capped (a forged 8 EiB prefix is a [Bad_frame], not an

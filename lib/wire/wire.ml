@@ -42,18 +42,72 @@ module Enc = struct
   let tag t n =
     if n < 0 || n > 255 then invalid_arg "Wire.Enc.tag: out of range";
     Buffer.add_char t (Char.chr n)
+
+  (* Arena view: the message plane appends many frames into one encoder
+     and carves them back out as [(offset, len)] spans, so the write
+     position and raw appends are part of the interface. *)
+  let length = Buffer.length
+  let append t s = Buffer.add_string t s
+  let append_sub t s ~off ~len = Buffer.add_substring t s off len
+
+  (* Roll back a failed in-place encode: a codec that raises mid-write
+     must not leave half a frame in the arena. *)
+  let truncate = Buffer.truncate
+end
+
+module Slice = struct
+  type t = {
+    base : string;
+    off : int;
+    len : int;
+  }
+
+  let of_string base = { base; off = 0; len = String.length base }
+
+  (* The guard is phrased to avoid [off + len] overflow on forged
+     lengths near [max_int]. *)
+  let make base ~off ~len =
+    if off < 0 || len < 0 || off > String.length base - len then
+      invalid_arg "Wire.Slice.make: out of bounds";
+    { base; off; len }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Wire.Slice.get: out of bounds";
+    String.unsafe_get t.base (t.off + i)
+
+  let to_string t =
+    if t.off = 0 && t.len = String.length t.base then t.base
+    else String.sub t.base t.off t.len
+
+  let equal a b =
+    a.len = b.len
+    &&
+    let rec go i = i >= a.len || (get a i = get b i && go (i + 1)) in
+    go 0
 end
 
 module Dec = struct
+  (* A decoder is a bounds-pinned view [pos .. limit) into [data]: for a
+     whole-string decode [limit] is the string length, for an arena span
+     it is the span's end. Every hardening check compares against
+     [limit], never [String.length data], so adversarial lengths cannot
+     read a neighbouring frame's bytes out of the shared arena. *)
   type t = {
     data : string;
     mutable pos : int;
+    limit : int;
   }
 
-  let of_string data = { data; pos = 0 }
+  let of_string data = { data; pos = 0; limit = String.length data }
+
+  let of_slice (s : Slice.t) =
+    { data = s.Slice.base; pos = s.Slice.off; limit = s.Slice.off + s.Slice.len }
 
   let byte t =
-    if t.pos >= String.length t.data then malformed "unexpected end of input";
+    if t.pos >= t.limit then malformed "unexpected end of input";
     let c = Char.code t.data.[t.pos] in
     t.pos <- t.pos + 1;
     c
@@ -97,7 +151,7 @@ module Dec = struct
     | 1 -> true
     | b -> malformed "invalid bool byte %d" b
 
-  let remaining t = String.length t.data - t.pos
+  let remaining t = t.limit - t.pos
 
   (* Compare against [remaining], never [t.pos + len]: a forged length
      near [max_int] would overflow the addition and sail past the bounds
@@ -120,8 +174,7 @@ module Dec = struct
   let tag = byte
 
   let expect_end t =
-    if t.pos <> String.length t.data then
-      malformed "trailing bytes: %d remaining" (String.length t.data - t.pos)
+    if t.pos <> t.limit then malformed "trailing bytes: %d remaining" (t.limit - t.pos)
 end
 
 type 'a t = {
@@ -180,6 +233,18 @@ let decode_exn c s =
 
 let decode c s =
   match decode_exn c s with
+  | v -> Ok v
+  | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let decode_slice_exn c s =
+  let d = Dec.of_slice s in
+  let v = c.read d in
+  Dec.expect_end d;
+  v
+
+let decode_slice c s =
+  match decode_slice_exn c s with
   | v -> Ok v
   | exception Malformed msg -> Error msg
   | exception Invalid_argument msg -> Error msg

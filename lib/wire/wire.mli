@@ -38,6 +38,51 @@ module Enc : sig
 
   (** Tag byte for variant constructors, [0 .. 255]. *)
   val tag : t -> int -> unit
+
+  (** Bytes written so far. The message plane reads this before and
+      after an in-place encode to carve the frame's [(offset, len)]
+      span out of a shared arena encoder. *)
+  val length : t -> int
+
+  (** Raw append, no length prefix (arena frame copies). *)
+  val append : t -> string -> unit
+
+  (** Raw append of [s.[off .. off+len)], no length prefix. *)
+  val append_sub : t -> string -> off:int -> len:int -> unit
+
+  (** [truncate e n] rolls the encoder back to [n] bytes: a codec that
+      raises mid-write must not leave half a frame in the arena. *)
+  val truncate : t -> int -> unit
+end
+
+(** An immutable [(base, off, len)] view of a byte string — the unit of
+    zero-copy delivery out of the per-round frame arena. Slices never
+    copy; [to_string] materializes (returning [base] itself when the
+    slice covers it entirely). *)
+module Slice : sig
+  type t = private {
+    base : string;
+    off : int;
+    len : int;
+  }
+
+  val of_string : string -> t
+
+  (** Raises [Invalid_argument] unless [0 <= off], [0 <= len] and
+      [off + len <= String.length base] (checked without overflow). *)
+  val make : string -> off:int -> len:int -> t
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  (** [get s i] is byte [i] of the view; raises [Invalid_argument] out
+      of bounds. *)
+  val get : t -> int -> char
+
+  val to_string : t -> string
+
+  (** Content equality (ignores how the view is backed). *)
+  val equal : t -> t -> bool
 end
 
 (** Decoders are hardened against adversarial bytes: varints are bounded
@@ -49,6 +94,12 @@ module Dec : sig
   type t
 
   val of_string : string -> t
+
+  (** [of_slice s] decodes directly out of [s]'s backing string with the
+      bounds pinned to the view: every hardening check (varint caps,
+      length-vs-remaining, [expect_end]) holds at the slice edges, so a
+      forged frame cannot read a neighbouring arena span. No copy. *)
+  val of_slice : Slice.t -> t
 
   (** Bytes not yet consumed. *)
   val remaining : t -> int
@@ -88,6 +139,12 @@ val decode : 'a t -> string -> ('a, string) result
 
 (** [decode_exn c s] raises [Malformed] instead of returning [Error]. *)
 val decode_exn : 'a t -> string -> 'a
+
+(** [decode_slice c s] is {!decode} over an arena span, zero-copy. *)
+val decode_slice : 'a t -> Slice.t -> ('a, string) result
+
+(** [decode_slice_exn c s] raises [Malformed] instead of [Error]. *)
+val decode_slice_exn : 'a t -> Slice.t -> 'a
 
 (* Primitive codecs. *)
 

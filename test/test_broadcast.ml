@@ -650,7 +650,7 @@ let test_dolev_strong_truncated_chain_rejected () =
       (fun (e : Engine.envelope) ->
         List.iter
           (fun p ->
-            if not (Party_id.equal p env.Engine.self) then env.Engine.send p e.Engine.data)
+            if not (Party_id.equal p env.Engine.self) then env.Engine.send_slice p e.Engine.data)
           participants)
       inbox;
     ignore (env.Engine.next_round ())

@@ -4,6 +4,11 @@
 open Bsm_prelude
 module Engine = Bsm_runtime.Engine
 module Topology = Bsm_topology.Topology
+module Wire = Bsm_wire.Wire
+
+(* Envelope payloads are zero-copy arena views; materialize for
+   assertions. *)
+let data_str (e : Engine.envelope) = Wire.Slice.to_string e.Engine.data
 
 let party_id = Alcotest.testable Party_id.pp Party_id.equal
 
@@ -54,7 +59,7 @@ let test_message_delivered_next_round () =
   match !saw with
   | [ [ e ]; [] ] ->
     Alcotest.check party_id "sender" (Party_id.left 0) e.Engine.src;
-    Alcotest.(check string) "payload" "hi" e.Engine.data
+    Alcotest.(check string) "payload" "hi" (data_str e)
   | _ -> Alcotest.fail "expected exactly one message in round 1 and none in round 2"
 
 let test_round_counter () =
@@ -85,7 +90,7 @@ let test_ping_pong () =
     let rec loop () =
       match env.Engine.next_round () with
       | [ e ] ->
-        let v = int_of_string e.Engine.data + 1 in
+        let v = int_of_string (data_str e) + 1 in
         if v >= 6 then final := v
         else begin
           env.Engine.send (peer id) (string_of_int v);
@@ -196,8 +201,8 @@ let test_self_send_dropped () =
 
 let test_bytes_exclude_omitted () =
   (* L0's messages are omitted by the fault model, L1's delivered;
-     bytes_sent must count only the delivered payloads (the old engine
-     counted omitted bytes too, inflating communication tables). *)
+     bytes_delivered must count only the delivered payloads, while
+     bytes_sent counts every send at the length the sender wrote. *)
   let faults =
     Engine.fault_model (fun ~round:_ ~src ~dst:_ ->
         Party_id.equal src (Party_id.left 0))
@@ -214,7 +219,8 @@ let test_bytes_exclude_omitted () =
   Alcotest.(check int) "both sends counted" 2 res.metrics.messages_sent;
   Alcotest.(check int) "one delivered" 1 res.metrics.messages_delivered;
   Alcotest.(check int) "one omitted" 1 res.metrics.messages_dropped_fault;
-  Alcotest.(check int) "only delivered bytes" 4 res.metrics.bytes_sent
+  Alcotest.(check int) "only delivered bytes" 4 res.metrics.bytes_delivered;
+  Alcotest.(check int) "all sent bytes" 13 res.metrics.bytes_sent
 
 let test_bytes_exclude_topology_drops () =
   let programs id env =
@@ -228,7 +234,8 @@ let test_bytes_exclude_topology_drops () =
     Engine.config ~k:2 ~link:(Engine.Of_topology Topology.Bipartite) ()
   in
   let res = Engine.run cfg ~programs in
-  Alcotest.(check int) "only delivered bytes" 2 res.Engine.metrics.bytes_sent
+  Alcotest.(check int) "only delivered bytes" 2 res.Engine.metrics.bytes_delivered;
+  Alcotest.(check int) "all sent bytes" 9 res.Engine.metrics.bytes_sent
 
 let test_omission_fault_drops () =
   let faults =
@@ -241,7 +248,7 @@ let test_omission_fault_drops () =
     else if Party_id.equal id (Party_id.left 1) then
       env.Engine.send (Party_id.right 0) "b"
     else if Party_id.equal id (Party_id.right 0) then
-      saw := List.map (fun e -> e.Engine.data) (env.Engine.next_round ())
+      saw := List.map data_str (env.Engine.next_round ())
   in
   let res = run ~k:2 ~faults programs in
   Alcotest.(check (list string)) "only L1's message" [ "b" ] !saw;
@@ -333,7 +340,8 @@ let test_drop_labels_in_metrics_and_trace () =
 let test_corrupt_rewrites_and_counts () =
   (* A corrupted frame is delivered (with the mutated bytes), counted in
      messages_delivered AND messages_corrupted, tallied under its label,
-     and its mutated length is what bytes_sent sees. *)
+     and its mutated length is what bytes_delivered sees (bytes_sent
+     keeps the pre-mutation written length). *)
   let faults =
     Engine.fault_model
       ~corrupt:(fun ~round:_ ~src ~dst:_ ~prev:_ data ->
@@ -348,7 +356,7 @@ let test_corrupt_rewrites_and_counts () =
     else if Party_id.equal id (Party_id.left 1) then
       env.Engine.send (Party_id.right 0) "ok"
     else if Party_id.equal id (Party_id.right 0) then
-      saw := List.map (fun e -> e.Engine.data) (env.Engine.next_round ())
+      saw := List.map data_str (env.Engine.next_round ())
   in
   let cfg =
     Engine.config ~k:2 ~faults ~trace_limit:100
@@ -362,7 +370,8 @@ let test_corrupt_rewrites_and_counts () =
   Alcotest.(check int) "no fault drops" 0 m.messages_dropped_fault;
   Alcotest.(check (list (pair string int)))
     "label tallied" [ "garble", 1 ] m.messages_dropped_by_label;
-  Alcotest.(check int) "bytes count the mutated length" 5 m.bytes_sent;
+  Alcotest.(check int) "bytes count the mutated length" 5 m.bytes_delivered;
+  Alcotest.(check int) "sent bytes keep the written length" 4 m.bytes_sent;
   let corrupted_events =
     List.filter (fun e -> e.Engine.event_fate = `Corrupted) res.Engine.trace
   in
@@ -452,7 +461,7 @@ let test_per_sender_order_preserved () =
       env.Engine.send (Party_id.right 0) "second"
     end
     else if Party_id.equal id (Party_id.right 0) then
-      saw := List.map (fun e -> e.Engine.data) (env.Engine.next_round ())
+      saw := List.map data_str (env.Engine.next_round ())
   in
   ignore (run ~k:1 programs);
   Alcotest.(check (list string)) "order kept" [ "first"; "second" ] !saw
@@ -465,7 +474,8 @@ let test_metrics_accounting () =
   let res = run ~k:2 programs in
   Alcotest.(check int) "sent" 2 res.metrics.messages_sent;
   Alcotest.(check int) "delivered" 2 res.metrics.messages_delivered;
-  Alcotest.(check int) "bytes" 10 res.metrics.bytes_sent
+  Alcotest.(check int) "bytes" 10 res.metrics.bytes_sent;
+  Alcotest.(check int) "delivered bytes" 10 res.metrics.bytes_delivered
 
 let test_trace_records_fates () =
   (* One delivered, one dropped-by-topology, one omitted message; the
@@ -637,7 +647,7 @@ let test_bucket_order_matches_sort_reference () =
           List.iter (fun (dst, m) -> env.Engine.send dst m) schedule.(me).(r);
           let inbox = env.Engine.next_round () in
           observed.(me).(r) <-
-            List.map (fun e -> e.Engine.src, e.Engine.data) inbox
+            List.map (fun e -> e.Engine.src, data_str e) inbox
         done
       in
       let cfg =
@@ -677,6 +687,142 @@ let test_bucket_order_matches_sort_reference () =
               r
         done
       done)
+    (Util.range 0 25)
+
+let test_arena_matches_per_frame_reference () =
+  (* Property: the arena-span message plane is observationally identical
+     to the per-frame reference semantics — deliver sender-by-sender in
+     dense roster order, frame-by-frame in send order, consulting the
+     corrupt hook with [prev] = last payload delivered on the ordered
+     link in any strictly earlier round. The corrupt hook echoes [prev]
+     into the delivered bytes, so any divergence in replay memory shows
+     up bit-for-bit in the inboxes, not just in the counters. *)
+  let topologies = Topology.[ Fully_connected; Bipartite; One_sided ] in
+  List.iter
+    (fun seed ->
+      let rng = Rng.make (9100 + (37 * seed)) in
+      let k = 1 + Rng.int rng 3 in
+      let n = 2 * k in
+      let topology = Rng.choose rng topologies in
+      let salt = Rng.int rng 1000 in
+      let drop ~round ~src ~dst =
+        Hashtbl.hash
+          (salt, 0, round, Party_id.to_dense ~k src, Party_id.to_dense ~k dst)
+        mod 5
+        = 0
+      in
+      let corrupt ~round ~src ~dst ~prev payload =
+        if
+          Hashtbl.hash
+            (salt, 1, round, Party_id.to_dense ~k src, Party_id.to_dense ~k dst, payload)
+          mod 3
+          = 0
+        then
+          let echo = match prev with None -> "<none>" | Some p -> p in
+          Some (echo ^ "#" ^ payload, "replay")
+        else None
+      in
+      let rounds = 3 + Rng.int rng 3 in
+      let schedule =
+        Array.init n (fun s ->
+            let srng = Rng.make ((seed * 1009) + s) in
+            Array.init rounds (fun r ->
+                List.init (Rng.int srng 4) (fun i ->
+                    let dst = Party_id.of_dense ~k (Rng.int srng n) in
+                    dst, Printf.sprintf "s%d-r%d-%d" s r i)))
+      in
+      let observed = Array.make_matrix n rounds [] in
+      let programs id (env : Engine.env) =
+        let me = Party_id.to_dense ~k id in
+        for r = 0 to rounds - 1 do
+          List.iter (fun (dst, m) -> env.Engine.send dst m) schedule.(me).(r);
+          let inbox = env.Engine.next_round () in
+          observed.(me).(r) <- List.map (fun e -> e.Engine.src, data_str e) inbox
+        done
+      in
+      let cfg =
+        Engine.config ~k ~link:(Engine.Of_topology topology)
+          ~faults:(Engine.fault_model ~corrupt drop)
+          ()
+      in
+      let res = Engine.run cfg ~programs in
+      (* Per-frame reference model. *)
+      let prev : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+      let ref_sent = ref 0
+      and ref_delivered = ref 0
+      and ref_topology = ref 0
+      and ref_fault = ref 0
+      and ref_corrupted = ref 0
+      and ref_bytes_sent = ref 0
+      and ref_bytes_delivered = ref 0 in
+      for r = 0 to rounds - 1 do
+        let staged : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+        let arrivals = Array.make n [] in
+        for s = 0 to n - 1 do
+          let src = Party_id.of_dense ~k s in
+          List.iter
+            (fun (dst, m) ->
+              incr ref_sent;
+              ref_bytes_sent := !ref_bytes_sent + String.length m;
+              if not (Topology.connected topology src dst) then incr ref_topology
+              else if drop ~round:r ~src ~dst then incr ref_fault
+              else begin
+                let d = Party_id.to_dense ~k dst in
+                let p = Hashtbl.find_opt prev (s, d) in
+                let delivered =
+                  match corrupt ~round:r ~src ~dst ~prev:p m with
+                  | Some (bytes, _) ->
+                    incr ref_corrupted;
+                    bytes
+                  | None -> m
+                in
+                incr ref_delivered;
+                ref_bytes_delivered := !ref_bytes_delivered + String.length delivered;
+                arrivals.(d) <- (src, delivered) :: arrivals.(d);
+                Hashtbl.replace staged (s, d) delivered
+              end)
+            schedule.(s).(r)
+        done;
+        (* Replay memory commits only once the round's sweep is done:
+           same-round frames never see each other. *)
+        Hashtbl.iter (fun key v -> Hashtbl.replace prev key v) staged;
+        for d = 0 to n - 1 do
+          let expected =
+            List.stable_sort
+              (fun (a, _) (b, _) -> Party_id.compare a b)
+              (List.rev arrivals.(d))
+          in
+          if expected <> observed.(d).(r) then
+            Alcotest.failf
+              "seed %d: receiver %s round %d: arena delivery diverged from the \
+               per-frame reference"
+              seed
+              (Party_id.to_string (Party_id.of_dense ~k d))
+              r
+        done
+      done;
+      let m = res.Engine.metrics in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: messages_sent" seed)
+        !ref_sent m.Engine.messages_sent;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: messages_delivered" seed)
+        !ref_delivered m.Engine.messages_delivered;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: dropped_topology" seed)
+        !ref_topology m.Engine.messages_dropped_topology;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: dropped_fault" seed)
+        !ref_fault m.Engine.messages_dropped_fault;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: corrupted" seed)
+        !ref_corrupted m.Engine.messages_corrupted;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: bytes_sent" seed)
+        !ref_bytes_sent m.Engine.bytes_sent;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: bytes_delivered" seed)
+        !ref_bytes_delivered m.Engine.bytes_delivered)
     (Util.range 0 25)
 
 let test_trace_final_flush_round () =
@@ -790,7 +936,7 @@ let test_nested_engines () =
     end
     else begin
       let inbox = env.Engine.next_round () in
-      env.Engine.output (String.concat "," (List.map (fun e -> e.Engine.data) inbox))
+      env.Engine.output (String.concat "," (List.map data_str inbox))
     end
   in
   let res = run ~k:1 programs in
@@ -848,6 +994,8 @@ let () =
             test_per_sender_order_preserved;
           Alcotest.test_case "bucket order matches sort reference" `Quick
             test_bucket_order_matches_sort_reference;
+          Alcotest.test_case "arena plane matches per-frame reference" `Quick
+            test_arena_matches_per_frame_reference;
           Alcotest.test_case "negative-index destination rejected" `Quick
             test_negative_index_dst_rejected;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;

@@ -404,6 +404,52 @@ let test_shutdown_global_while_serving () =
   let dones = Server.tick s2 ~tick:1 in
   Alcotest.(check int) "served after global shutdown" 1 (List.length dones)
 
+(* --- readiness (poll-based) --------------------------------------------- *)
+
+let test_readiness_pipe () =
+  (* A pipe with nothing written is not readable; after a write it is;
+     after the write end closes, the hangup must read as ready (the
+     read path observes EOF), exactly like select. *)
+  let r, w = Unix.pipe () in
+  let ready () = Serve.Readiness.readable [| r |] ~timeout_s:0. in
+  Alcotest.(check (array bool)) "empty pipe not ready" [| false |] (ready ());
+  let n = Unix.write w (Bytes.of_string "x") 0 1 in
+  Alcotest.(check int) "wrote one byte" 1 n;
+  Alcotest.(check (array bool)) "pending byte ready" [| true |] (ready ());
+  let b = Bytes.create 1 in
+  ignore (Unix.read r b 0 1);
+  Alcotest.(check (array bool)) "drained pipe not ready" [| false |] (ready ());
+  Unix.close w;
+  Alcotest.(check (array bool)) "closed writer reads as ready (EOF)" [| true |]
+    (ready ());
+  Unix.close r
+
+let test_readiness_many_fds () =
+  (* One readable descriptor among many idle ones: exactly its slot
+     flips, at the right index. *)
+  let pipes = Array.init 16 (fun _ -> Unix.pipe ()) in
+  let hot = 11 in
+  ignore (Unix.write (snd pipes.(hot)) (Bytes.of_string "!") 0 1);
+  let fds = Array.map fst pipes in
+  let ready = Serve.Readiness.readable fds ~timeout_s:0. in
+  Array.iteri
+    (fun i r -> Alcotest.(check bool) (Printf.sprintf "slot %d" i) (i = hot) r)
+    ready;
+  Array.iter
+    (fun (r, w) ->
+      Unix.close r;
+      Unix.close w)
+    pipes
+
+let test_readiness_timeout_waits () =
+  (* A positive timeout on an idle fd returns not-ready (and does not
+     hang forever — reaching the assertion is the test). *)
+  let r, w = Unix.pipe () in
+  let ready = Serve.Readiness.readable [| r |] ~timeout_s:0.01 in
+  Alcotest.(check (array bool)) "timed out, nothing ready" [| false |] ready;
+  Unix.close r;
+  Unix.close w
+
 let () =
   Alcotest.run "serve"
     [
@@ -431,6 +477,14 @@ let () =
             test_live_equals_engine;
           Alcotest.test_case "live == engine (faults + corruption)" `Quick
             test_live_equals_engine_under_faults;
+        ] );
+      ( "readiness",
+        [
+          Alcotest.test_case "pipe readiness and EOF hangup" `Quick
+            test_readiness_pipe;
+          Alcotest.test_case "one hot fd among many" `Quick test_readiness_many_fds;
+          Alcotest.test_case "timeout returns not-ready" `Quick
+            test_readiness_timeout_waits;
         ] );
       ( "uds",
         [

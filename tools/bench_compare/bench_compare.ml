@@ -119,6 +119,11 @@ let scale_rows s =
 let serve_rows s =
   scan s ~marker:"{\"workload\": \"" ~keys:[ "ticks"; "p50_ticks"; "p99_ticks" ]
 
+(* BENCH_plane.json workloads: the message-plane micro-bench's three
+   legs (arena encode, engine delivery pass, slice decode). *)
+let plane_rows s =
+  scan s ~marker:"{\"plane\": \"" ~keys:[ "encode_ms"; "deliver_ms"; "decode_ms" ]
+
 (* The whole_run block's parallel wall, if the file has one. *)
 let whole_run_parallel_ms s =
   match find s 0 "\"whole_run\":" with
@@ -175,9 +180,11 @@ let () =
     !threshold;
   let old_rows = scale_rows old_s and new_rows = scale_rows new_s in
   let old_serve = serve_rows old_s and new_serve = serve_rows new_s in
+  let old_plane = plane_rows old_s and new_plane = plane_rows new_s in
   if
     olds <> [] || news <> []
-    || (old_rows = [] && new_rows = [] && old_serve = [] && new_serve = [])
+    || (old_rows = [] && new_rows = [] && old_serve = [] && new_serve = []
+       && old_plane = [] && new_plane = [])
   then begin
     Printf.printf "sequential wall per table:\n";
     List.iter
@@ -240,14 +247,38 @@ let () =
           Printf.printf "  %-40s (dropped from new run)\n" name)
       old_serve
   end;
+  if old_plane <> [] || new_plane <> [] then begin
+    Printf.printf "message-plane leg walls per workload:\n";
+    List.iter
+      (fun (name, new_values) ->
+        match List.assoc_opt name old_plane with
+        | None -> Printf.printf "  %-40s (new workload, no baseline)\n" name
+        | Some old_values ->
+          List.iter
+            (fun (key, nv) ->
+              match List.assoc_opt key old_values, nv with
+              | Some (Some om), Some nm ->
+                compare_ms (Printf.sprintf "%s %s" name key) om nm
+              | _ ->
+                Printf.printf "  %-40s (no %s to compare)\n" name key)
+            new_values)
+      new_plane;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name new_plane) then
+          Printf.printf "  %-40s (dropped from new run)\n" name)
+      old_plane
+  end;
   (match whole_run_parallel_ms old_s, whole_run_parallel_ms new_s with
   | Some om, Some nm ->
     Printf.printf "whole-run parallel wall:\n";
     compare_ms "whole_run" om nm
   | None, None
     when old_rows <> [] || new_rows <> [] || old_serve <> [] || new_serve <> []
+         || old_plane <> [] || new_plane <> []
     ->
-    (* Scale and serve files carry no whole_run block; nothing to say. *)
+    (* Scale, serve and plane files carry no whole_run block; nothing to
+       say. *)
     ()
   | _ ->
     Printf.printf
