@@ -714,13 +714,16 @@ let table_a4 ~sched () =
 (* ------------------------------------------------------------------ C1 -- *)
 
 (* The chaos grid: T-table settings × fault-schedule vocabulary (omission
-   group plus the in-flight mutation group — bit-flip, equivocate,
-   replay+truncate, forge-sender on R0's traffic), judged by the bSM
-   oracle. Within-budget cells must come back `ok` — a VIOLATION is a
-   protocol bug and fails the bench run (and hence `make ci`); mutated
-   frames in particular must be absorbed as byzantine-equivalent noise.
-   The JSON report is deterministic in the grid and chaos seeds (no
-   wall-clock), so the same seeds yield a bit-identical file. *)
+   group, the in-flight mutation group — bit-flip, equivocate,
+   replay+truncate, forge-sender on R0's traffic — and the
+   self-stabilization group: corrupt-state scrambles of R0's registered
+   protocol state), judged by the bSM oracle. Within-budget cells must
+   come back `ok` — a VIOLATION is a protocol bug and fails the bench run
+   (and hence `make ci`); mutated frames in particular must be absorbed
+   as byzantine-equivalent noise, and scrambled state must be recovered
+   from (the C4 table times the recovery). The JSON report is
+   deterministic in the grid and chaos seeds (no wall-clock), so the same
+   seeds yield a bit-identical file. *)
 let table_chaos ~sched ~jobs () =
   let cells, k_range =
     if !quick then Chaos.Chaos_sweep.quick_grid (), "k=2"
@@ -780,6 +783,43 @@ let table_chaos ~sched ~jobs () =
   Table.print table;
   let total = Chaos.Chaos_sweep.summarize outcomes in
   Format.printf "chaos summary: %a@." Chaos.Chaos_sweep.pp_summary total;
+  (* C4: the self-stabilization reading of the same grid — for every
+     (schedule, seed) that scrambled registered protocol state, how many
+     rounds until all honest parties converged back to bSM. A Stuck or
+     Violated count here is a failed recovery within budget and fails the
+     run like a C1 violation. *)
+  let recovery_rows = Chaos.Chaos_sweep.recovery_grid outcomes in
+  if recovery_rows <> [] then begin
+    let rtable =
+      Table.make
+        ~title:
+          (Printf.sprintf
+             "C4: recovery grid (%s) — rounds from the first state scramble \
+              until every honest party terminated with bSM intact \
+              (convergence oracle over corrupt-state schedules)"
+             k_range)
+        ~header:
+          [
+            "schedule"; "seed"; "cells"; "recovered"; "stuck"; "violated";
+            "max rounds"; "mean rounds";
+          ]
+    in
+    List.iter
+      (fun (r : Chaos.Chaos_sweep.recovery_row) ->
+        Table.add_row rtable
+          [
+            r.Chaos.Chaos_sweep.rg_schedule;
+            string_of_int r.Chaos.Chaos_sweep.rg_seed;
+            string_of_int r.Chaos.Chaos_sweep.rg_cells;
+            string_of_int r.Chaos.Chaos_sweep.rg_recovered;
+            string_of_int r.Chaos.Chaos_sweep.rg_stuck;
+            string_of_int r.Chaos.Chaos_sweep.rg_violated;
+            string_of_int r.Chaos.Chaos_sweep.rg_max_rounds;
+            Printf.sprintf "%.2f" r.Chaos.Chaos_sweep.rg_mean_rounds;
+          ])
+      recovery_rows;
+    Table.print rtable
+  end;
   let json_path = if !quick then "BENCH_chaos.quick.json" else "BENCH_chaos.json" in
   let oc = open_out json_path in
   output_string oc (Chaos.Chaos_sweep.to_json ~jobs outcomes);
@@ -787,7 +827,16 @@ let table_chaos ~sched ~jobs () =
   Printf.printf "wrote %s (%d cells; deterministic in the chaos seeds)\n\n"
     json_path total.Chaos.Chaos_sweep.cells;
   if total.Chaos.Chaos_sweep.violated > 0 then
-    failwith "C1 chaos grid: within-budget bSM violations — protocol bug"
+    failwith "C1 chaos grid: within-budget bSM violations — protocol bug";
+  if
+    List.exists
+      (fun (r : Chaos.Chaos_sweep.recovery_row) ->
+        r.Chaos.Chaos_sweep.rg_stuck > 0 || r.Chaos.Chaos_sweep.rg_violated > 0)
+      recovery_rows
+  then
+    failwith
+      "C4 recovery grid: a within-budget state scramble never converged — \
+       self-stabilization bug"
 
 (* ---------------------------------------------------------- T-scale -- *)
 

@@ -457,13 +457,18 @@ let replay_cmd =
         (Chaos.Schedule.describe t.Chaos.Repro.schedule)
         t.Chaos.Repro.seed
         (Chaos.Oracle.verdict_to_string t.Chaos.Repro.expected);
-      (match Chaos.Repro.check t with
+      let result = Chaos.Repro.check t in
+      (match result with
       | Ok report ->
         Format.printf "%a@." Chaos.Oracle.pp_report report;
-        Format.printf "replay: bit-identical reproduction (fingerprints match)@."
-      | Error msg ->
-        Format.printf "replay: DIVERGED — %s@." msg;
-        exit 1)
+        Format.printf "replay: bit-identical reproduction (fingerprints match)@.";
+        if report.Chaos.Oracle.verdict = Chaos.Oracle.Violation then
+          Format.printf
+            "replay: reproduced verdict is a VIOLATION — exiting nonzero@."
+      | Error msg -> Format.printf "replay: DIVERGED — %s@." msg);
+      (* Exit-code policy lives in the library so it is testable:
+         reproducing a Violation is still a failing state for CI. *)
+      exit (Chaos.Repro.gate result)
   in
   let file =
     Arg.(

@@ -102,4 +102,10 @@ let make p ~signer ~sender ~input ~default =
     | [ v ] -> v
     | [] | _ :: _ :: _ -> default
   in
-  { Machine.initial; rounds = rounds p; step; finish }
+  {
+    Machine.initial;
+    rounds = rounds p;
+    step;
+    finish;
+    cells = [ Bsm_runtime.Engine.state_cell (Wire.list Wire.string) extracted ];
+  }

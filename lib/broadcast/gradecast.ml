@@ -142,4 +142,21 @@ let make p ~self ~sender ~input =
          | [] -> { value = None; grade = 0 });
       []
   in
-  { Machine.initial; rounds; step; finish = (fun () -> !result) }
+  let verdict_codec =
+    Wire.map
+      ~inject:(fun (value, grade) -> { value; grade })
+      ~project:(fun { value; grade } -> value, grade)
+      (Wire.pair (Wire.option Wire.string) Wire.uint)
+  in
+  {
+    Machine.initial;
+    rounds;
+    step;
+    finish = (fun () -> !result);
+    cells =
+      [
+        Bsm_runtime.Engine.state_cell (Wire.option Wire.string) my_echo;
+        Bsm_runtime.Engine.state_cell (Wire.option Wire.string) my_ready;
+        Bsm_runtime.Engine.state_cell verdict_codec result;
+      ];
+  }

@@ -1,16 +1,19 @@
 open Bsm_prelude
 module Net = Bsm_runtime.Net
+module Engine = Bsm_runtime.Engine
 
 type 'out t = {
   initial : (Party_id.t * string) list;
   rounds : int;
   step : round:int -> inbox:(Party_id.t * string) list -> (Party_id.t * string) list;
   finish : unit -> 'out;
+  cells : Engine.state_cell list;
 }
 
 let map f m = { m with finish = (fun () -> f (m.finish ())) }
 
 let run (net : Net.t) m =
+  List.iter net.register_state m.cells;
   List.iter (fun (dst, msg) -> net.send dst msg) m.initial;
   for round = 1 to m.rounds do
     let inbox = net.sync () in
@@ -20,7 +23,13 @@ let run (net : Net.t) m =
   m.finish ()
 
 let silent ~rounds out =
-  { initial = []; rounds; step = (fun ~round:_ ~inbox:_ -> []); finish = (fun () -> out) }
+  {
+    initial = [];
+    rounds;
+    step = (fun ~round:_ ~inbox:_ -> []);
+    finish = (fun () -> out);
+    cells = [];
+  }
 
 let first_per_sender inbox =
   let seen = Hashtbl.create 16 in

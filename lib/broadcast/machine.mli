@@ -21,6 +21,13 @@ type 'out t = {
   rounds : int;
   step : round:int -> inbox:(Party_id.t * string) list -> (Party_id.t * string) list;
   finish : unit -> 'out;
+  cells : Bsm_runtime.Engine.state_cell list;
+      (** the machine's round-local state, exposed to the
+          state-corruption plane; {!run} and {!Session.run_parallel}
+          register these against the net before the first round. Machines
+          whose state is created lazily mid-protocol (e.g. a nested
+          machine built on first input) expose only what exists at
+          construction time. *)
 }
 
 (** [map f m] post-processes the output. *)

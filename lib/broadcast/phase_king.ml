@@ -180,6 +180,12 @@ let make_with_peek p ~self ~input =
       rounds = 3 * num_kings;
       step;
       finish = (fun () -> !v);
+      cells =
+        [
+          Bsm_runtime.Engine.state_cell Wire.string v;
+          Bsm_runtime.Engine.state_cell Wire.bool locked;
+          Bsm_runtime.Engine.state_cell (Wire.option Wire.string) my_proposal;
+        ];
     }
   in
   machine, fun () -> !v

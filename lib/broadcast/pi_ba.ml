@@ -58,4 +58,7 @@ let make (p : Phase_king.params) ~self ~input =
     rounds = king_rounds + 1;
     step;
     finish = (fun () -> !output);
+    cells =
+      king_machine.Machine.cells
+      @ [ Bsm_runtime.Engine.state_cell (Wire.option Wire.string) output ];
   }

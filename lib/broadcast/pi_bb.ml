@@ -48,4 +48,7 @@ let make (p : Phase_king.params) ~self ~sender ~input ~default =
     | Some machine -> machine.Machine.finish ()
     | None -> None
   in
-  { Machine.initial; rounds = rounds p; step; finish }
+  (* The inner Π_BA machine is built lazily at round 1 (its input is the
+     sender's round-0 message), after session-time registration — so its
+     cells cannot be exposed here; only eagerly-created state can. *)
+  { Machine.initial; rounds = rounds p; step; finish; cells = [] }

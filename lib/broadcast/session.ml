@@ -19,6 +19,12 @@ let run_parallel (net : Net.t) machines =
     invalid_arg "Session.run_parallel: duplicate tags";
   let total_rounds = rounds_needed machines in
   let send_tagged tag (dst, payload) = net.send dst (wrap tag payload) in
+  (* Expose every machine's round-local state to the state-corruption
+     plane before any round runs, in machine-list order, so cell indices
+     are deterministic across executors. *)
+  List.iter
+    (fun (_, m) -> List.iter net.register_state m.Machine.cells)
+    machines;
   List.iter
     (fun (tag, m) -> List.iter (send_tagged tag) m.Machine.initial)
     machines;

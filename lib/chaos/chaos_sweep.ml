@@ -60,6 +60,70 @@ let pp_summary ppf s =
   Format.fprintf ppf "%d cells: %d ok, %d expected-degradation, %d VIOLATIONS"
     s.cells s.ok s.degraded s.violated
 
+(* --- recovery grid ------------------------------------------------------- *)
+
+type recovery_row = {
+  rg_schedule : string;
+  rg_seed : int;
+  rg_cells : int;
+  rg_recovered : int;
+  rg_stuck : int;
+  rg_violated : int;
+  rg_no_scramble : int;
+  rg_max_rounds : int;
+  rg_mean_rounds : float;
+}
+
+(* Aggregate outcomes by (schedule, chaos_seed) across cases, keeping
+   only groups where at least one run scrambled state — pure counting, so
+   the grid inherits the outcomes' determinism. Input order is preserved
+   (first appearance of each group). *)
+let recovery_grid outcomes =
+  let groups =
+    List.fold_left
+      (fun acc o ->
+        let key = (Schedule.describe o.cell.schedule, o.cell.chaos_seed) in
+        match List.assoc_opt key acc with
+        | Some _ ->
+          List.map (fun (k, v) -> if k = key then k, o :: v else k, v) acc
+        | None -> acc @ [ key, [ o ] ])
+      [] outcomes
+  in
+  List.filter_map
+    (fun ((rg_schedule, rg_seed), os) ->
+      let os = List.rev os in
+      if List.for_all (fun o -> o.oracle.Oracle.recovery = None) os then None
+      else begin
+        let count p = List.length (List.filter p os) in
+        let rounds =
+          List.filter_map
+            (fun o ->
+              match o.oracle.Oracle.recovery with
+              | Some (Oracle.Recovered n) -> Some n
+              | _ -> None)
+            os
+        in
+        Some
+          {
+            rg_schedule;
+            rg_seed;
+            rg_cells = List.length os;
+            rg_recovered = List.length rounds;
+            rg_stuck = count (fun o -> o.oracle.Oracle.recovery = Some Oracle.Stuck);
+            rg_violated =
+              count (fun o -> o.oracle.Oracle.recovery = Some Oracle.Violated);
+            rg_no_scramble = count (fun o -> o.oracle.Oracle.recovery = None);
+            rg_max_rounds = List.fold_left max 0 rounds;
+            rg_mean_rounds =
+              (match rounds with
+              | [] -> 0.
+              | _ ->
+                float_of_int (List.fold_left ( + ) 0 rounds)
+                /. float_of_int (List.length rounds));
+          }
+      end)
+    groups
+
 (* --- JSON ---------------------------------------------------------------- *)
 
 let json_escape s =
@@ -112,7 +176,8 @@ let to_json ~jobs outcomes =
             \"%s\", \"corrupted\": \"%s\", \"violations\": %d,\n\
            \     \"rounds\": %d, \"sent\": %d, \"delivered\": %d, \
             \"dropped_topology\": %d, \"dropped_fault\": %d, \"corrupted_frames\": \
-            %d, \"bytes_sent\": %d, \"bytes_delivered\": %d, \
+            %d, \"cells_scrambled\": %d, \"first_scramble_round\": %s, \
+            \"recovery\": %s, \"bytes_sent\": %d, \"bytes_delivered\": %d, \
             \"dropped_by_label\": {%s}}%s\n"
            (json_escape o.cell.case.Sweep.label)
            (json_escape (Schedule.describe o.cell.schedule))
@@ -124,10 +189,38 @@ let to_json ~jobs outcomes =
            (List.length r.Oracle.violations)
            m.Engine.rounds_used m.Engine.messages_sent m.Engine.messages_delivered
            m.Engine.messages_dropped_topology m.Engine.messages_dropped_fault
-           m.Engine.messages_corrupted m.Engine.bytes_sent
-           m.Engine.bytes_delivered by_label
+           m.Engine.messages_corrupted m.Engine.cells_scrambled
+           (match m.Engine.first_scramble_round with
+           | Some r -> string_of_int r
+           | None -> "null")
+           (match r.Oracle.recovery with
+           | Some rc ->
+             Printf.sprintf "\"%s\"" (json_escape (Oracle.recovery_to_string rc))
+           | None -> "null")
+           m.Engine.bytes_sent m.Engine.bytes_delivered by_label
            (if i = n - 1 then "" else ",")))
     outcomes;
+  Buffer.add_string buf "  ],\n";
+  (* Recovery grid: one row per (schedule, chaos_seed) that scrambled
+     state anywhere, aggregated over cases. The [recovery_row] marker is
+     what tools/bench_compare scans for; values are pure counts over
+     deterministic outcomes, so this section is as diffable as the rest
+     of the file. *)
+  let recovery_rows = recovery_grid outcomes in
+  Buffer.add_string buf "  \"recovery_grid\": [\n";
+  let rn = List.length recovery_rows in
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"recovery_row\": \"%s#seed%d\", \"cells\": %d, \"recovered\": \
+            %d, \"stuck\": %d, \"violated\": %d, \"no_scramble\": %d, \
+            \"max_rounds_to_recovery\": %d, \"mean_rounds_to_recovery\": %.2f}%s\n"
+           (json_escape row.rg_schedule) row.rg_seed row.rg_cells row.rg_recovered
+           row.rg_stuck row.rg_violated row.rg_no_scramble row.rg_max_rounds
+           row.rg_mean_rounds
+           (if i = rn - 1 then "" else ",")))
+    recovery_rows;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
@@ -198,6 +291,13 @@ let standard_schedules ~k =
         Schedule.corrupt ~rate:0.25 ~kind:Mutation.Truncate r0;
       ];
     Schedule.corrupt ~rate:0.3 ~kind:Mutation.Forge_sender r0;
+    (* The self-stabilization group: scramble R0's registered protocol
+       state between rounds and let the convergence oracle time the
+       recovery. Deterministic scramble at round 1 (every cell fires)
+       and a partial one at round 2 — both charge only {R0}, so the
+       honest parties must still converge to bSM. *)
+    Schedule.corrupt_state ~rate:1.0 r0 ~at_round:1;
+    Schedule.corrupt_state ~rate:0.6 r0 ~at_round:2;
   ]
 
 let quick_grid () =

@@ -58,12 +58,35 @@ type summary = {
 val summarize : outcome list -> summary
 val pp_summary : Format.formatter -> summary -> unit
 
+(** One row of the recovery grid: all outcomes of a
+    [(schedule, chaos_seed)] pair aggregated over cases, counting the
+    {!Oracle.recovery} verdicts and the spread of rounds-to-recovery. *)
+type recovery_row = {
+  rg_schedule : string;  (** {!Schedule.describe} of the group *)
+  rg_seed : int;
+  rg_cells : int;
+  rg_recovered : int;
+  rg_stuck : int;
+  rg_violated : int;
+  rg_no_scramble : int;  (** runs where no cell was scrambled *)
+  rg_max_rounds : int;  (** max rounds-to-recovery among recovered runs *)
+  rg_mean_rounds : float;  (** mean over recovered runs; [0.] when none *)
+}
+
+(** [recovery_grid outcomes] — the rows, in first-appearance order,
+    restricted to groups where at least one run scrambled state. Pure
+    counting over the outcomes, so the grid is as deterministic as they
+    are. *)
+val recovery_grid : outcome list -> recovery_row list
+
 (** Deterministic JSON report (summary + one row per cell with verdict,
-    budget attribution and per-fate message counts). [jobs] is recorded
-    for provenance only; the summary carries the fused task count (one
-    task per cell) but deliberately no wall clocks or steal counts —
-    those vary run to run and belong to BENCH_sweeps.json, keeping this
-    file bit-identical for a given grid and seeds. *)
+    budget attribution, per-fate message counts, scrambled-cell counts
+    and recovery verdict, followed by the {!recovery_grid} as
+    [recovery_row]-marked rows). [jobs] is recorded for provenance only;
+    the summary carries the fused task count (one task per cell) but
+    deliberately no wall clocks or steal counts — those vary run to run
+    and belong to BENCH_sweeps.json, keeping this file bit-identical for
+    a given grid and seeds. *)
 val to_json : jobs:int -> outcome list -> string
 
 (** The standard grids the bench, CLI and CI share: T-table settings
@@ -71,11 +94,13 @@ val to_json : jobs:int -> outcome list -> string
     vocabulary (within-budget send/receive-omission, crash and partition
     of R0, over-budget bernoulli drops and a blackout burst, plus the
     mutation group — bit-flip, equivocate, replay+truncate and
-    forge-sender corruption of R0's traffic, all admissible and required
-    to come back as byzantine-equivalent degradation at worst, never a
-    crash). [quick_grid] is the smallest-k instance (a few seconds
-    end-to-end, wired into [make chaos-quick] / CI); [full_grid] adds
-    k = 4 and two more chaos seeds. *)
+    forge-sender corruption of R0's traffic, and the self-stabilization
+    group — {!Schedule.corrupt_state} scrambles of R0's registered
+    protocol state, timed by the convergence oracle; all admissible and
+    required to come back as byzantine-equivalent degradation at worst,
+    never a crash). [quick_grid] is the smallest-k instance (a few
+    seconds end-to-end, wired into [make chaos-quick] / CI); [full_grid]
+    adds k = 4 and two more chaos seeds. *)
 val quick_grid : unit -> cell list
 
 val full_grid : unit -> cell list

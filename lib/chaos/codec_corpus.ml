@@ -39,7 +39,7 @@ let gen_signature rng =
 
 let gen_schedule rng =
   let gen_atom rng =
-    match Rng.int rng 8 with
+    match Rng.int rng 9 with
     | 0 -> Schedule.bernoulli ~rate:(gen_rate rng)
     | 1 -> Schedule.crash (gen_party rng) ~at_round:(Rng.int rng 8)
     | 2 -> Schedule.send_omission ~rate:(gen_rate rng) (gen_party rng)
@@ -56,6 +56,13 @@ let gen_schedule rng =
       Schedule.corrupt ~rate:(gen_rate rng)
         ~kind:(Rng.choose rng Mutation.all_kinds)
         (gen_party rng)
+    | 7 ->
+      (* rate > 0: corrupt_state prunes a zero rate to Never, which the
+         canonical codec round-trips as the empty schedule. *)
+      Schedule.corrupt_state
+        ~rate:(float_of_int (1 + Rng.int rng 100) /. 100.)
+        (gen_party rng)
+        ~at_round:(1 + Rng.int rng 8)
     | _ -> Schedule.sabotage (gen_party rng) ~at_round:(Rng.int rng 8)
   in
   let rec go depth =
@@ -261,6 +268,13 @@ let entries () =
       ~gen:(fun rng -> Rng.choose rng Mutation.all_kinds)
       ~equal:Mutation.equal_kind Mutation.codec;
     e ~name:"chaos.schedule" ~gen:gen_schedule ~equal:( = ) Schedule.codec;
+    e ~name:"chaos.recovery"
+      ~gen:(fun rng ->
+        match Rng.int rng 3 with
+        | 0 -> Oracle.Recovered (Rng.int rng 64)
+        | 1 -> Oracle.Stuck
+        | _ -> Oracle.Violated)
+      ~equal:( = ) Oracle.recovery_codec;
     e ~name:"chaos.repro" ~gen:gen_repro ~equal:( = ) Repro.codec;
   ]
   @ List.concat_map (fun f -> f ()) !extras

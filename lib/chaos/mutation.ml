@@ -87,3 +87,34 @@ let apply ~hash ~src ~prev kind payload =
       if Party_id.equal forged src then Party_id.make side (index + 1) else forged
     in
     changed (splice payload (draw hash 0 (n + 1)) (Wire.encode Wire.party_id forged))
+
+(* State-cell scramble: "arbitrary local state" bytes from the component
+   hash. Unlike [apply], which mutates in-flight frames, this targets a
+   registered cell's canonical encoding, and it never declines: the
+   engine retries with a fresh hash (the attempt counter is absorbed
+   upstream) until the bytes decode, so the composite behaves as a
+   deterministic draw from the space of well-formed states. *)
+let scramble ~hash payload =
+  let n = String.length payload in
+  if n = 0 then
+    (* Nothing to rewrite — synthesize a few bytes from scratch. *)
+    String.init (1 + draw hash 0 8) (fun i -> Char.chr (draw hash (i + 1) 256))
+  else
+    match draw hash 17 3 with
+    | 0 ->
+      (* Flip one bit. *)
+      let pos = draw hash 0 n in
+      let bit = 1 lsl draw hash 1 8 in
+      String.mapi
+        (fun i c -> if i = pos then Char.chr (Char.code c lxor bit) else c)
+        payload
+    | 1 -> String.sub payload 0 (draw hash 0 n) (* truncate *)
+    | _ ->
+      (* Rewrite a few bytes. *)
+      let count = 1 + draw hash 0 (min n 4) in
+      let bytes = Bytes.of_string payload in
+      for i = 1 to count do
+        let pos = draw hash (2 * i) n in
+        Bytes.set bytes pos (Char.chr (draw hash ((2 * i) + 1) 256))
+      done;
+      Bytes.to_string bytes

@@ -44,3 +44,13 @@ val codec : kind Bsm_wire.Wire.t
     counted as a corruption). Pure in all arguments. *)
 val apply :
   hash:int64 -> src:Party_id.t -> prev:string option -> kind -> string -> string option
+
+(** [scramble ~hash payload] is a candidate replacement for a registered
+    state cell's canonical encoding (see {!Bsm_runtime.Engine.state_cell}):
+    a hash-chosen bit flip, truncation, or byte rewrite — or synthesized
+    bytes when the encoding is empty. Unlike {!apply} it never declines;
+    the engine's attempt-retry loop (which varies [hash]) keeps drawing
+    until a candidate decodes, making the composite a deterministic draw
+    from the space of well-formed states — the Byzantine Brides
+    arbitrary-local-state adversary. Pure in all arguments. *)
+val scramble : hash:int64 -> string -> string

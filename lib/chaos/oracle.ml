@@ -15,6 +15,36 @@ let verdict_to_string = function
 
 let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
 
+type recovery =
+  | Recovered of int
+  | Stuck
+  | Violated
+
+let recovery_to_string = function
+  | Recovered n -> Printf.sprintf "recovered:%d" n
+  | Stuck -> "stuck"
+  | Violated -> "violated"
+
+let pp_recovery ppf r = Format.pp_print_string ppf (recovery_to_string r)
+
+let recovery_codec =
+  let open Bsm_wire.Wire in
+  variant ~name:"recovery"
+    [
+      pack
+        (case 0 uint
+           ~inject:(fun n -> Recovered n)
+           ~match_:(function Recovered n -> Some n | _ -> None));
+      pack
+        (case 1 unit
+           ~inject:(fun () -> Stuck)
+           ~match_:(function Stuck -> Some () | _ -> None));
+      pack
+        (case 2 unit
+           ~inject:(fun () -> Violated)
+           ~match_:(function Violated -> Some () | _ -> None));
+    ]
+
 type report = {
   verdict : verdict;
   within_budget : bool;
@@ -22,7 +52,45 @@ type report = {
   corrupted : Party_set.t;
   violations : Core.Problem.violation list;
   metrics : Engine.metrics;
+  recovery : recovery option;
 }
+
+(* Rounds-to-recovery: meaningful only when the schedule actually
+   scrambled state ([first_scramble_round]). A party honest under
+   [corrupted] that never finished is proven stuck (the engine ran it out
+   of rounds); broken honest-party properties make recovery moot; else
+   convergence took until the last honest party terminated, measured from
+   the first scramble (clamped at 0 — parties already done before the
+   scramble landed recovered instantly). *)
+let recovery_of ~corrupted ~violations ~(metrics : Engine.metrics)
+    (parties : Engine.party_result list) =
+  match metrics.Engine.first_scramble_round with
+  | None -> None
+  | Some scrambled_at ->
+    let honest =
+      List.filter
+        (fun (r : Engine.party_result) -> not (Party_set.mem r.Engine.id corrupted))
+        parties
+    in
+    (* Stuck before Violated: a never-terminating honest party also shows
+       up as a termination violation, but "never converged" is the more
+       precise self-stabilization reading than "converged wrong". *)
+    if
+      List.exists
+        (fun (r : Engine.party_result) -> r.Engine.finished_round = None)
+        honest
+    then Some Stuck
+    else if violations <> [] then Some Violated
+    else
+      let last_finish =
+        List.fold_left
+          (fun acc (r : Engine.party_result) ->
+            match r.Engine.finished_round with
+            | Some n -> max acc n
+            | None -> acc)
+          0 honest
+      in
+      Some (Recovered (max 0 (last_finish - scrambled_at)))
 
 let run ?max_rounds ~seed ~schedule (case : H.Sweep.case) =
   let setting = case.H.Sweep.setting in
@@ -56,13 +124,15 @@ let run ?max_rounds ~seed ~schedule (case : H.Sweep.case) =
     else if violations = [] then Ok
     else Violation
   in
+  let metrics = sr.H.Scenario.metrics in
   {
     verdict;
     within_budget;
     charged;
     corrupted;
     violations;
-    metrics = sr.H.Scenario.metrics;
+    metrics;
+    recovery = recovery_of ~corrupted ~violations ~metrics sr.H.Scenario.parties;
   }
 
 let pp_report ppf r =
@@ -75,6 +145,15 @@ let pp_report ppf r =
     Party_set.pp r.charged Party_set.pp r.corrupted r.metrics.Engine.messages_sent
     r.metrics.Engine.messages_delivered r.metrics.Engine.messages_dropped_topology
     r.metrics.Engine.messages_dropped_fault r.metrics.Engine.messages_corrupted;
+  (match r.recovery with
+  | None -> ()
+  | Some rec_ ->
+    Format.fprintf ppf "state cells scrambled: %d (first at round %s); recovery: %a@,"
+      r.metrics.Engine.cells_scrambled
+      (match r.metrics.Engine.first_scramble_round with
+      | Some n -> string_of_int n
+      | None -> "-")
+      pp_recovery rec_);
   (match r.metrics.Engine.messages_dropped_by_label with
   | [] -> ()
   | by_label ->

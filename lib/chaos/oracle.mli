@@ -27,6 +27,32 @@ type verdict =
 val verdict_to_string : verdict -> string
 val pp_verdict : Format.formatter -> verdict -> unit
 
+(** Convergence after state corruption — the self-stabilization reading
+    of a scrambled run ({!Schedule.corrupt_state}). Only computed when
+    the run actually scrambled at least one cell. *)
+type recovery =
+  | Recovered of int
+      (** every honest party terminated; the payload is the number of
+          rounds from the first scramble to the last honest
+          termination (0 when everyone was already done) *)
+  | Stuck
+      (** some honest party ran out of rounds — with a deterministic
+          protocol and a fixed schedule this is proof it never
+          converges, not a timeout heuristic *)
+  | Violated
+      (** the honest parties terminated but the bSM properties are
+          broken — converged to a wrong fixpoint *)
+
+(** ["recovered:N"], ["stuck"], ["violated"] — stable strings used in
+    BENCH_chaos.json rows and repro fingerprints. *)
+val recovery_to_string : recovery -> string
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
+(** Canonical wire codec (registered in the fuzz corpus as
+    ["chaos.recovery"]). *)
+val recovery_codec : recovery Bsm_wire.Wire.t
+
 (** Everything is plain data (no closures), so reports from parallel and
     sequential sweeps can be compared structurally — the bit-identity
     guarantee chaos sweeps inherit from {!Bsm_harness.Sweep}. *)
@@ -38,6 +64,11 @@ type report = {
   violations : Core.Problem.violation list;
       (** bSM violations among parties honest under [corrupted] *)
   metrics : Engine.metrics;  (** per-fate message counts of the run *)
+  recovery : recovery option;
+      (** [None] when no state cell was scrambled
+          ([metrics.first_scramble_round = None]); otherwise the
+          convergence verdict measured over parties honest under
+          [corrupted] *)
 }
 
 (** [run ~seed ~schedule case] materializes the case

@@ -17,7 +17,7 @@ type t = {
 let fingerprint_of_report (r : Oracle.report) =
   let m = r.Oracle.metrics in
   Format.asprintf
-    "%s|budget=%b|charged=%a|corrupted=%a|violations=[%a]|sent=%d|delivered=%d|topo=%d|omitted=%d|mutated=%d|by-label=[%s]|bytes=%d|rounds=%d"
+    "%s|budget=%b|charged=%a|corrupted=%a|violations=[%a]|sent=%d|delivered=%d|topo=%d|omitted=%d|mutated=%d|scrambled=%d@%s|recovery=%s|by-label=[%s]|bytes=%d|rounds=%d"
     (Oracle.verdict_to_string r.Oracle.verdict)
     r.Oracle.within_budget Party_set.pp r.Oracle.charged Party_set.pp
     r.Oracle.corrupted
@@ -26,7 +26,13 @@ let fingerprint_of_report (r : Oracle.report) =
        Core.Problem.pp_violation)
     r.Oracle.violations m.Engine.messages_sent m.Engine.messages_delivered
     m.Engine.messages_dropped_topology m.Engine.messages_dropped_fault
-    m.Engine.messages_corrupted
+    m.Engine.messages_corrupted m.Engine.cells_scrambled
+    (match m.Engine.first_scramble_round with
+    | Some n -> string_of_int n
+    | None -> "-")
+    (match r.Oracle.recovery with
+    | Some rc -> Oracle.recovery_to_string rc
+    | None -> "-")
     (String.concat ","
        (List.map
           (fun (l, n) -> Printf.sprintf "%s=%d" l n)
@@ -157,3 +163,13 @@ let check t =
          t.fingerprint got
          (Oracle.verdict_to_string report.Oracle.verdict)
          (Oracle.verdict_to_string t.expected))
+
+(* Exit-code policy for [bsm replay]: a faithfully reproduced run is only
+   "success" when the reproduced verdict is clean — a repro that still
+   demonstrates a Violation must fail CI, that's its whole point. *)
+let gate = function
+  | Error _ -> 1
+  | Ok (r : Oracle.report) -> (
+    match r.Oracle.verdict with
+    | Oracle.Violation -> 1
+    | Oracle.Ok | Oracle.Expected_degradation -> 0)

@@ -25,9 +25,10 @@ type t = {
 }
 
 (** Deterministic digest of everything the oracle judged: verdict, budget
-    flag, charged/corrupted sets, rendered violations and per-fate
-    message counts (including per-label omission/corruption counts). Two
-    runs with equal fingerprints made identical decisions. *)
+    flag, charged/corrupted sets, rendered violations, per-fate message
+    counts (including per-label omission/corruption counts), scrambled
+    state-cell counts and the recovery verdict. Two runs with equal
+    fingerprints made identical decisions. *)
 val fingerprint_of_report : Oracle.report -> string
 
 (** [make ?max_rounds ~case ~schedule ~seed report] packs a repro for a
@@ -57,3 +58,10 @@ val run : t -> Oracle.report
     bit-identical reproduction, [Error] describing the mismatch
     otherwise. *)
 val check : t -> (Oracle.report, string) result
+
+(** [gate result] — the process exit code [bsm replay] owes CI for a
+    {!check} result: [0] only for a bit-identical reproduction whose
+    verdict is not {!Oracle.Violation}; [1] for a divergence {e or} a
+    faithfully reproduced Violation (a repro that still demonstrates the
+    bug must fail the pipeline). *)
+val gate : (Oracle.report, string) result -> int

@@ -11,6 +11,7 @@ type atom =
   | Blackout
   | Corrupt of Party_id.t * Mutation.kind * float
   | Sabotage of Party_id.t  (** window start is the sabotage round *)
+  | Corrupt_state of Party_id.t * float
 
 type t =
   | Never
@@ -70,6 +71,12 @@ let sabotage p ~at_round =
   if at_round < 0 then invalid_arg "Schedule.sabotage: negative round";
   Atom { atom = Sabotage p; lo = at_round; hi = max_int }
 
+let corrupt_state ~rate p ~at_round =
+  check_rate "corrupt_state" rate;
+  if at_round < 0 then invalid_arg "Schedule.corrupt_state: negative round";
+  if rate = 0. then Never
+  else Atom { atom = Corrupt_state (p, rate); lo = at_round; hi = at_round + 1 }
+
 let union a b =
   match a, b with
   | Never, s | s, Never -> s
@@ -121,6 +128,8 @@ let atom_label atom lo hi =
     Printf.sprintf "corrupt(%s,%s,%s%s)" (Party_id.to_string p)
       (Mutation.to_string kind) (pct rate) (window_to_string lo hi)
   | Sabotage p -> Printf.sprintf "sabotage(%s@%d)" (Party_id.to_string p) lo
+  | Corrupt_state (p, rate) ->
+    Printf.sprintf "corrupt-state(%s@%d,%s)" (Party_id.to_string p) lo (pct rate)
 
 (* --- compilation --------------------------------------------------------- *)
 
@@ -213,6 +222,7 @@ let hits ~seed f ~round ~src ~dst =
     || (Party_set.mem src b && Party_set.mem dst a)
   | Blackout -> true
   | Corrupt _ -> false (* corrupts, never drops *)
+  | Corrupt_state _ -> false (* scrambles state, never drops frames *)
   | Sabotage p -> Party_id.equal src p
 
 (* The mutation content hash: same inputs as the {!chance} coin plus one
@@ -225,6 +235,28 @@ let corrupt_hash ~seed ~salt ~round ~src ~dst =
   let h = Rng.mix64_absorb h (party_key src) in
   let h = Rng.mix64_absorb h (party_key dst) in
   Rng.mix64_absorb h 0xc0447 (* "corrupt" *)
+
+(* State scrambles hash (seed, component, round, party, cell): the coin
+   absorbs the cell index so whether one cell is hit is independent of
+   its siblings', and a distinct final constant keeps scramble decisions
+   decorrelated from the message-plane coins of the same component. *)
+let scramble_base ~seed ~salt ~round ~party ~cell =
+  let h = Rng.mix64 (Int64.of_int seed) in
+  let h = Rng.mix64_absorb h salt in
+  let h = Rng.mix64_absorb h round in
+  let h = Rng.mix64_absorb h (party_key party) in
+  Rng.mix64_absorb h cell
+
+let scramble_coin ~seed ~salt ~round ~party ~cell rate =
+  let h = scramble_base ~seed ~salt ~round ~party ~cell in
+  Rng.uniform_of_hash (Rng.mix64_absorb h 0x5c4a) < rate (* "scram" *)
+
+(* The mutation content additionally absorbs the attempt counter: a
+   retry after an undecodable candidate draws fresh bytes while the
+   firing decision stands. *)
+let scramble_hash ~seed ~salt ~round ~party ~cell ~attempt =
+  let h = scramble_base ~seed ~salt ~round ~party ~cell in
+  Rng.mix64_absorb (Rng.mix64_absorb h 0x57a7e) attempt (* "state" *)
 
 let compile ~seed t =
   let flats = flatten t in
@@ -244,31 +276,69 @@ let compile ~seed t =
         | _ -> false)
       flats
   in
-  match corrupters with
-  | [] ->
-    (* No [~corrupt] argument at all: the fault model keeps the physical
-       [no_corrupt] default, so the engine skips replay-memory upkeep. *)
-    Engine.fault_model ~label drop
-  | _ :: _ ->
-    let corrupt ~round ~src ~dst ~prev payload =
-      List.find_map
-        (fun f ->
-          match f.f_atom with
-          | Corrupt (p, kind, rate)
-            when round >= f.f_lo && round < f.f_hi
-                 && (match f.f_side with
-                    | None -> true
-                    | Some s -> Side.equal (Party_id.side src) s)
-                 && Party_id.equal src p
-                 && chance ~seed ~salt:f.f_salt ~round ~src ~dst rate ->
-            let hash = corrupt_hash ~seed ~salt:f.f_salt ~round ~src ~dst in
-            Option.map
-              (fun bytes -> bytes, f.f_label)
-              (Mutation.apply ~hash ~src ~prev kind payload)
-          | _ -> None)
-        corrupters
-    in
-    Engine.fault_model ~label ~corrupt drop
+  let scramblers =
+    List.filter
+      (fun f ->
+        match f.f_atom with
+        | Corrupt_state _ -> true
+        | _ -> false)
+      flats
+  in
+  (* Hooks stay [None] when no component needs them, so the fault model
+     keeps the physical [no_corrupt] / [no_scramble] defaults and the
+     engine skips replay-memory upkeep / registry sweeps entirely. *)
+  let corrupt =
+    match corrupters with
+    | [] -> None
+    | _ :: _ ->
+      Some
+        (fun ~round ~src ~dst ~prev payload ->
+          List.find_map
+            (fun f ->
+              match f.f_atom with
+              | Corrupt (p, kind, rate)
+                when round >= f.f_lo && round < f.f_hi
+                     && (match f.f_side with
+                        | None -> true
+                        | Some s -> Side.equal (Party_id.side src) s)
+                     && Party_id.equal src p
+                     && chance ~seed ~salt:f.f_salt ~round ~src ~dst rate ->
+                let hash = corrupt_hash ~seed ~salt:f.f_salt ~round ~src ~dst in
+                Option.map
+                  (fun bytes -> bytes, f.f_label)
+                  (Mutation.apply ~hash ~src ~prev kind payload)
+              | _ -> None)
+            corrupters)
+  in
+  let scramble =
+    match scramblers with
+    | [] -> None
+    | _ :: _ ->
+      Some
+        (fun ~round ~party ~cell ~attempt payload ->
+          List.find_map
+            (fun f ->
+              match f.f_atom with
+              | Corrupt_state (p, rate)
+                when round >= f.f_lo && round < f.f_hi
+                     && (match f.f_side with
+                        | None -> true
+                        | Some s -> Side.equal (Party_id.side party) s)
+                     && Party_id.equal party p
+                     && scramble_coin ~seed ~salt:f.f_salt ~round ~party ~cell
+                          rate ->
+                let hash =
+                  scramble_hash ~seed ~salt:f.f_salt ~round ~party ~cell ~attempt
+                in
+                Some (Mutation.scramble ~hash payload, f.f_label)
+              | _ -> None)
+            scramblers)
+  in
+  match corrupt, scramble with
+  | None, None -> Engine.fault_model ~label drop
+  | Some c, None -> Engine.fault_model ~label ~corrupt:c drop
+  | None, Some s -> Engine.fault_model ~label ~scramble:s drop
+  | Some c, Some s -> Engine.fault_model ~label ~corrupt:c ~scramble:s drop
 
 (* --- budget attribution -------------------------------------------------- *)
 
@@ -290,7 +360,9 @@ let charged ~k t =
       let c =
         match f.f_atom with
         | Bernoulli _ | Blackout -> side_roster f.f_side
-        | Crash p | Send_omission (p, _) | Corrupt (p, _, _) -> one f.f_side p
+        | Crash p | Send_omission (p, _) | Corrupt (p, _, _)
+        | Corrupt_state (p, _) ->
+          one f.f_side p
         | Receive_omission (p, _) -> Party_set.singleton p
         | Partition (a, b) ->
           if Party_set.cardinal b < Party_set.cardinal a then b else a
@@ -370,6 +442,12 @@ let atom_codec =
            ~inject:(fun p -> Sabotage p)
            ~match_:(function
              | Sabotage p -> Some p
+             | _ -> None));
+      pack
+        (case 8 (pair party_id float)
+           ~inject:(fun (p, r) -> Corrupt_state (p, decode_rate r))
+           ~match_:(function
+             | Corrupt_state (p, r) -> Some (p, r)
              | _ -> None));
     ]
 

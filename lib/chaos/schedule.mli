@@ -70,6 +70,22 @@ val blackout : from_round:int -> until_round:int -> t
     budget sense. *)
 val corrupt : rate:float -> kind:Mutation.kind -> Party_id.t -> t
 
+(** [corrupt_state ~rate p ~at_round] — entering round [at_round], each
+    state cell party [p] has registered
+    ({!Bsm_runtime.Engine.env.register_state}) is independently replaced,
+    with probability [rate], by arbitrary well-formed bytes
+    ({!Mutation.scramble} retried until the candidate decodes): the
+    self-stabilization adversary of the Byzantine Brides problem, aimed
+    at one party and one round so rounds-to-recovery is well defined.
+    Which cells fire and what state they wake up with are pure functions
+    of [(seed, component, round, party, cell)], so scrambled runs replay
+    bit-identically; the window is exactly [[at_round, at_round + 1)] and
+    composes with {!during} / {!restrict_to_side} like any atom. The
+    scrambled party is charged like send-omission. Note state exists only
+    after the party registers it (during round 0), so [at_round = 0]
+    never fires; use [at_round >= 1]. *)
+val corrupt_state : rate:float -> Party_id.t -> at_round:int -> t
+
 (** [sabotage p ~at_round] — like {!crash}, but deliberately {e not}
     charged in {!charged}. This exists for the harness: silencing an
     honest party without paying the budget makes the oracle report a
@@ -109,8 +125,10 @@ val pp : Format.formatter -> t -> unit
     [messages_dropped_by_label] name the schedule component responsible
     for every omitted message. Schedules containing {!corrupt} components
     also carry the engine's corrupt-in-flight hook (first applicable
-    component in pre-order wins per frame); schedules without any leave
-    the engine's replay tracking disabled. *)
+    component in pre-order wins per frame), and schedules containing
+    {!corrupt_state} components carry the engine's between-rounds
+    [scramble] hook (same first-match discipline per cell); schedules
+    without either leave the corresponding engine machinery disabled. *)
 val compile : seed:int -> t -> Engine.fault_model
 
 (** [charged ~k s] — the parties whose omission-corruption accounts for
@@ -122,9 +140,9 @@ val compile : seed:int -> t -> Engine.fault_model
     [charged ∪ byzantine] against the setting's [(t_L, t_R)] budgets:
     within budget, omission-faulty parties are a special case of
     byzantine ones, so the honest-party guarantees of Theorems 8–9 must
-    survive. {!corrupt} components charge the corrupted sender;
-    {!sabotage} components deliberately charge nobody (see
-    {!sabotage}). *)
+    survive. {!corrupt} and {!corrupt_state} components charge the
+    corrupted party; {!sabotage} components deliberately charge nobody
+    (see {!sabotage}). *)
 val charged : k:int -> t -> Party_set.t
 
 (** {2 Serialization}

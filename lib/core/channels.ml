@@ -142,6 +142,13 @@ let virtual_net (env : Engine.env) ~topology ~auth =
      mode; majority mode is replay-proof by the honest-majority argument
      but deduplicates identically for cheap idempotence. *)
   let delivered = Hashtbl.create 64 in
+  (* The channel layer's own round-local state is corruptible too: a
+     scrambled [vround] desynchronizes this party's virtual clock, a
+     scrambled [next_id] collides or skips message ids — failure modes a
+     byzantine relay could never force on an honest party, but an
+     arbitrary-initial-state start can. *)
+  env.register_state Wire.uint vround;
+  env.register_state Wire.uint next_id;
   let send dst body =
     if Party_id.equal dst self then ()
     else if Topology.connected topology self dst then
@@ -239,4 +246,4 @@ let virtual_net (env : Engine.env) ~topology ~auth =
     let all = List.rev_append !direct relayed in
     List.stable_sort (fun (a, _) (b, _) -> Party_id.compare a b) all
   in
-  { Net.self; stride; send; sync }
+  { Net.self; stride; send; sync; register_state = env.register_cell }

@@ -53,6 +53,13 @@ let left_program ~input (env : Engine.env) =
   let engaged = ref None in
   let next_rank = ref 0 in
   let proposals = ref 0 in
+  (* Expose the proposer's whole round-local state to the chaos plane: a
+     scrambled [next_rank] re-proposes or stops early, a scrambled
+     [engaged] forgets (or invents) an engagement — the Byzantine Brides
+     arbitrary-initial-state faults, driven deterministically. *)
+  env.register_state (Wire.option Wire.party_id) engaged;
+  env.register_state Wire.uint next_rank;
+  env.register_state Wire.uint proposals;
   let propose_if_free () =
     if !engaged = None && !next_rank < k then begin
       let target = Party_id.right (SM.Prefs.at input !next_rank) in
@@ -80,6 +87,7 @@ let left_program ~input (env : Engine.env) =
 let right_program ~input (env : Engine.env) =
   let bound = rounds_bound ~k:env.k in
   let current = ref None in
+  env.register_state (Wire.option Wire.party_id) current;
   while env.round () < bound do
     let inbox = decode_inbox (env.next_round ()) in
     if env.round () mod 2 = 1 then begin

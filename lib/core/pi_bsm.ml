@@ -147,6 +147,11 @@ let relay_program (setting : Setting.t) ~computing_side ~input (env : Engine.env
      C at engine round 1 + 2·V and arrive at 2 + 2·V. *)
   let last_round = engine_rounds setting ~computing_side in
   let suggestions = ref [] in
+  (* The relay's only round-local state: the Suggest votes gathered so
+     far. Registered so state-corruption schedules reach the O side. *)
+  env.register_state
+    (Wire.list (Wire.pair Wire.party_id (Wire.option Wire.party_id)))
+    suggestions;
   for _ = 1 to last_round do
     let inbox = env.next_round () in
     List.iter

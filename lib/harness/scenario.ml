@@ -33,6 +33,7 @@ type report = {
   outcome : Core.Problem.outcome;
   violations : Core.Problem.violation list;
   metrics : Engine.metrics;
+  parties : Engine.party_result list;
   plan : Core.Select.plan;
 }
 
@@ -73,7 +74,7 @@ let execute ?(max_rounds = 2000) ?faults t ~honest_program =
   let outcome =
     { Core.Problem.profile = t.profile; byzantine = byz; decisions }
   in
-  outcome, res.Engine.metrics
+  outcome, res.Engine.metrics, res.Engine.parties
 
 let run ?max_rounds ?faults t =
   let plan = Core.Select.plan_exn t.setting in
@@ -81,8 +82,8 @@ let run ?max_rounds ?faults t =
   let honest_program p =
     plan.Core.Select.program ~pki ~input:(SM.Profile.prefs t.profile p) ~self:p
   in
-  let outcome, metrics = execute ?max_rounds ?faults t ~honest_program in
-  { outcome; violations = Core.Problem.check outcome; metrics; plan }
+  let outcome, metrics, parties = execute ?max_rounds ?faults t ~honest_program in
+  { outcome; violations = Core.Problem.check outcome; metrics; parties; plan }
 
 let run_ssm ?max_rounds ?faults ~favorites t =
   let plan = Core.Select.plan_exn t.setting in
@@ -91,11 +92,12 @@ let run_ssm ?max_rounds ?faults ~favorites t =
   let honest_program p = Core.Ssm.program plan ~pki ~favorite:(favorites p) ~self:p in
   (* For evaluation, the true profile is the reduction's constructed one. *)
   let t = { t with profile = Core.Ssm.favorites_to_profile ~k favorites } in
-  let outcome, metrics = execute ?max_rounds ?faults t ~honest_program in
+  let outcome, metrics, parties = execute ?max_rounds ?faults t ~honest_program in
   {
     outcome;
     violations = Core.Problem.check_simplified ~favorites outcome;
     metrics;
+    parties;
     plan;
   }
 

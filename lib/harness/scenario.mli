@@ -38,6 +38,10 @@ type report = {
   outcome : Core.Problem.outcome;
   violations : Core.Problem.violation list;
   metrics : Engine.metrics;
+  parties : Engine.party_result list;
+      (** raw engine results, including termination status and
+          [finished_round] — the convergence oracle
+          ({!Bsm_chaos.Oracle}) reads rounds-to-recovery off these *)
   plan : Core.Select.plan;
 }
 

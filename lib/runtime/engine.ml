@@ -13,6 +13,30 @@ type envelope = {
   data : Wire.Slice.t;
 }
 
+(* A corruptible state cell: one protocol-level mutable value exposed to
+   the state-corruption plane through its canonical wire encoding.
+   [cell_encode] snapshots the current value; [cell_set] decodes candidate
+   bytes into the ref and reports whether they were well-formed (a decode
+   failure leaves the value untouched). *)
+type state_cell = {
+  cell_encode : unit -> payload;
+  cell_set : payload -> bool;
+}
+
+let state_cell (type a) (codec : a Wire.t) (r : a ref) : state_cell =
+  {
+    cell_encode = (fun () -> Wire.encode codec !r);
+    cell_set =
+      (fun bytes ->
+        (* Codecs may validate in [inject] by raising; treat any failure
+           as "not a well-formed state". *)
+        match Wire.decode codec bytes with
+        | Ok v ->
+          r := v;
+          true
+        | Error _ | (exception _) -> false);
+  }
+
 type env = {
   self : Party_id.t;
   k : int;
@@ -24,6 +48,8 @@ type env = {
   next_round : unit -> envelope list;
   output : payload -> unit;
   log : string -> unit;
+  register_state : 'a. 'a Wire.t -> 'a ref -> unit;
+  register_cell : state_cell -> unit;
 }
 
 let broadcast env targets msg =
@@ -51,22 +77,59 @@ type fault_model = {
     prev:payload option ->
     payload ->
     (payload * string) option;
+  scramble :
+    round:int ->
+    party:Party_id.t ->
+    cell:int ->
+    attempt:int ->
+    payload ->
+    (payload * string) option;
 }
 
 let no_label ~round:_ ~src:_ ~dst:_ = None
 let no_corrupt ~round:_ ~src:_ ~dst:_ ~prev:_ _ = None
+let no_scramble ~round:_ ~party:_ ~cell:_ ~attempt:_ _ = None
 
-let fault_model ?(label = no_label) ?(corrupt = no_corrupt) drop =
-  { drop; drop_label = label; corrupt }
+let fault_model ?(label = no_label) ?(corrupt = no_corrupt)
+    ?(scramble = no_scramble) drop =
+  { drop; drop_label = label; corrupt; scramble }
 
 let no_faults = fault_model (fun ~round:_ ~src:_ ~dst:_ -> false)
+
+(* How many mutation attempts the scramble hook gets per (round, party,
+   cell) before the cell is left untouched. A firing component keeps
+   firing across attempts (the coin ignores [attempt]); only the mutated
+   bytes vary, so the retry loop searches for a decodable — i.e.
+   arbitrary but well-formed — state. *)
+let max_scramble_attempts = 8
+
+(* The one scramble sweep, shared verbatim by the in-process engine and
+   the Live per-party-domain executor so seq == par stays bit-identical:
+   per registered cell (in registration order), ask the hook; on a hit,
+   retry with fresh bytes until a mutation decodes or the attempt budget
+   runs out. [on_scrambled] fires once per cell whose state was actually
+   replaced. *)
+let scramble_cells ~scramble ~round ~party scells ~on_scrambled =
+  List.iteri
+    (fun ci c ->
+      let payload = c.cell_encode () in
+      let rec go attempt =
+        if attempt < max_scramble_attempts then
+          match scramble ~round ~party ~cell:ci ~attempt payload with
+          | None -> ()
+          | Some (bytes, label) ->
+            if c.cell_set bytes then on_scrambled ~bytes ~label
+            else go (attempt + 1)
+      in
+      go 0)
+    scells
 
 type event = {
   event_round : int;
   event_src : Party_id.t;
   event_dst : Party_id.t;
   event_bytes : int;
-  event_fate : [ `Delivered | `No_channel | `Omitted | `Corrupted ];
+  event_fate : [ `Delivered | `No_channel | `Omitted | `Corrupted | `Scrambled ];
   event_label : string option;
 }
 
@@ -77,6 +140,7 @@ let pp_event ppf e =
     | `No_channel -> "no-channel"
     | `Omitted -> "omitted"
     | `Corrupted -> "corrupted"
+    | `Scrambled -> "scrambled"
   in
   Format.fprintf ppf "r%d %a -> %a (%dB, %s%s)" e.event_round Party_id.pp e.event_src
     Party_id.pp e.event_dst e.event_bytes fate
@@ -105,6 +169,7 @@ type party_result = {
   id : Party_id.t;
   status : status;
   out : payload option;
+  finished_round : int option;
 }
 
 type metrics = {
@@ -117,6 +182,8 @@ type metrics = {
   messages_dropped_by_label : (string * int) list;
   bytes_sent : int;
   bytes_delivered : int;
+  cells_scrambled : int;
+  first_scramble_round : int option;
 }
 
 type result = {
@@ -136,7 +203,8 @@ type result = {
      src     : 8 bytes (int64, [index lsl 1 lor side_bit])
      dst     : 8 bytes (same packing; dst may lie outside the roster)
      bytes   : 4 bytes (int32)
-     fate    : 1 byte  (0 delivered, 1 no-channel, 2 omitted, 3 corrupted)
+     fate    : 1 byte  (0 delivered, 1 no-channel, 2 omitted, 3 corrupted,
+                        4 scrambled)
      label   : 2 bytes (intern-table id + 1; 0 = no label)
 
    Labels are interned once per distinct string (fault schedules use a
@@ -188,11 +256,13 @@ let fate_code = function
   | `No_channel -> 1
   | `Omitted -> 2
   | `Corrupted -> 3
+  | `Scrambled -> 4
 
 let fate_of_code = function
   | 0 -> `Delivered
   | 1 -> `No_channel
   | 2 -> `Omitted
+  | 4 -> `Scrambled
   | _ -> `Corrupted
 
 let trace_record t ~round ~src ~dst ~bytes ~fate ~label =
@@ -251,6 +321,7 @@ type _ Effect.t +=
   | Get_round : int Effect.t
   | Output : payload -> unit Effect.t
   | Log_line : string -> unit Effect.t
+  | Register_state : state_cell -> unit Effect.t
 
 type fiber_state =
   | Waiting of (envelope list, unit) Effect.Deep.continuation
@@ -297,6 +368,8 @@ type cell = {
   inbox : inbox;
   mutable state : fiber_state;
   mutable out : payload option;
+  mutable scells : state_cell list; (* reverse registration order *)
+  mutable finished : int option; (* round the fiber returned in *)
 }
 
 let no_strings : string array = [||]
@@ -377,6 +450,8 @@ let run cfg ~programs =
             };
           state = Finished;
           out = None;
+          scells = [];
+          finished = None;
         })
       roster_arr
   in
@@ -403,6 +478,8 @@ let run cfg ~programs =
   let messages_corrupted = ref 0 in
   let bytes_sent = ref 0 in
   let bytes_delivered = ref 0 in
+  let cells_scrambled = ref 0 in
+  let first_scramble_round = ref None in
 
   (* Replay support for corrupting fault models: the last payload
      {e delivered} on each ordered link in any {e earlier} round, indexed
@@ -427,7 +504,10 @@ let run cfg ~programs =
     let open Effect.Deep in
     match_with f ()
       {
-        retc = (fun () -> cell.state <- Finished);
+        retc =
+          (fun () ->
+            cell.state <- Finished;
+            cell.finished <- Some !round);
         exnc =
           (fun exn ->
             Log.debug (fun m ->
@@ -523,6 +603,11 @@ let run cfg ~programs =
                 (fun (cont : (a, _) continuation) ->
                   Log.debug (fun m -> m "r%d %a: %s" !round Party_id.pp cell.id s);
                   continue cont ())
+            | Register_state sc ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  cell.scells <- sc :: cell.scells;
+                  continue cont ())
             | _ -> None);
       }
   in
@@ -539,6 +624,8 @@ let run cfg ~programs =
       next_round = (fun () -> Effect.perform Next_round);
       output = (fun p -> Effect.perform (Output p));
       log = (fun s -> Effect.perform (Log_line s));
+      register_state = (fun c r -> Effect.perform (Register_state (state_cell c r)));
+      register_cell = (fun sc -> Effect.perform (Register_state sc));
     }
   in
 
@@ -668,9 +755,33 @@ let run cfg ~programs =
       cells
   in
 
+  (* State scrambling runs between rounds — after the previous round's
+     delivery sweep, before any fiber resumes — against parties still in
+     the protocol, so a corrupted cell is exactly "the value the party
+     wakes up with". Gated on physical inequality like [track_prev]:
+     scramble-free runs never touch the registries. *)
+  let track_scramble = cfg.faults.scramble != no_scramble in
+  let scramble_round () =
+    if track_scramble then
+      iter_cells (fun cell ->
+          match cell.state with
+          | Waiting _ ->
+            scramble_cells ~scramble:cfg.faults.scramble ~round:!round
+              ~party:cell.id (List.rev cell.scells)
+              ~on_scrambled:(fun ~bytes ~label ->
+                incr cells_scrambled;
+                if !first_scramble_round = None then
+                  first_scramble_round := Some !round;
+                count_label label;
+                record ~label:(Some label) cell.id cell.id (String.length bytes)
+                  `Scrambled)
+          | Finished | Failed _ -> ())
+  in
+
   while some_waiting () && !round < cfg.max_rounds do
     deliver ();
     incr round;
+    scramble_round ();
     iter_cells
       (fun cell ->
         match cell.state with
@@ -704,7 +815,7 @@ let run cfg ~programs =
       | Waiting _ -> Out_of_rounds
       | Failed msg -> Crashed msg
     in
-    { id = cell.id; status; out = cell.out }
+    { id = cell.id; status; out = cell.out; finished_round = cell.finished }
   in
   {
     parties = List.map party_result (Array.to_list cells);
@@ -723,6 +834,8 @@ let run cfg ~programs =
             (List.map (fun (l, r) -> l, !r) !dropped_by_label);
         bytes_sent = !bytes_sent;
         bytes_delivered = !bytes_delivered;
+        cells_scrambled = !cells_scrambled;
+        first_scramble_round = !first_scramble_round;
       };
   }
 

@@ -40,6 +40,23 @@ type envelope = {
   data : Bsm_wire.Wire.Slice.t;
 }
 
+(** A corruptible state cell, the unit of the state-corruption plane: one
+    protocol-level mutable value exposed as its canonical wire encoding.
+    [cell_encode] snapshots the current value; [cell_set] decodes
+    candidate bytes into the underlying ref, returning [false] (value
+    untouched) when they are not a well-formed encoding. Build one with
+    {!state_cell}, or hand-roll the closures for state that has no single
+    codec. *)
+type state_cell = {
+  cell_encode : unit -> payload;
+  cell_set : payload -> bool;
+}
+
+(** [state_cell codec r] exposes [r] through [codec]. Decode failures —
+    [Error] or a raising validator — leave [r] untouched and report
+    [false]. *)
+val state_cell : 'a Bsm_wire.Wire.t -> 'a ref -> state_cell
+
 (** The capabilities handed to a party's fiber. Attack constructions wrap
     these closures to build covering systems, so keep protocols programming
     against [env] rather than against the engine directly. *)
@@ -81,6 +98,20 @@ type env = {
           by sender (send order preserved per sender) *)
   output : payload -> unit;  (** record this party's protocol output *)
   log : string -> unit;
+  register_state : 'a. 'a Bsm_wire.Wire.t -> 'a ref -> unit;
+      (** [register_state codec r] exposes [r] to the state-corruption
+          plane: between rounds, the fault model's [scramble] hook may
+          replace its contents with arbitrary well-formed bytes (the
+          self-stabilization adversary of the Byzantine Brides model).
+          Cells are indexed in registration order per party; protocols
+          should register their round-local state once, up front, so the
+          indexing is deterministic. Free when the run's fault model never
+          scrambles. *)
+  register_cell : state_cell -> unit;
+      (** the serialized-blob seam under {!register_state}: register an
+          already-built {!state_cell} (used by plumbing that forwards
+          cells built elsewhere, e.g. broadcast machines registered by a
+          session). *)
 }
 
 (** [broadcast env targets msg] sends [msg] to every party in [targets]
@@ -137,10 +168,36 @@ type fault_model = {
           other. Must be pure (runs may execute on any domain). The
           per-link replay memory is only maintained when [corrupt] is not
           (physically) {!no_corrupt}, so fault-free runs pay nothing. *)
+  scramble :
+    round:int ->
+    party:Party_id.t ->
+    cell:int ->
+    attempt:int ->
+    payload ->
+    (payload * string) option;
+      (** the state-corruption hook, the engine half of the
+          self-stabilization chaos plane: consulted between rounds —
+          after round [round - 1]'s delivery sweep, before any fiber
+          resumes in round [round] — for every state cell a still-running
+          party registered, in registration order ([cell] is the index).
+          [payload] is the cell's current canonical encoding.
+          [Some (bytes, label)] asks the engine to replace the cell's
+          value with [bytes]; if they fail to decode, the hook is retried
+          with [attempt + 1] (fresh bytes, same firing decision) up to
+          {!max_scramble_attempts} times, after which the cell is left
+          untouched and nothing is counted. [None] on attempt 0 means the
+          hook does not fire for this (round, party, cell). Must be pure
+          (runs may execute on any domain); the same staged discipline as
+          [corrupt] applies — a scramble can never observe the round
+          currently being delivered, because it runs strictly after the
+          sweep commits. Gated on physical inequality with
+          {!no_scramble}: scramble-free runs never touch the
+          registries. *)
 }
 
-(** [fault_model ?label ?corrupt drop] — [label] defaults to no
-    attribution, [corrupt] to {!no_corrupt} (deliver untouched). *)
+(** [fault_model ?label ?corrupt ?scramble drop] — [label] defaults to no
+    attribution, [corrupt] to {!no_corrupt} (deliver untouched),
+    [scramble] to {!no_scramble} (state never corrupted). *)
 val fault_model :
   ?label:(round:int -> src:Party_id.t -> dst:Party_id.t -> string option) ->
   ?corrupt:
@@ -148,6 +205,13 @@ val fault_model :
     src:Party_id.t ->
     dst:Party_id.t ->
     prev:payload option ->
+    payload ->
+    (payload * string) option) ->
+  ?scramble:
+    (round:int ->
+    party:Party_id.t ->
+    cell:int ->
+    attempt:int ->
     payload ->
     (payload * string) option) ->
   (round:int -> src:Party_id.t -> dst:Party_id.t -> bool) ->
@@ -162,7 +226,40 @@ val no_corrupt :
   payload ->
   (payload * string) option
 
+(** The default [scramble] hook: always [None]. *)
+val no_scramble :
+  round:int ->
+  party:Party_id.t ->
+  cell:int ->
+  attempt:int ->
+  payload ->
+  (payload * string) option
+
 val no_faults : fault_model
+
+(** Mutation-attempt budget per (round, party, cell) — see
+    {!type-fault_model.scramble}. *)
+val max_scramble_attempts : int
+
+(** [scramble_cells ~scramble ~round ~party cells ~on_scrambled] is the
+    one scramble sweep, exported so the {!Bsm_serve} Live executor runs
+    literally the same loop as the engine (seq == par bit-identity):
+    for each cell in order, consult [scramble] and retry until a mutation
+    decodes or the attempt budget runs out; [on_scrambled] fires once per
+    cell actually replaced, with the winning bytes and component label. *)
+val scramble_cells :
+  scramble:
+    (round:int ->
+    party:Party_id.t ->
+    cell:int ->
+    attempt:int ->
+    payload ->
+    (payload * string) option) ->
+  round:int ->
+  party:Party_id.t ->
+  state_cell list ->
+  on_scrambled:(bytes:payload -> label:string -> unit) ->
+  unit
 
 (** One message-level event, for execution traces. *)
 type event = {
@@ -170,11 +267,14 @@ type event = {
   event_src : Party_id.t;
   event_dst : Party_id.t;
   event_bytes : int;
-  event_fate : [ `Delivered | `No_channel | `Omitted | `Corrupted ];
-      (** [`Corrupted] frames were delivered, with mutated bytes *)
+  event_fate : [ `Delivered | `No_channel | `Omitted | `Corrupted | `Scrambled ];
+      (** [`Corrupted] frames were delivered, with mutated bytes.
+          [`Scrambled] is not a message at all: a state cell of
+          [event_src = event_dst] was replaced between rounds
+          ([event_bytes] is the new encoding's length). *)
   event_label : string option;
-      (** fault-model attribution; only ever [Some] on [`Omitted] and
-          [`Corrupted] *)
+      (** fault-model attribution; only ever [Some] on [`Omitted],
+          [`Corrupted] and [`Scrambled] *)
 }
 
 val pp_event : Format.formatter -> event -> unit
@@ -206,6 +306,10 @@ type party_result = {
   id : Party_id.t;
   status : status;
   out : payload option;  (** last value passed to [output], if any *)
+  finished_round : int option;
+      (** the round the fiber returned in; [Some] exactly when [status]
+          is [Terminated]. The convergence oracle reads recovery times
+          off this. *)
 }
 
 type metrics = {
@@ -219,11 +323,12 @@ type metrics = {
           also count in [messages_delivered] — corruption changes the
           payload, not the fact of delivery *)
   messages_dropped_by_label : (string * int) list;
-      (** omissions {e and} corruptions broken down by component
-          attribution ([drop_label] / the [corrupt] hook's label), sorted
-          by label; unlabelled omissions are not listed, so the counts
-          sum to at most [messages_dropped_fault + messages_corrupted].
-          Empty when the fault model never labels. *)
+      (** omissions, corruptions {e and} state scrambles broken down by
+          component attribution ([drop_label] / the [corrupt] and
+          [scramble] hooks' labels), sorted by label; unlabelled
+          omissions are not listed, so the counts sum to at most
+          [messages_dropped_fault + messages_corrupted +
+          cells_scrambled]. Empty when the fault model never labels. *)
   bytes_sent : int;
       (** payload bytes of every [send]/[send_w]/[send_slice] call, at
           the length the sender wrote — the symmetric counterpart of
@@ -238,6 +343,13 @@ type metrics = {
           [messages_delivered] describe the same message set. (This is
           the quantity the communication-complexity experiments and the
           metrics fingerprints use.) *)
+  cells_scrambled : int;
+      (** state cells actually replaced by the [scramble] hook (mutations
+          that never decoded within the attempt budget don't count) *)
+  first_scramble_round : int option;
+      (** the round of the first successful scramble — the epoch the
+          convergence oracle measures recovery from; [None] when no
+          scramble landed *)
 }
 
 type result = {

@@ -5,6 +5,7 @@ type t = {
   stride : int;
   send : Party_id.t -> string -> unit;
   sync : unit -> (Party_id.t * string) list;
+  register_state : Engine.state_cell -> unit;
 }
 
 let direct (env : Engine.env) =
@@ -17,6 +18,7 @@ let direct (env : Engine.env) =
         List.map
           (fun (e : Engine.envelope) -> e.src, Bsm_wire.Wire.Slice.to_string e.data)
           (env.next_round ()));
+    register_state = env.register_cell;
   }
 
 let send_all t parties msg =

@@ -18,6 +18,11 @@ type t = {
   sync : unit -> (Party_id.t * string) list;
       (** advance one virtual round; returns messages sent to [self] in the
           previous virtual round, sorted by sender *)
+  register_state : Engine.state_cell -> unit;
+      (** forward a corruptible state cell to the engine's
+          state-corruption seam ({!Engine.env.register_cell}); machines
+          register their round-local state through this so scrambles
+          reach protocol memory behind virtual channels too *)
 }
 
 (** Physical channels of the engine: one engine round per virtual round. *)

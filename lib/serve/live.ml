@@ -113,6 +113,7 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
             else None))
   in
   let track_prev = faults.Engine.corrupt != Engine.no_corrupt in
+  let track_scramble = faults.Engine.scramble != Engine.no_scramble in
   let b1 = barrier n and b2 = barrier n in
   let finished = Atomic.make 0 in
   let worker i =
@@ -127,6 +128,11 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
     (* This worker's per-destination round arenas, created lazily on
        first send down a channel. *)
     let accums : accum option array = Array.make n None in
+    (* This party's corruptible state registry, reverse registration
+       order — the engine's [cell.scells] discipline. Only this domain
+       ever touches it (registration and scrambling both happen on the
+       owner's fiber), so no synchronization is needed. *)
+    let scells : Engine.state_cell list ref = ref [] in
     let send dst data =
       if Party_id.index dst >= k then () (* outside the roster: no channel *)
       else
@@ -217,6 +223,16 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
       done;
       await b2;
       incr round;
+      (* Between-rounds state corruption, the engine's placement exactly:
+         after the previous round's deliveries committed, before this
+         party resumes in the new round. [Engine.scramble_cells] is the
+         same sweep the in-process engine runs, so live == engine stays
+         bit-identical; the hook is pure, and only this party's cells are
+         touched, so domains never race. *)
+      if track_scramble then
+        Engine.scramble_cells ~scramble:faults.Engine.scramble ~round:!round
+          ~party:self (List.rev !scells)
+          ~on_scrambled:(fun ~bytes:_ ~label:_ -> ());
       !inbox
     in
     let status =
@@ -233,11 +249,20 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
             next_round;
             output = (fun p -> out := Some p);
             log = ignore;
+            register_state = (fun c r -> scells := Engine.state_cell c r :: !scells);
+            register_cell = (fun sc -> scells := sc :: !scells);
           }
       with
       | () -> Engine.Terminated
       | exception Out_of_rounds_ -> Engine.Out_of_rounds
       | exception exn -> Engine.Crashed (Printexc.to_string exn)
+    in
+    (* [!round] still holds the round the program stopped in; capture the
+       termination round before the ghost loop advances it. *)
+    let finished_round =
+      match status with
+      | Engine.Terminated -> Some !round
+      | Engine.Out_of_rounds | Engine.Crashed _ -> None
     in
     (* Frames queued before the program stopped still belong to the
        round in flight. *)
@@ -263,7 +288,7 @@ let run ?(max_rounds = 10_000) ?(faults = Engine.no_faults) ?(ring_capacity = 10
         if !round >= max_rounds then live := false
       end
     done;
-    { Engine.id = self; status; out = !out }
+    { Engine.id = self; status; out = !out; finished_round }
   in
   let domains = Array.init n (fun i -> Domain.spawn (fun () -> worker i)) in
   Array.to_list (Array.map Domain.join domains)

@@ -248,15 +248,87 @@ let test_schedule_codec_roundtrip () =
           (Schedule.blackout ~from_round:0 ~until_round:100);
         Schedule.restrict_to_side Side.Left
           (Schedule.corrupt ~rate:0.3 ~kind:Mutation.Forge_sender (Party_id.left 0));
+        Schedule.corrupt_state ~rate:0.8 r0 ~at_round:3;
         Schedule.sabotage (Party_id.left 0) ~at_round:5;
       ]
   in
   let bytes = Wire.encode Schedule.codec sched in
-  Alcotest.(check bool) "roundtrip" true
-    (Wire.decode_exn Schedule.codec bytes = sched);
+  let decoded = Wire.decode_exn Schedule.codec bytes in
+  Alcotest.(check bool) "roundtrip" true (decoded = sched);
+  (* Canonicality across every atom: re-encoding the decoded term yields
+     the same bytes, so repro files are stable digests of the term. *)
+  Alcotest.(check string) "canonical re-encoding"
+    (Wire.to_hex bytes)
+    (Wire.to_hex (Wire.encode Schedule.codec decoded));
   Alcotest.(check bool) "garbage never crashes the schedule decoder" true
     (match Wire.decode Schedule.codec "\x02\x02\x02\x02\x02" with
     | Ok _ | Error _ -> true)
+
+(* --- state corruption ----------------------------------------------------- *)
+
+let test_corrupt_state_never_drops_and_targets () =
+  let r0 = Party_id.right 0 in
+  let model = Schedule.compile ~seed:7 (Schedule.corrupt_state ~rate:1.0 r0 ~at_round:2) in
+  Alcotest.(check bool) "state corruption is not omission" false
+    (model.Engine.drop ~round:2 ~src:r0 ~dst:(Party_id.left 0));
+  let fires ~round ~party =
+    model.Engine.scramble ~round ~party ~cell:0 ~attempt:0 "payload" <> None
+  in
+  Alcotest.(check bool) "fires in its round at rate 1" true (fires ~round:2 ~party:r0);
+  Alcotest.(check bool) "window start exclusive below" false (fires ~round:1 ~party:r0);
+  Alcotest.(check bool) "window end exclusive" false (fires ~round:3 ~party:r0);
+  Alcotest.(check bool) "other parties untouched" false
+    (fires ~round:2 ~party:(Party_id.right 1));
+  (* Omission-only schedules must leave the engine's scramble machinery
+     physically disabled — that is what keeps [track_prev]-style gating
+     (and hence fault-free runs) on the fast path. *)
+  let omission = Schedule.compile ~seed:7 (Schedule.bernoulli ~rate:0.5) in
+  Alcotest.(check bool) "no scramblers, no hook" true
+    (omission.Engine.scramble == Engine.no_scramble)
+
+let test_corrupt_state_deterministic_and_attempt_varied () =
+  let r0 = Party_id.right 0 in
+  let sched = Schedule.corrupt_state ~rate:1.0 r0 ~at_round:1 in
+  let get seed attempt =
+    (Schedule.compile ~seed sched).Engine.scramble ~round:1 ~party:r0 ~cell:0
+      ~attempt "some canonical state"
+  in
+  Alcotest.(check bool) "same seed, same bytes" true (get 5 0 = get 5 0);
+  Alcotest.(check bool) "different seed, different bytes" false (get 5 0 = get 6 0);
+  (* The retry loop must draw fresh candidates: the firing decision
+     ignores the attempt, the content hash absorbs it. *)
+  Alcotest.(check bool) "attempts still fire" true (get 5 3 <> None);
+  Alcotest.(check bool) "attempts vary the candidate" false (get 5 0 = get 5 1)
+
+let test_corrupt_state_window_and_side_composition () =
+  let r0 = Party_id.right 0 in
+  let atom = Schedule.corrupt_state ~rate:1.0 r0 ~at_round:2 in
+  Alcotest.(check bool) "excluding window prunes the atom" true
+    (Schedule.is_empty (Schedule.during ~from_round:3 ~until_round:9 atom));
+  (* A mismatched side restriction keeps the term (same contract as the
+     other party atoms) but the compiled hook never fires and nobody is
+     charged. *)
+  let mismatched =
+    Schedule.compile ~seed:0 (Schedule.restrict_to_side Side.Left atom)
+  in
+  Alcotest.(check bool) "mismatched side restriction never fires" true
+    (mismatched.Engine.scramble ~round:2 ~party:r0 ~cell:0 ~attempt:0 "state"
+    = None);
+  Alcotest.check party_set "mismatched side restriction charges nobody"
+    Party_set.empty
+    (Schedule.charged ~k:2 (Schedule.restrict_to_side Side.Left atom));
+  let kept = Schedule.during ~from_round:0 ~until_round:3 atom in
+  Alcotest.(check bool) "covering window keeps it" false (Schedule.is_empty kept);
+  Alcotest.(check bool) "matching side restriction keeps it" false
+    (Schedule.is_empty (Schedule.restrict_to_side Side.Right atom));
+  let model = Schedule.compile ~seed:0 kept in
+  Alcotest.(check bool) "kept atom still fires in its round" true
+    (model.Engine.scramble ~round:2 ~party:r0 ~cell:0 ~attempt:0 "state" <> None);
+  Alcotest.(check bool) "zero rate prunes" true
+    (Schedule.is_empty (Schedule.corrupt_state ~rate:0. r0 ~at_round:2));
+  Alcotest.check party_set "corrupt_state charges its party like send-omission"
+    (Party_set.singleton r0)
+    (Schedule.charged ~k:2 atom)
 
 (* --- budget attribution -------------------------------------------------- *)
 
@@ -385,6 +457,66 @@ let test_oracle_counts_fates () =
     (m.Engine.messages_delivered + m.Engine.messages_dropped_topology
    + m.Engine.messages_dropped_fault)
 
+(* --- the convergence oracle ------------------------------------------------ *)
+
+(* Fully-connected/unauthenticated k=2 with spare right budget: the
+   general phase-king path, whose parties register their round-local
+   state, so a corrupt-state schedule on R0 demonstrably scrambles. *)
+let scramble_case () = H.Sweep.case ~profile_seed:11 (List.hd (t_settings ~k:2))
+
+let test_recovery_measured_after_scramble () =
+  let schedule = Schedule.corrupt_state ~rate:1.0 (Party_id.right 0) ~at_round:1 in
+  let r = Oracle.run ~seed:1 ~schedule (scramble_case ()) in
+  let m = r.Oracle.metrics in
+  Alcotest.(check bool) "cells were scrambled" true (m.Engine.cells_scrambled > 0);
+  Alcotest.(check (option int))
+    "first scramble in the schedule's round" (Some 1) m.Engine.first_scramble_round;
+  Alcotest.(check bool) "within budget" true r.Oracle.within_budget;
+  Alcotest.(check bool) "still ok — the protocol absorbs the scramble" true
+    (r.Oracle.verdict = Oracle.Ok);
+  (match r.Oracle.recovery with
+  | Some (Oracle.Recovered n) ->
+    Alcotest.(check bool) (Printf.sprintf "recovered in %d rounds" n) true (n >= 0)
+  | other ->
+    Alcotest.failf "expected Recovered, got %s"
+      (match other with
+      | None -> "no recovery verdict"
+      | Some rc -> Oracle.recovery_to_string rc));
+  (* Scrambles are charged to the component's label like omissions. *)
+  Alcotest.(check bool) "scramble label tallied" true
+    (List.mem_assoc "corrupt-state(R0@1,100%)" m.Engine.messages_dropped_by_label)
+
+let test_recovery_none_without_scramble () =
+  let schedule = Schedule.crash (Party_id.right 0) ~at_round:1 in
+  let r = Oracle.run ~seed:1 ~schedule (scramble_case ()) in
+  Alcotest.(check bool) "no scramble, no recovery verdict" true
+    (r.Oracle.recovery = None);
+  Alcotest.(check int) "no cells scrambled" 0 r.Oracle.metrics.Engine.cells_scrambled
+
+let test_recovery_stuck_when_rounds_run_out () =
+  (* Starve the run of rounds after the scramble: honest parties are
+     proven never to converge, which the oracle must report as Stuck
+     rather than a bare termination violation. *)
+  let schedule = Schedule.corrupt_state ~rate:1.0 (Party_id.right 0) ~at_round:1 in
+  let r = Oracle.run ~max_rounds:2 ~seed:1 ~schedule (scramble_case ()) in
+  Alcotest.(check bool) "cells were scrambled first" true
+    (r.Oracle.metrics.Engine.cells_scrambled > 0);
+  Alcotest.(check bool) "proven stuck" true (r.Oracle.recovery = Some Oracle.Stuck)
+
+let test_recovery_codec_roundtrip () =
+  List.iter
+    (fun rc ->
+      let bytes = Wire.encode Oracle.recovery_codec rc in
+      Alcotest.(check bool)
+        (Oracle.recovery_to_string rc)
+        true
+        (Wire.decode_exn Oracle.recovery_codec bytes = rc))
+    [ Oracle.Recovered 0; Oracle.Recovered 17; Oracle.Stuck; Oracle.Violated ];
+  Alcotest.(check bool) "unknown tag rejected" true
+    (match Wire.decode Oracle.recovery_codec "\x09" with
+    | Error _ -> true
+    | Ok _ -> false)
+
 (* --- shrinker & repros ---------------------------------------------------- *)
 
 (* The injected-violation construction the CLI's --inject-violation uses:
@@ -501,6 +633,58 @@ let test_repro_file_rejects_garbage () =
   rejects "bsm-repro 1\n00"
 (* valid hex, malformed payload *)
 
+let test_shrink_and_replay_corrupt_state () =
+  (* A violation whose schedule carries a corrupt-state decoy: the
+     shrinker must handle the new component (strip it — it is not the
+     bug), and a repro whose schedule retains corrupt-state components
+     must replay bit-identically, scramble hashes included. *)
+  let case = H.Sweep.case ~label:"scrambled" ~profile_seed:202 (injected_setting ()) in
+  let schedule =
+    Schedule.union
+      (injected_schedule ())
+      (Schedule.corrupt_state ~rate:0.9 (Party_id.right 0) ~at_round:1)
+  in
+  (match Shrink.minimize ~seed:0 ~schedule case with
+  | Error msg -> Alcotest.failf "expected a violation to shrink: %s" msg
+  | Ok out ->
+    Alcotest.(check bool) "shrunk schedule still violates" true
+      (out.Shrink.report.Oracle.verdict = Oracle.Violation);
+    Alcotest.(check bool) "corrupt-state decoy stripped" true
+      (List.length (Schedule.components out.Shrink.shrunk)
+      < List.length (Schedule.components schedule)));
+  let full = Schedule.union
+      (Schedule.sabotage (Party_id.left 0) ~at_round:4)
+      (Schedule.corrupt_state ~rate:1.0 (Party_id.right 0) ~at_round:1)
+  in
+  let report = Oracle.run ~seed:0 ~schedule:full case in
+  Alcotest.(check bool) "violates with the scramble aboard" true
+    (report.Oracle.verdict = Oracle.Violation);
+  match Repro.make ~case ~schedule:full ~seed:0 report with
+  | Error msg -> Alcotest.fail msg
+  | Ok t -> (
+    let t = Wire.decode_exn Repro.codec (Wire.encode Repro.codec t) in
+    match Repro.check t with
+    | Ok r ->
+      Alcotest.(check bool) "replay reproduces the scramble counts" true
+        (r.Oracle.metrics.Engine.cells_scrambled
+        = report.Oracle.metrics.Engine.cells_scrambled)
+    | Error msg -> Alcotest.failf "corrupt-state replay diverged: %s" msg)
+
+let test_replay_gate_exit_codes () =
+  (* The CLI's exit-code policy: reproducing a Violation is a failing
+     state (exit 1), clean reproductions pass, divergence fails. *)
+  let case = H.Sweep.case ~label:"gate" ~profile_seed:202 (injected_setting ()) in
+  let violating = Oracle.run ~seed:0 ~schedule:(injected_schedule ()) case in
+  Alcotest.(check int) "reproduced violation exits 1" 1 (Repro.gate (Ok violating));
+  let clean =
+    Oracle.run ~seed:1
+      ~schedule:(Schedule.crash (Party_id.right 0) ~at_round:1)
+      (scramble_case ())
+  in
+  Alcotest.(check bool) "clean run is ok" true (clean.Oracle.verdict = Oracle.Ok);
+  Alcotest.(check int) "clean reproduction exits 0" 0 (Repro.gate (Ok clean));
+  Alcotest.(check int) "divergence exits 1" 1 (Repro.gate (Error "diverged"))
+
 (* --- chaos sweeps --------------------------------------------------------- *)
 
 let test_quick_grid_par_equals_seq () =
@@ -587,6 +771,68 @@ let test_mutation_sweep_par_equals_seq () =
   Alcotest.(check string) "same json" (Chaos_sweep.to_json ~jobs:1 seq)
     (Chaos_sweep.to_json ~jobs:1 par)
 
+let test_state_corruption_sweep_par_equals_seq () =
+  (* The recovery grid's bar: corrupt-state schedules through the pool
+     must make identical scramble decisions (and hence identical
+     recovery verdicts) in any evaluation order, json included. *)
+  let cases = List.map (fun s -> H.Sweep.case ~profile_seed:11 s) (t_settings ~k:2) in
+  let r0 = Party_id.right 0 in
+  let schedules =
+    [
+      Schedule.corrupt_state ~rate:1.0 r0 ~at_round:1;
+      Schedule.corrupt_state ~rate:0.6 r0 ~at_round:2;
+      Schedule.union
+        (Schedule.send_omission ~rate:0.3 r0)
+        (Schedule.corrupt_state ~rate:0.8 r0 ~at_round:1);
+    ]
+  in
+  let cells = Chaos_sweep.grid ~cases ~schedules ~seeds:[ 1; 2 ] in
+  let seq = Chaos_sweep.run_cells cells in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> Chaos_sweep.run_cells ~pool cells) in
+  Alcotest.(check bool) "bit-identical" true (seq = par);
+  Alcotest.(check string) "same json" (Chaos_sweep.to_json ~jobs:1 seq)
+    (Chaos_sweep.to_json ~jobs:1 par);
+  (* The grid must have exercised the oracle: at least one cell recovered. *)
+  Alcotest.(check bool) "some cell recovered" true
+    (List.exists
+       (fun o ->
+         match o.Chaos_sweep.oracle.Oracle.recovery with
+         | Some (Oracle.Recovered _) -> true
+         | _ -> false)
+       seq)
+
+let test_recovery_grid_rows () =
+  let cases = [ scramble_case () ] in
+  let r0 = Party_id.right 0 in
+  let schedules =
+    [
+      Schedule.crash r0 ~at_round:1;
+      Schedule.corrupt_state ~rate:1.0 r0 ~at_round:1;
+    ]
+  in
+  let outcomes =
+    Chaos_sweep.run_cells (Chaos_sweep.grid ~cases ~schedules ~seeds:[ 1 ])
+  in
+  let rows = Chaos_sweep.recovery_grid outcomes in
+  (* Only the scrambling schedule earns a row; the crash group has no
+     recovery story to tell. *)
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check string) "the corrupt-state group" "corrupt-state(R0@1,100%)"
+    row.Chaos_sweep.rg_schedule;
+  Alcotest.(check int) "seed" 1 row.Chaos_sweep.rg_seed;
+  Alcotest.(check int) "cells" 1 row.Chaos_sweep.rg_cells;
+  Alcotest.(check int) "recovered" 1 row.Chaos_sweep.rg_recovered;
+  Alcotest.(check int) "stuck" 0 row.Chaos_sweep.rg_stuck;
+  Alcotest.(check bool) "mean == max for one cell" true
+    (Float.equal row.Chaos_sweep.rg_mean_rounds
+       (float_of_int row.Chaos_sweep.rg_max_rounds));
+  let json = Chaos_sweep.to_json ~jobs:1 outcomes in
+  Alcotest.(check bool) "recovery_row marker in json" true
+    (contains json ~sub:"{\"recovery_row\": \"corrupt-state(R0@1,100%)#seed1\"");
+  Alcotest.(check bool) "per-run recovery field in json" true
+    (contains json ~sub:"\"recovery\": \"recovered:")
+
 let test_grid_shape () =
   let cases =
     [ H.Sweep.case (List.hd (t_settings ~k:2)); H.Sweep.case (List.nth (t_settings ~k:2) 1) ]
@@ -632,6 +878,23 @@ let () =
           Alcotest.test_case "schedule codec roundtrip" `Quick
             test_schedule_codec_roundtrip;
         ] );
+      ( "state-corruption",
+        [
+          Alcotest.test_case "corrupt_state never drops, targets its cell" `Quick
+            test_corrupt_state_never_drops_and_targets;
+          Alcotest.test_case "deterministic, attempt-varied" `Quick
+            test_corrupt_state_deterministic_and_attempt_varied;
+          Alcotest.test_case "window and side composition" `Quick
+            test_corrupt_state_window_and_side_composition;
+          Alcotest.test_case "recovery measured after scramble" `Quick
+            test_recovery_measured_after_scramble;
+          Alcotest.test_case "no scramble, no recovery verdict" `Quick
+            test_recovery_none_without_scramble;
+          Alcotest.test_case "stuck when rounds run out" `Quick
+            test_recovery_stuck_when_rounds_run_out;
+          Alcotest.test_case "recovery codec roundtrip" `Quick
+            test_recovery_codec_roundtrip;
+        ] );
       ( "shrink-repro",
         [
           Alcotest.test_case "shrinker strips decoys" `Quick
@@ -646,6 +909,10 @@ let () =
             test_repro_rejects_scripted_adversary;
           Alcotest.test_case "garbage repro files rejected" `Quick
             test_repro_file_rejects_garbage;
+          Alcotest.test_case "corrupt-state shrink and replay" `Quick
+            test_shrink_and_replay_corrupt_state;
+          Alcotest.test_case "replay gate exit codes" `Quick
+            test_replay_gate_exit_codes;
         ] );
       ( "oracle",
         [
@@ -667,6 +934,9 @@ let () =
             test_json_pins_corruption_schema;
           Alcotest.test_case "mutation sweep par equals seq" `Quick
             test_mutation_sweep_par_equals_seq;
+          Alcotest.test_case "state-corruption sweep par equals seq" `Quick
+            test_state_corruption_sweep_par_equals_seq;
+          Alcotest.test_case "recovery grid rows" `Quick test_recovery_grid_rows;
           Alcotest.test_case "grid shape" `Quick test_grid_shape;
         ] );
     ]

@@ -439,6 +439,75 @@ let test_drop_precedes_corrupt () =
   Alcotest.(check int) "one omission" 1 m.messages_dropped_fault;
   Alcotest.(check int) "no corruption" 0 m.messages_corrupted
 
+(* --- state-cell scrambling ---------------------------------------------- *)
+
+let test_register_state_scrambled_between_rounds () =
+  (* A registered cell is rewritten through its codec between rounds: the
+     party parks in round 0, the scramble hook fires entering round 1,
+     and the fiber resumes already holding the mutated state. The first
+     candidate here is undecodable, forcing the attempt-retry loop; the
+     firing is counted once under the hook's label. *)
+  let observed = ref [] in
+  let value = ref 7 in
+  let scramble ~round ~party ~cell ~attempt payload =
+    ignore payload;
+    ignore cell;
+    if round = 1 && Party_id.equal party (Party_id.left 0) then
+      if attempt = 0 then Some ("\xff", "scrambler")
+      else Some (Wire.encode Wire.uint 42, "scrambler")
+    else None
+  in
+  let faults = Engine.fault_model ~scramble (fun ~round:_ ~src:_ ~dst:_ -> false) in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.register_state Wire.uint value;
+      ignore (env.Engine.next_round ());
+      observed := !observed @ [ !value ];
+      ignore (env.Engine.next_round ());
+      observed := !observed @ [ !value ]
+    end
+  in
+  let res = run ~k:1 ~max_rounds:5 ~faults programs in
+  Alcotest.(check (list int)) "scrambled in round 1, stable after" [ 42; 42 ]
+    !observed;
+  Alcotest.(check int) "one cell scrambled" 1 res.metrics.Engine.cells_scrambled;
+  Alcotest.(check (option int)) "first scramble round" (Some 1)
+    res.metrics.Engine.first_scramble_round;
+  Alcotest.(check (list (pair string int)))
+    "scramble tallied under the hook's label"
+    [ "scrambler", 1 ]
+    res.metrics.Engine.messages_dropped_by_label;
+  let l0 = Engine.find_result res (Party_id.left 0) in
+  Alcotest.(check (option int)) "L0 finished at round 2" (Some 2)
+    l0.Engine.finished_round;
+  let r0 = Engine.find_result res (Party_id.right 0) in
+  Alcotest.(check (option int)) "instant finisher at round 0" (Some 0)
+    r0.Engine.finished_round
+
+let test_scramble_gives_up_after_max_attempts () =
+  (* A hook that only ever produces undecodable bytes must leave the cell
+     untouched and count nothing — decode-validated mutation means the
+     adversary can only install well-formed states. *)
+  let attempts = ref 0 in
+  let value = ref 7 in
+  let scramble ~round:_ ~party:_ ~cell:_ ~attempt:_ _payload =
+    incr attempts;
+    Some ("\xff", "scrambler")
+  in
+  let faults = Engine.fault_model ~scramble (fun ~round:_ ~src:_ ~dst:_ -> false) in
+  let programs id env =
+    if Party_id.equal id (Party_id.left 0) then begin
+      env.Engine.register_state Wire.uint value;
+      ignore (env.Engine.next_round ())
+    end
+  in
+  let res = run ~k:1 ~max_rounds:3 ~faults programs in
+  Alcotest.(check int) "bounded retries" Engine.max_scramble_attempts !attempts;
+  Alcotest.(check int) "cell untouched" 7 !value;
+  Alcotest.(check int) "nothing counted" 0 res.metrics.Engine.cells_scrambled;
+  Alcotest.(check (option int)) "no first round" None
+    res.metrics.Engine.first_scramble_round
+
 (* --- determinism & inbox order ------------------------------------------ *)
 
 let test_inbox_sorted_by_sender () =
@@ -599,7 +668,8 @@ let test_trace_fate_per_event () =
           | `Delivered -> "delivered"
           | `No_channel -> "no-channel"
           | `Omitted -> "omitted"
-          | `Corrupted -> "corrupted"))
+          | `Corrupted -> "corrupted"
+          | `Scrambled -> "scrambled"))
       ( = )
   in
   Alcotest.check fate "R0 delivered" `Delivered (fate_of (Party_id.right 0));
@@ -983,6 +1053,10 @@ let () =
           Alcotest.test_case "corrupt prev is last delivered frame" `Quick
             test_corrupt_prev_is_last_delivered_frame;
           Alcotest.test_case "drop precedes corrupt" `Quick test_drop_precedes_corrupt;
+          Alcotest.test_case "state cell scrambled between rounds" `Quick
+            test_register_state_scrambled_between_rounds;
+          Alcotest.test_case "scramble gives up after max attempts" `Quick
+            test_scramble_gives_up_after_max_attempts;
           Alcotest.test_case "bytes exclude topology drops" `Quick
             test_bytes_exclude_topology_drops;
         ] );

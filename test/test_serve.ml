@@ -226,6 +226,44 @@ let test_live_equals_engine_under_faults () =
         e.Engine.out l.Engine.out)
     engine live
 
+let test_live_equals_engine_under_state_corruption () =
+  (* Same programs, same compiled corrupt-state schedule through both
+     executors: workers must register the same cells in the same order
+     and the between-rounds scramble must draw the same hashes, so
+     statuses, outputs and finish rounds agree bit-for-bit. *)
+  let k = 2 in
+  let profile = SM.Profile.random (Rng.make 5) k in
+  let programs p =
+    Core.Distributed_gs.program ~input:(SM.Profile.prefs profile p) ~self:p
+  in
+  let schedule =
+    Schedule.all
+      [
+        Schedule.corrupt_state ~rate:1.0 (Party_id.right 0) ~at_round:1;
+        Schedule.corrupt_state ~rate:0.7 (Party_id.left 0) ~at_round:2;
+      ]
+  in
+  let faults = Schedule.compile ~seed:4 schedule in
+  let max_rounds = 60 in
+  let link = Engine.Of_topology Topology.Bipartite in
+  let engine =
+    (Engine.run (Engine.config ~k ~max_rounds ~faults ~link ()) ~programs)
+      .Engine.parties
+  in
+  let live = Serve.Live.run ~max_rounds ~faults ~k ~link ~programs () in
+  List.iter2
+    (fun (e : Engine.party_result) (l : Engine.party_result) ->
+      Alcotest.(check bool)
+        (Format.asprintf "status %a" Party_id.pp e.Engine.id)
+        true (e.Engine.status = l.Engine.status);
+      Alcotest.(check (option string))
+        (Format.asprintf "output %a" Party_id.pp e.Engine.id)
+        e.Engine.out l.Engine.out;
+      Alcotest.(check (option int))
+        (Format.asprintf "finish round %a" Party_id.pp e.Engine.id)
+        e.Engine.finished_round l.Engine.finished_round)
+    engine live
+
 (* --- socket transport ---------------------------------------------------- *)
 
 let test_uds_end_to_end () =
@@ -477,6 +515,8 @@ let () =
             test_live_equals_engine;
           Alcotest.test_case "live == engine (faults + corruption)" `Quick
             test_live_equals_engine_under_faults;
+          Alcotest.test_case "live == engine (state corruption)" `Quick
+            test_live_equals_engine_under_state_corruption;
         ] );
       ( "readiness",
         [

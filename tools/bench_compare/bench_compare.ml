@@ -12,7 +12,11 @@
    are compared per row. BENCH_serve.json carries one record per
    "{\"workload\": ..." marker; for those the drain time (ticks) and
    latency quantiles (p50_ticks, p99_ticks) are compared — virtual
-   scheduler ticks, but the same gate applies. Exits 1 if any compared
+   scheduler ticks, but the same gate applies. BENCH_chaos.json carries
+   a recovery grid with one record per "{\"recovery_row\": ..." marker;
+   for those the rounds-to-recovery aggregates (max and mean engine
+   rounds) are compared — growth means recovery from state corruption
+   got slower. Exits 1 if any compared
    number regresses by more than the threshold (default 20%) AND by
    more than 1 unit (quick runs have millisecond-scale walls where
    percentages alone are noise). Tables/rows present on only one side
@@ -124,6 +128,13 @@ let serve_rows s =
 let plane_rows s =
   scan s ~marker:"{\"plane\": \"" ~keys:[ "encode_ms"; "deliver_ms"; "decode_ms" ]
 
+(* BENCH_chaos.json recovery grid: rounds-to-recovery per
+   (schedule#seed) row — deterministic engine rounds rather than walls,
+   but growth means recovery from state corruption got slower. *)
+let recovery_rows s =
+  scan s ~marker:"{\"recovery_row\": \""
+    ~keys:[ "max_rounds_to_recovery"; "mean_rounds_to_recovery" ]
+
 (* The whole_run block's parallel wall, if the file has one. *)
 let whole_run_parallel_ms s =
   match find s 0 "\"whole_run\":" with
@@ -181,10 +192,12 @@ let () =
   let old_rows = scale_rows old_s and new_rows = scale_rows new_s in
   let old_serve = serve_rows old_s and new_serve = serve_rows new_s in
   let old_plane = plane_rows old_s and new_plane = plane_rows new_s in
+  let old_recovery = recovery_rows old_s and new_recovery = recovery_rows new_s in
   if
     olds <> [] || news <> []
     || (old_rows = [] && new_rows = [] && old_serve = [] && new_serve = []
-       && old_plane = [] && new_plane = [])
+       && old_plane = [] && new_plane = [] && old_recovery = []
+       && new_recovery = [])
   then begin
     Printf.printf "sequential wall per table:\n";
     List.iter
@@ -269,16 +282,40 @@ let () =
           Printf.printf "  %-40s (dropped from new run)\n" name)
       old_plane
   end;
+  if old_recovery <> [] || new_recovery <> [] then begin
+    Printf.printf "rounds-to-recovery per recovery-grid row:\n";
+    List.iter
+      (fun (name, new_values) ->
+        match List.assoc_opt name old_recovery with
+        | None -> Printf.printf "  %-40s (new row, no baseline)\n" name
+        | Some old_values ->
+          List.iter
+            (fun (key, nv) ->
+              match List.assoc_opt key old_values, nv with
+              | Some (Some ov), Some nv ->
+                compare_value ~unit:"rounds"
+                  (Printf.sprintf "%s %s" name key)
+                  ov nv
+              | _ -> Printf.printf "  %-40s (no %s to compare)\n" name key)
+            new_values)
+      new_recovery;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name new_recovery) then
+          Printf.printf "  %-40s (dropped from new run)\n" name)
+      old_recovery
+  end;
   (match whole_run_parallel_ms old_s, whole_run_parallel_ms new_s with
   | Some om, Some nm ->
     Printf.printf "whole-run parallel wall:\n";
     compare_ms "whole_run" om nm
   | None, None
     when old_rows <> [] || new_rows <> [] || old_serve <> [] || new_serve <> []
-         || old_plane <> [] || new_plane <> []
+         || old_plane <> [] || new_plane <> [] || old_recovery <> []
+         || new_recovery <> []
     ->
-    (* Scale, serve and plane files carry no whole_run block; nothing to
-       say. *)
+    (* Scale, serve, plane and chaos recovery files carry no whole_run
+       block; nothing to say. *)
     ()
   | _ ->
     Printf.printf
